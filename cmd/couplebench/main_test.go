@@ -1,0 +1,49 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// smoke exercises each couplebench mode at a tiny scale.
+func TestRunModes(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	svg := filepath.Join(t.TempDir(), "out.svg")
+	fast, slow := 50*time.Microsecond, 200*time.Microsecond
+	uwork := 2 * time.Millisecond
+
+	if err := run("a", 16, 41, 20, 2.5, true, 1, fast, slow, uwork, csv, svg, false, "", false, "", ""); err != nil {
+		t.Fatalf("figure a: %v", err)
+	}
+	if err := run("all", 64, 41, 20, 2.5, true, 1, fast, slow, uwork, "", "", false, "", false, "", ""); err != nil {
+		t.Fatalf("figure all: %v", err)
+	}
+	if err := run("c", 64, 41, 20, 2.5, true, 1, fast, slow, uwork, "", "", true, "", false, "", ""); err != nil {
+		t.Fatalf("tub: %v", err)
+	}
+	if err := run("", 64, 41, 20, 2.5, true, 1, fast, slow, uwork, "", "", false, "2,4", false, "", ""); err != nil {
+		t.Fatalf("onset: %v", err)
+	}
+	if err := run("", 64, 41, 20, 0, true, 1, fast, slow, uwork, "", "", false, "", false, "1,5", ""); err != nil {
+		t.Fatalf("ratio: %v", err)
+	}
+	if err := run("", 64, 41, 20, 2.5, true, 1, fast, slow, uwork, "", "", false, "", false, "", "0,1ms"); err != nil {
+		t.Fatalf("latsweep: %v", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("z", 16, 41, 20, 2.5, true, 1, 0, 0, 0, "", "", false, "", false, "", ""); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run("", 64, 41, 20, 2.5, true, 1, 0, 0, 0, "", "", false, "x", false, "", ""); err == nil {
+		t.Error("bad onset accepted")
+	}
+	if err := run("", 64, 41, 20, 2.5, true, 1, 0, 0, 0, "", "", false, "", false, "y", ""); err == nil {
+		t.Error("bad ratio accepted")
+	}
+	if err := run("", 64, 41, 20, 2.5, true, 1, 0, 0, 0, "", "", false, "", false, "", "zz"); err == nil {
+		t.Error("bad latsweep accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCfg(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "c.cfg")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSingleProcess(t *testing.T) {
+	cfg := writeCfg(t, "A local b 2\nB local b 2\n#\nA.x B.x REGL 2.5\n")
+	if err := run(cfg, "", "", 16, 30, 10, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPipelineConfig(t *testing.T) {
+	cfg := writeCfg(t, `
+src local b 1
+mid local b 2
+out local b 1
+#
+src.a mid.a REGL 1.0
+mid.b out.b REGL 1.0
+`)
+	if err := run(cfg, "", "", 8, 20, 5, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadConfigPath(t *testing.T) {
+	if err := run("/nonexistent/x.cfg", "", "", 8, 10, 5, true, false); err == nil {
+		t.Error("missing config accepted")
+	}
+}
+
+func TestRunProgramNeedsRouter(t *testing.T) {
+	cfg := writeCfg(t, "A local b 1\nB local b 1\n#\nA.x B.x REGL 1\n")
+	if err := run(cfg, "A", "", 8, 10, 5, true, false); err == nil {
+		t.Error("-program without -router accepted")
+	}
+}
+
+func TestRolesOf(t *testing.T) {
+	cfgPath := writeCfg(t, `
+A local b 1
+B local b 1
+C local b 1
+#
+A.x B.x REGL 1
+B.y C.y REGL 1
+`)
+	if err := run(cfgPath, "", "", 8, 20, 5, false, true); err != nil {
+		t.Fatal(err)
+	}
+}

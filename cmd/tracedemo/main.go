@@ -1,0 +1,38 @@
+// Command tracedemo regenerates the paper's line-by-line scenario figures
+// (Figure 5: a typical buddy-help run; Figure 7: with buddy-help at
+// tolerance 5.0; Figure 8: the same without buddy-help) by replaying the
+// exact export/request/buddy-help sequences against the framework's export
+// pipeline and printing the recorded trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure to replay: 5, 7, 8 or all")
+	flag.Parse()
+
+	figures := []string{"5", "7", "8"}
+	if *figure != "all" {
+		figures = []string{*figure}
+	}
+	for _, f := range figures {
+		sc, err := harness.RunScenario(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracedemo:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== Figure %s ===\n", sc.Figure)
+		fmt.Println(sc.Log.Format())
+		st := sc.Stats
+		fmt.Printf("--- %d exports: %d memcpys, %d skips, %d sends, %d unnecessary copies (T_ub %v)\n\n",
+			st.Exports, st.Copies, st.Skips, st.Sends, st.UnnecessaryCopies,
+			st.UnnecessaryTime.Round(time.Nanosecond))
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestScenarioOutputs pins the demo's data source: every figure renders a
+// non-empty, paper-style trace.
+func TestScenarioOutputs(t *testing.T) {
+	for _, fig := range []string{"5", "7", "8"} {
+		sc, err := harness.RunScenario(fig)
+		if err != nil {
+			t.Fatalf("figure %s: %v", fig, err)
+		}
+		text := sc.Log.Format()
+		if !strings.Contains(text, "memcpy") {
+			t.Errorf("figure %s trace lacks memcpy lines:\n%s", fig, text)
+		}
+		if sc.Stats.Exports == 0 {
+			t.Errorf("figure %s ran no exports", fig)
+		}
+	}
+}

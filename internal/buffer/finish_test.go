@@ -1,0 +1,114 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/match"
+)
+
+func TestFinishResolvesPendingWithCandidate(t *testing.T) {
+	m := newManager(t, match.REGL, 5, nil)
+	offer(t, m, 7) // in the region of the upcoming request
+	res := sendRequest(t, m, 10)
+	if res.Decision.Result != match.Pending {
+		t.Fatalf("decision %v", res.Decision)
+	}
+	resolutions, sends, err := m.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resolutions) != 1 || resolutions[0].Decision.Result != match.Match ||
+		resolutions[0].Decision.MatchTS != 7 {
+		t.Fatalf("resolutions %v", resolutions)
+	}
+	if len(sends) != 1 || sends[0].MatchTS != 7 {
+		t.Fatalf("sends %v", sends)
+	}
+	if !m.Finished() {
+		t.Error("not finished")
+	}
+}
+
+func TestFinishResolvesPendingNoMatch(t *testing.T) {
+	m := newManager(t, match.REGL, 1, nil)
+	offer(t, m, 2)
+	res := sendRequest(t, m, 10) // region [9,10]: empty
+	if res.Decision.Result != match.Pending {
+		t.Fatalf("decision %v", res.Decision)
+	}
+	resolutions, sends, err := m.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resolutions) != 1 || resolutions[0].Decision.Result != match.NoMatch {
+		t.Fatalf("resolutions %v", resolutions)
+	}
+	if len(sends) != 0 {
+		t.Fatalf("sends %v", sends)
+	}
+}
+
+func TestRequestAfterFinish(t *testing.T) {
+	m := newManager(t, match.REGL, 5, nil)
+	offer(t, m, 7)
+	offer(t, m, 9)
+	if _, _, err := m.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// A request whose region holds buffered versions matches the best one.
+	res := sendRequest(t, m, 10)
+	if res.Decision.Result != match.Match || res.Decision.MatchTS != 9 {
+		t.Fatalf("decision %v", res.Decision)
+	}
+	if len(res.Sends) != 1 || res.Sends[0].MatchTS != 9 {
+		t.Fatalf("sends %v", res.Sends)
+	}
+	// A request beyond everything buffered is NO MATCH immediately.
+	res = sendRequest(t, m, 100)
+	if res.Decision.Result != match.NoMatch {
+		t.Fatalf("far request %v", res.Decision)
+	}
+}
+
+func TestOfferAfterFinishRejected(t *testing.T) {
+	m := newManager(t, match.REGL, 1, nil)
+	if _, _, err := m.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Offer(1, payload(1)); err == nil {
+		t.Error("export after Finish accepted")
+	}
+	if _, _, err := m.Finish(); err == nil {
+		t.Error("double Finish accepted")
+	}
+}
+
+func TestFinishWithUndeliveredBuddyMatchFails(t *testing.T) {
+	m := newManager(t, match.REGL, 2.5, nil)
+	res := sendRequest(t, m, 10)
+	if _, err := m.OnFinal(res.ReqIndex, match.Match, 9.5); err != nil {
+		t.Fatal(err)
+	}
+	// The peers exported 9.5; finishing without exporting it is a
+	// Property 1 violation.
+	if _, _, err := m.Finish(); err == nil {
+		t.Error("Finish with undelivered match accepted")
+	}
+}
+
+func TestFinishKeepsExactHitSemantics(t *testing.T) {
+	// A request decided before Finish is unaffected.
+	m := newManager(t, match.REGL, 2.5, nil)
+	offer(t, m, 10)
+	res := sendRequest(t, m, 10)
+	if res.Decision.Result != match.Match {
+		t.Fatalf("decision %v", res.Decision)
+	}
+	if _, _, err := m.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Sends != 1 {
+		t.Errorf("sends %d", st.Sends)
+	}
+}

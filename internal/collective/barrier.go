@@ -1,0 +1,23 @@
+package collective
+
+// Barrier blocks until every rank in the group has entered the barrier. It
+// uses the dissemination algorithm: ceil(log2(n)) rounds, in round k each
+// rank signals (rank + 2^k) mod n and waits for (rank - 2^k) mod n, so no
+// rank can leave before all have arrived.
+func (c *Comm) Barrier() error {
+	tag := c.nextTag("barrier")
+	if c.size == 1 {
+		return nil
+	}
+	for dist := 1; dist < c.size; dist <<= 1 {
+		to := (c.rank + dist) % c.size
+		from := (c.rank - dist%c.size + c.size) % c.size
+		if err := c.sendRank(to, tag, nil); err != nil {
+			return err
+		}
+		if _, err := c.recvRank(from, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package collective
+
+// Bcast copies root's buffer to every rank using a binomial tree
+// (ceil(log2 n) rounds). On the root, data is the source; on other ranks the
+// received copy is returned and data is ignored.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	tag := c.nextTag("bcast")
+	if root < 0 || root >= c.size {
+		return nil, errBadRoot("Bcast", root, c.size)
+	}
+	if c.size == 1 {
+		return data, nil
+	}
+	rel := (c.rank - root + c.size) % c.size
+
+	// Receive phase: a non-root rank receives from the peer that owns it in
+	// the binomial tree.
+	mask := 1
+	for mask < c.size {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % c.size
+			b, err := c.recvRank(src, tag)
+			if err != nil {
+				return nil, err
+			}
+			data = b
+			break
+		}
+		mask <<= 1
+	}
+	// Forward phase: pass the data down the subtree.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < c.size {
+			dst := (rel + mask + root) % c.size
+			if err := c.sendRank(dst, tag, data); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// BcastFloats broadcasts a float64 slice from root.
+func (c *Comm) BcastFloats(root int, vals []float64) ([]float64, error) {
+	var payload []byte
+	if c.rank == root {
+		payload = encodeFloats(vals)
+	}
+	b, err := c.Bcast(root, payload)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank == root {
+		return vals, nil
+	}
+	return decodeFloats(b)
+}

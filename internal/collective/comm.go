@@ -1,0 +1,153 @@
+// Package collective implements the collective-operation substrate the
+// paper's title refers to: process groups with ranks and the classic SPMD
+// collectives (barrier, broadcast, reduce, allreduce, gather, allgather,
+// scatter, alltoall), built on the transport layer the way MPI builds them on
+// point-to-point messaging.
+//
+// Every process of a parallel program holds a Comm. Collective calls must be
+// made by all members of the group in the same order — exactly the collective
+// property the coupling framework's export/import operations also obey
+// (Property 1 in the paper).
+package collective
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// DefaultTimeout bounds how long a collective waits for a peer message before
+// reporting a likely deadlock or dead peer. Coupled-simulation components can
+// legitimately drift apart by long compute phases, so this is generous.
+const DefaultTimeout = 60 * time.Second
+
+// Comm is one process's handle on its program's process group.
+type Comm struct {
+	d       *transport.Dispatcher
+	program string
+	rank    int
+	size    int
+	opSeq   uint64
+	timeout time.Duration
+
+	// pending holds collective messages received out of the order this rank
+	// consumes them (peers may progress into the next operation before this
+	// rank finishes the current one).
+	pending []transport.Message
+	// pointPending does the same for application point-to-point messages.
+	pointPending []transport.Message
+}
+
+// New returns the Comm for rank within a size-process group named program.
+// The dispatcher must belong to transport address {program, rank}.
+func New(d *transport.Dispatcher, program string, rank, size int) (*Comm, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("collective: group size %d", size)
+	}
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("collective: rank %d outside group of %d", rank, size)
+	}
+	return &Comm{d: d, program: program, rank: rank, size: size, timeout: DefaultTimeout}, nil
+}
+
+// Rank returns this process's rank in the group.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the group size.
+func (c *Comm) Size() int { return c.size }
+
+// Program returns the program (group) name.
+func (c *Comm) Program() string { return c.program }
+
+// SetTimeout overrides the per-message wait bound used by collectives.
+func (c *Comm) SetTimeout(d time.Duration) { c.timeout = d }
+
+// nextTag allocates the operation tag for the next collective. Because every
+// rank executes the same collective sequence, the per-Comm counter alone
+// disambiguates concurrent operations.
+func (c *Comm) nextTag(op string) string {
+	c.opSeq++
+	return fmt.Sprintf("%s#%d", op, c.opSeq)
+}
+
+// sendRank sends a collective message to another rank in the group.
+func (c *Comm) sendRank(to int, tag string, payload []byte) error {
+	return c.d.Send(transport.Message{
+		Kind:    transport.KindCollective,
+		Dst:     transport.Proc(c.program, to),
+		Tag:     tag,
+		Payload: payload,
+	})
+}
+
+// recvRank receives the collective message with the given tag from the given
+// rank, buffering any other collective traffic that arrives first.
+func (c *Comm) recvRank(from int, tag string) ([]byte, error) {
+	src := transport.Proc(c.program, from)
+	for i, m := range c.pending {
+		if m.Src == src && m.Tag == tag {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return m.Payload, nil
+		}
+	}
+	for {
+		m, err := c.d.RecvTimeout(transport.KindCollective, c.timeout)
+		if err != nil {
+			return nil, fmt.Errorf("collective: %s waiting for %s tag %q: %w",
+				transport.Proc(c.program, c.rank), src, tag, err)
+		}
+		if m.Src == src && m.Tag == tag {
+			return m.Payload, nil
+		}
+		c.pending = append(c.pending, m)
+	}
+}
+
+// Send delivers an application payload to another rank (point-to-point,
+// tagged). It is the intra-program messaging used for e.g. halo exchange.
+func (c *Comm) Send(to int, tag string, payload []byte) error {
+	return c.d.Send(transport.Message{
+		Kind:    transport.KindPoint,
+		Dst:     transport.Proc(c.program, to),
+		Tag:     tag,
+		Payload: payload,
+	})
+}
+
+// Recv receives the application payload with the given tag from the given
+// rank, buffering mismatched point-to-point traffic.
+func (c *Comm) Recv(from int, tag string) ([]byte, error) {
+	src := transport.Proc(c.program, from)
+	for i, m := range c.pointPending {
+		if m.Src == src && m.Tag == tag {
+			c.pointPending = append(c.pointPending[:i], c.pointPending[i+1:]...)
+			return m.Payload, nil
+		}
+	}
+	for {
+		m, err := c.d.RecvTimeout(transport.KindPoint, c.timeout)
+		if err != nil {
+			return nil, fmt.Errorf("collective: %s waiting for point msg from %s tag %q: %w",
+				transport.Proc(c.program, c.rank), src, tag, err)
+		}
+		if m.Src == src && m.Tag == tag {
+			return m.Payload, nil
+		}
+		c.pointPending = append(c.pointPending, m)
+	}
+}
+
+// SendFloats sends a float64 slice point-to-point.
+func (c *Comm) SendFloats(to int, tag string, vals []float64) error {
+	return c.Send(to, tag, encodeFloats(vals))
+}
+
+// RecvFloats receives a float64 slice point-to-point.
+func (c *Comm) RecvFloats(from int, tag string) ([]float64, error) {
+	b, err := c.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFloats(b)
+}

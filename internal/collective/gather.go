@@ -1,0 +1,133 @@
+package collective
+
+// Gather collects each rank's part at root. At root the returned slice has
+// one entry per rank, in rank order (root's own entry aliases part); other
+// ranks get nil. Parts may have different sizes.
+func (c *Comm) Gather(root int, part []byte) ([][]byte, error) {
+	tag := c.nextTag("gather")
+	if root < 0 || root >= c.size {
+		return nil, errBadRoot("Gather", root, c.size)
+	}
+	if c.rank != root {
+		return nil, c.sendRank(root, tag, part)
+	}
+	out := make([][]byte, c.size)
+	out[root] = part
+	for r := 0; r < c.size; r++ {
+		if r == root {
+			continue
+		}
+		b, err := c.recvRank(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = b
+	}
+	return out, nil
+}
+
+// Scatter distributes parts[r] from root to rank r and returns the local
+// part on every rank. Only root's parts argument is consulted.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	tag := c.nextTag("scatter")
+	if root < 0 || root >= c.size {
+		return nil, errBadRoot("Scatter", root, c.size)
+	}
+	if c.rank == root {
+		if len(parts) != c.size {
+			return nil, errPartCount("Scatter", len(parts), c.size)
+		}
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.sendRank(r, tag, parts[r]); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	return c.recvRank(root, tag)
+}
+
+// AllGather collects each rank's part on every rank (ring algorithm:
+// n-1 steps, each step passing the next block around the ring).
+func (c *Comm) AllGather(part []byte) ([][]byte, error) {
+	tag := c.nextTag("allgather")
+	out := make([][]byte, c.size)
+	out[c.rank] = part
+	if c.size == 1 {
+		return out, nil
+	}
+	right := (c.rank + 1) % c.size
+	left := (c.rank - 1 + c.size) % c.size
+	// In step s we forward the block that originated at rank-s (mod n).
+	for s := 0; s < c.size-1; s++ {
+		sendOrigin := (c.rank - s + c.size) % c.size
+		if err := c.sendRank(right, stepTag(tag, s), out[sendOrigin]); err != nil {
+			return nil, err
+		}
+		b, err := c.recvRank(left, stepTag(tag, s))
+		if err != nil {
+			return nil, err
+		}
+		recvOrigin := (c.rank - s - 1 + c.size) % c.size
+		out[recvOrigin] = b
+	}
+	return out, nil
+}
+
+// AllToAll delivers parts[r] to rank r from every rank; the returned slice
+// holds, per source rank, the block that source addressed to this rank.
+func (c *Comm) AllToAll(parts [][]byte) ([][]byte, error) {
+	tag := c.nextTag("alltoall")
+	if len(parts) != c.size {
+		return nil, errPartCount("AllToAll", len(parts), c.size)
+	}
+	out := make([][]byte, c.size)
+	out[c.rank] = parts[c.rank]
+	// Linear exchange: send everything, then collect. The dispatcher's
+	// unbounded queues make the eager sends deadlock-free.
+	for r := 0; r < c.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		if err := c.sendRank(r, tag, parts[r]); err != nil {
+			return nil, err
+		}
+	}
+	for r := 0; r < c.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		b, err := c.recvRank(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = b
+	}
+	return out, nil
+}
+
+func stepTag(tag string, step int) string {
+	// Cheap concatenation; steps are < group size.
+	return tag + "/" + itoa(step)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func errPartCount(op string, got, want int) error {
+	return errf("collective: %s needs %d parts, got %d", op, want, got)
+}

@@ -1,0 +1,86 @@
+package collective
+
+import "fmt"
+
+func errBadRoot(op string, root, size int) error {
+	return fmt.Errorf("collective: %s root %d outside group of %d", op, root, size)
+}
+
+// Reduce folds every rank's local slice into one result delivered at root,
+// using a binomial tree (ceil(log2 n) rounds). All ranks must pass slices of
+// the same length. The result is returned at root; other ranks get nil. The
+// local slice is not modified.
+func (c *Comm) Reduce(root int, local []float64, op Op) ([]float64, error) {
+	tag := c.nextTag("reduce")
+	if root < 0 || root >= c.size {
+		return nil, errBadRoot("Reduce", root, c.size)
+	}
+	acc := make([]float64, len(local))
+	copy(acc, local)
+	if c.size == 1 {
+		return acc, nil
+	}
+	rel := (c.rank - root + c.size) % c.size
+	for mask := 1; mask < c.size; mask <<= 1 {
+		if rel&mask == 0 {
+			peerRel := rel | mask
+			if peerRel < c.size {
+				peer := (peerRel + root) % c.size
+				b, err := c.recvRank(peer, tag)
+				if err != nil {
+					return nil, err
+				}
+				vals, err := c.decodeSameLen(b, len(acc))
+				if err != nil {
+					return nil, err
+				}
+				op(acc, vals)
+			}
+		} else {
+			peer := (rel - mask + root) % c.size
+			if err := c.sendRank(peer, tag, encodeFloats(acc)); err != nil {
+				return nil, err
+			}
+			return nil, nil // contribution handed off; done
+		}
+	}
+	return acc, nil
+}
+
+// AllReduce folds every rank's local slice and returns the result on all
+// ranks (reduce to rank 0 followed by a broadcast).
+func (c *Comm) AllReduce(local []float64, op Op) ([]float64, error) {
+	acc, err := c.Reduce(0, local, op)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank == 0 {
+		if _, err := c.Bcast(0, encodeFloats(acc)); err != nil {
+			return nil, err
+		}
+		return acc, nil
+	}
+	b, err := c.Bcast(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeSameLen(b, len(local))
+}
+
+// ReduceScalar reduces a single float64 to root (result valid at root only).
+func (c *Comm) ReduceScalar(root int, v float64, op Op) (float64, error) {
+	res, err := c.Reduce(root, []float64{v}, op)
+	if err != nil || res == nil {
+		return 0, err
+	}
+	return res[0], nil
+}
+
+// AllReduceScalar reduces a single float64 and returns it everywhere.
+func (c *Comm) AllReduceScalar(v float64, op Op) (float64, error) {
+	res, err := c.AllReduce([]float64{v}, op)
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
+}

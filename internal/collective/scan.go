@@ -1,0 +1,74 @@
+package collective
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// op(local_0, ..., local_r). It uses the recursive-distance algorithm
+// (ceil(log2 n) rounds): in round k each rank sends its running value to
+// rank+2^k and folds the value received from rank-2^k.
+func (c *Comm) Scan(local []float64, op Op) ([]float64, error) {
+	tag := c.nextTag("scan")
+	acc := make([]float64, len(local))
+	copy(acc, local)
+	if c.size == 1 {
+		return acc, nil
+	}
+	// carry is the partial prefix received so far; acc = op(carry, local..).
+	for dist := 1; dist < c.size; dist <<= 1 {
+		// Send first, then receive: the dispatcher's unbounded queues make
+		// the eager send safe.
+		if peer := c.rank + dist; peer < c.size {
+			if err := c.sendRank(peer, stepTag(tag, dist), encodeFloats(acc)); err != nil {
+				return nil, err
+			}
+		}
+		if peer := c.rank - dist; peer >= 0 {
+			b, err := c.recvRank(peer, stepTag(tag, dist))
+			if err != nil {
+				return nil, err
+			}
+			vals, err := c.decodeSameLen(b, len(acc))
+			if err != nil {
+				return nil, err
+			}
+			op(acc, vals)
+		}
+	}
+	return acc, nil
+}
+
+// ScanScalar is Scan for a single value.
+func (c *Comm) ScanScalar(v float64, op Op) (float64, error) {
+	res, err := c.Scan([]float64{v}, op)
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
+}
+
+// ReduceScatter reduces every rank's length-n*size slice elementwise and
+// scatters the result: rank r receives elements [r*n, (r+1)*n) of the global
+// reduction, where n = len(local)/size (len(local) must divide evenly).
+// Implemented as reduce-to-root plus scatter, which is bandwidth-optimal
+// enough for the control-plane uses in this repo.
+func (c *Comm) ReduceScatter(local []float64, op Op) ([]float64, error) {
+	if len(local)%c.size != 0 {
+		return nil, errf("collective: ReduceScatter input length %d not divisible by group size %d",
+			len(local), c.size)
+	}
+	n := len(local) / c.size
+	full, err := c.Reduce(0, local, op)
+	if err != nil {
+		return nil, err
+	}
+	var parts [][]byte
+	if c.rank == 0 {
+		parts = make([][]byte, c.size)
+		for r := 0; r < c.size; r++ {
+			parts[r] = encodeFloats(full[r*n : (r+1)*n])
+		}
+	}
+	b, err := c.Scatter(0, parts)
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeSameLen(b, n)
+}

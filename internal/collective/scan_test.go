@@ -1,0 +1,118 @@
+package collective
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestScanScalarSum(t *testing.T) {
+	for _, n := range groupSizes {
+		n := n
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			runGroup(t, n, func(c *Comm) error {
+				// rank r contributes r+1; prefix sum = (r+1)(r+2)/2.
+				got, err := c.ScanScalar(float64(c.Rank()+1), Sum)
+				if err != nil {
+					return err
+				}
+				want := float64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+				if got != want {
+					return fmt.Errorf("rank %d: %v, want %v", c.Rank(), got, want)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestScanVectorMax(t *testing.T) {
+	runGroup(t, 5, func(c *Comm) error {
+		// Alternating pattern: prefix max of [r, -r] is [r, -0] = [r, 0]...
+		// use values where the max prefix is easy: rank r contributes
+		// [r mod 3, 10-r].
+		local := []float64{float64(c.Rank() % 3), float64(10 - c.Rank())}
+		got, err := c.Scan(local, Max)
+		if err != nil {
+			return err
+		}
+		wantA, wantB := 0.0, 0.0
+		for r := 0; r <= c.Rank(); r++ {
+			if v := float64(r % 3); v > wantA {
+				wantA = v
+			}
+			if v := float64(10 - r); v > wantB {
+				wantB = v
+			}
+		}
+		if got[0] != wantA || got[1] != wantB {
+			return fmt.Errorf("rank %d: %v, want [%v %v]", c.Rank(), got, wantA, wantB)
+		}
+		// Input untouched.
+		if local[0] != float64(c.Rank()%3) {
+			return fmt.Errorf("input modified")
+		}
+		return nil
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6, 8} {
+		n := n
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			runGroup(t, n, func(c *Comm) error {
+				// Every rank contributes [1, 2, ..., 2n]; the global sum is
+				// [n, 2n, ..., 2n*n]; rank r gets its 2-element slice.
+				local := make([]float64, 2*n)
+				for i := range local {
+					local[i] = float64(i + 1)
+				}
+				got, err := c.ReduceScatter(local, Sum)
+				if err != nil {
+					return err
+				}
+				if len(got) != 2 {
+					return fmt.Errorf("got %d elements", len(got))
+				}
+				for i, v := range got {
+					want := float64(n * (2*c.Rank() + i + 1))
+					if v != want {
+						return fmt.Errorf("rank %d elem %d: %v, want %v", c.Rank(), i, v, want)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestReduceScatterBadLength(t *testing.T) {
+	runGroup(t, 3, func(c *Comm) error {
+		if _, err := c.ReduceScatter(make([]float64, 4), Sum); err == nil {
+			return fmt.Errorf("length 4 with 3 ranks accepted")
+		}
+		return nil
+	})
+}
+
+func TestScanThenOtherCollectives(t *testing.T) {
+	// Scans interleaved with other collectives must not cross wires.
+	runGroup(t, 4, func(c *Comm) error {
+		for i := 0; i < 5; i++ {
+			s, err := c.ScanScalar(1, Sum)
+			if err != nil {
+				return err
+			}
+			if s != float64(c.Rank()+1) {
+				return fmt.Errorf("iter %d scan %v", i, s)
+			}
+			total, err := c.AllReduceScalar(1, Sum)
+			if err != nil {
+				return err
+			}
+			if total != 4 {
+				return fmt.Errorf("iter %d allreduce %v", i, total)
+			}
+		}
+		return nil
+	})
+}

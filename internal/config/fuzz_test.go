@@ -1,0 +1,48 @@
+package config
+
+import "testing"
+
+// FuzzParse hardens the configuration parser against arbitrary input: it
+// must never panic, and anything it accepts must re-validate.
+func FuzzParse(f *testing.F) {
+	f.Add("P0 c /bin/p 4\nP1 c /bin/q 2\n#\nP0.r P1.r REGL 0.5\n")
+	f.Add("A c b 1\nB c b 1\n#\nA.x B.y REG 1 rect=0:0:4:4\n")
+	f.Add("#\n")
+	f.Add("")
+	f.Add("A c b 1\n#\nA.x A.y REGU 0\n")
+	f.Add("# comment\nA c b 1\n\n#\n# another\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		cfg, err := ParseString(in)
+		if err != nil {
+			return
+		}
+		// Accepted configurations must be internally consistent.
+		seen := map[string]bool{}
+		for _, p := range cfg.Programs {
+			if p.Procs <= 0 {
+				t.Fatalf("accepted program with %d procs", p.Procs)
+			}
+			if seen[p.Name] {
+				t.Fatalf("accepted duplicate program %q", p.Name)
+			}
+			seen[p.Name] = true
+		}
+		for _, c := range cfg.Connections {
+			if !seen[c.Export.Program] || !seen[c.Import.Program] {
+				t.Fatalf("accepted connection to unknown program: %s", c)
+			}
+			if c.Tolerance < 0 {
+				t.Fatalf("accepted negative tolerance: %s", c)
+			}
+			// String must re-parse to an equivalent connection.
+			round, err := ParseString(
+				c.Export.Program + " c b 1\n" + c.Import.Program + " c b 1\n#\n" + c.String() + "\n")
+			if err != nil {
+				t.Fatalf("connection %q does not re-parse: %v", c.String(), err)
+			}
+			if round.Connections[0].String() != c.String() {
+				t.Fatalf("round trip changed %q -> %q", c.String(), round.Connections[0].String())
+			}
+		}
+	})
+}

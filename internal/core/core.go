@@ -1,0 +1,308 @@
+// Package core implements the paper's contribution: a loosely coupled
+// framework for parallel simulation components with approximate temporal
+// matching and the buddy-help optimization (Wu & Sussman, IPPS 2007).
+//
+// A Framework hosts a set of named parallel programs (each a group of
+// goroutine "processes" plus one representative) wired together by a
+// configuration (package config). Programs define distributed regions, then
+// their processes call the collective operations Export and Import; the
+// framework buffers exported versions (package buffer), resolves import
+// requests through per-program representatives (package rep), moves matched
+// data along MxN redistribution schedules (package decomp), and — when
+// Options.BuddyHelp is on — lets the fastest exporter process's decision
+// spare its slower peers from unnecessary buffering.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/decomp"
+	"repro/internal/transport"
+)
+
+// DefaultTimeout bounds blocking framework waits (import answers, data
+// pieces, startup handshakes).
+const DefaultTimeout = 60 * time.Second
+
+// Options tunes a Framework.
+type Options struct {
+	// Network supplies the transport; nil means a fresh in-memory network.
+	Network transport.Network
+	// BuddyHelp enables the paper's optimization: representatives send the
+	// final match answer to processes whose response was PENDING.
+	BuddyHelp bool
+	// Trace enables per-process paper-style event logs.
+	Trace bool
+	// BufferMaxBytes bounds each per-connection export buffer (0 = unbounded).
+	BufferMaxBytes int64
+	// Timeout bounds blocking waits; 0 means DefaultTimeout.
+	Timeout time.Duration
+}
+
+// Framework hosts one coupled run — either every program of the
+// configuration (New, the single-process mode used by tests and benchmarks)
+// or a single program joining its peers over a shared transport (Join, the
+// distributed mode matching the paper's deployment of one binary per
+// component).
+type Framework struct {
+	cfg  *config.Config
+	opts Options
+	net  transport.Network
+
+	// local is the hosted program's name in distributed mode ("" = all).
+	local    string
+	programs map[string]*Program
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+}
+
+// New builds a framework for a parsed coupling configuration. Every program
+// in the configuration is instantiated with its configured process count;
+// regions must be defined (Program.DefineRegion) before Start.
+func New(cfg *config.Config, opts Options) (*Framework, error) {
+	if opts.Network == nil {
+		opts.Network = transport.NewMemNetwork()
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	f := &Framework{
+		cfg:      cfg,
+		opts:     opts,
+		net:      opts.Network,
+		programs: make(map[string]*Program),
+	}
+	for _, pc := range cfg.Programs {
+		p, err := newProgram(f, pc)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.programs[pc.Name] = p
+	}
+	return f, nil
+}
+
+// Join builds a framework hosting only the named program of the
+// configuration, connecting to its peers over the supplied network
+// (typically transport.NewTCPNetwork against a shared router). Every
+// participating program runs its own Join — in separate OS processes if
+// desired — against the same configuration file; Start blocks until the
+// layout handshake with all coupled peers completes.
+func Join(cfg *config.Config, program string, opts Options) (*Framework, error) {
+	if opts.Network == nil {
+		return nil, fmt.Errorf("core: Join(%q) needs an explicit shared network", program)
+	}
+	pc, ok := cfg.Program(program)
+	if !ok {
+		return nil, fmt.Errorf("core: configuration has no program %q", program)
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	f := &Framework{
+		cfg:      cfg,
+		opts:     opts,
+		net:      opts.Network,
+		local:    program,
+		programs: make(map[string]*Program),
+	}
+	p, err := newProgram(f, pc)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.programs[pc.Name] = p
+	return f, nil
+}
+
+// Local returns the hosted program in distributed mode (Join).
+func (f *Framework) Local() (*Program, error) {
+	if f.local == "" {
+		return nil, fmt.Errorf("core: Local() on a framework hosting all programs")
+	}
+	return f.Program(f.local)
+}
+
+// hosts reports whether this framework instantiates the named program.
+func (f *Framework) hosts(name string) bool {
+	_, ok := f.programs[name]
+	return ok
+}
+
+// Program returns the named program.
+func (f *Framework) Program(name string) (*Program, error) {
+	p, ok := f.programs[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown program %q", name)
+	}
+	return p, nil
+}
+
+// MustProgram is Program for names known to exist (panics otherwise).
+func (f *Framework) MustProgram(name string) *Program {
+	p, err := f.Program(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Start validates the coupling against the defined regions, wires the
+// representatives and processes, exchanges region layouts, and returns once
+// every process is ready for Export/Import calls.
+func (f *Framework) Start() error {
+	f.mu.Lock()
+	if f.started {
+		f.mu.Unlock()
+		return errors.New("core: framework already started")
+	}
+	f.started = true
+	f.mu.Unlock()
+
+	// Early detection of an incorrect coupling specification (Section 3.1):
+	// every hosted connection endpoint must be a defined region; when both
+	// sides are hosted, the global array shapes must agree. (In distributed
+	// mode the peer's shape is checked when its layout arrives and the
+	// redistribution schedule is computed.)
+	for _, conn := range f.cfg.Connections {
+		var expDef, impDef regionDef
+		var err error
+		if f.hosts(conn.Export.Program) {
+			if expDef, err = f.regionDef(conn.Export); err != nil {
+				return err
+			}
+			if conn.Windowed() && !decomp.Bounds(expDef.layout).ContainsRect(conn.Window) {
+				er, ec := expDef.layout.Shape()
+				return fmt.Errorf("core: connection %s: window %v outside the %dx%d region",
+					conn, conn.Window, er, ec)
+			}
+		}
+		if f.hosts(conn.Import.Program) {
+			if impDef, err = f.regionDef(conn.Import); err != nil {
+				return err
+			}
+		}
+		if f.hosts(conn.Export.Program) && f.hosts(conn.Import.Program) {
+			er, ec := expDef.layout.Shape()
+			ir, ic := impDef.layout.Shape()
+			if er != ir || ec != ic {
+				return fmt.Errorf("core: connection %s couples a %dx%d region to a %dx%d region",
+					conn, er, ec, ir, ic)
+			}
+		}
+	}
+
+	// Start representative loops and process control loops.
+	for _, p := range f.programs {
+		p.start()
+	}
+
+	// Rep-to-rep layout handshake: each hosted side tells the peer rep the
+	// layout of its end of every connection; peer reps fan the specs out to
+	// their processes, which finish wiring their import/export state. In
+	// distributed mode the peer may not have registered yet, so the
+	// announcements are re-sent until every local process is ready (the
+	// receiving side deduplicates).
+	sendLayouts := func() error {
+		for _, conn := range f.cfg.Connections {
+			key := connKey(conn.Export.String(), conn.Import.String())
+			if expProg, ok := f.programs[conn.Export.Program]; ok {
+				spec, err := decomp.SpecOf(expProg.regions[conn.Export.Region].layout)
+				if err != nil {
+					return err
+				}
+				err = expProg.rep.sendLayout(transport.Rep(conn.Import.Program), layoutMsg{
+					Conn: key, Region: conn.Import.Region, Remote: spec,
+				})
+				if err != nil && !errors.Is(err, transport.ErrUnknownAddr) {
+					return err
+				}
+			}
+			if impProg, ok := f.programs[conn.Import.Program]; ok {
+				spec, err := decomp.SpecOf(impProg.regions[conn.Import.Region].layout)
+				if err != nil {
+					return err
+				}
+				err = impProg.rep.sendLayout(transport.Rep(conn.Export.Program), layoutMsg{
+					Conn: key, Region: conn.Export.Region, Remote: spec,
+				})
+				if err != nil && !errors.Is(err, transport.ErrUnknownAddr) {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := sendLayouts(); err != nil {
+		return err
+	}
+	// Wait until every hosted process reports ready, re-announcing layouts
+	// periodically for peers that registered late.
+	deadline := time.Now().Add(f.opts.Timeout)
+	for _, p := range f.programs {
+		for _, proc := range p.procs {
+			for {
+				wait := time.Until(deadline)
+				if wait > 200*time.Millisecond {
+					wait = 200 * time.Millisecond
+				}
+				err := proc.waitReady(wait)
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("core: %s startup: %w", proc.addr(), err)
+				}
+				if err := sendLayouts(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Framework) regionDef(ep config.Endpoint) (regionDef, error) {
+	p, ok := f.programs[ep.Program]
+	if !ok {
+		return regionDef{}, fmt.Errorf("core: connection names unknown program %q", ep.Program)
+	}
+	def, ok := p.regions[ep.Region]
+	if !ok {
+		return regionDef{}, fmt.Errorf("core: program %s never defined region %q named in the coupling configuration",
+			ep.Program, ep.Region)
+	}
+	return def, nil
+}
+
+// Err returns the first violation or internal error any program hit, or nil.
+func (f *Framework) Err() error {
+	for _, p := range f.programs {
+		if err := p.err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close tears the framework down. Outstanding Export/Import calls fail.
+func (f *Framework) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	for _, p := range f.programs {
+		p.close()
+	}
+	return f.net.Close()
+}

@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/decomp"
+)
+
+// Example couples a 2-process simulation exporting a distributed field to a
+// single-process consumer with approximate temporal matching — the minimal
+// end-to-end use of the framework.
+func Example() {
+	cfg, err := config.ParseString(`
+sim  local builtin 2
+view local builtin 1
+#
+sim.u view.u REGL 0.5
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := core.New(cfg, core.Options{BuddyHelp: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fw.Close()
+
+	const n = 4
+	simLayout, _ := decomp.NewRowBlock(n, n, 2)
+	viewLayout, _ := decomp.NewRowBlock(n, n, 1)
+	if err := fw.MustProgram("sim").DefineRegion("u", simLayout); err != nil {
+		log.Fatal(err)
+	}
+	if err := fw.MustProgram("view").DefineRegion("u", viewLayout); err != nil {
+		log.Fatal(err)
+	}
+	if err := fw.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for rank := 0; rank < 2; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			p := fw.MustProgram("sim").Process(rank)
+			block, _ := p.Block("u")
+			data := make([]float64, block.Area())
+			for t := 1.0; t <= 6; t++ {
+				for i := range data {
+					data[i] = t * 10
+				}
+				if err := p.Export("u", t, data); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(rank)
+	}
+
+	viewer := fw.MustProgram("view").Process(0)
+	dst := make([]float64, n*n)
+	res, err := viewer.Import("u", 3.2, dst) // acceptable region [2.7, 3.2]
+	if err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+	fmt.Printf("matched export @%g, value %g\n", res.MatchTS, dst[0])
+	// Output: matched export @3, value 30
+}

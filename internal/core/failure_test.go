@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/config"
+	"repro/internal/decomp"
+)
+
+// TestFiniteBufferPropagates: with Options.BufferMaxBytes too small for the
+// live objects, the exporting process's Export fails with ErrBufferFull and
+// the framework reports the error.
+func TestFiniteBufferPropagates(t *testing.T) {
+	cfg, err := config.ParseString("E local b 1\nI local b 1\n#\nE.d I.d REGL 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(cfg, Options{
+		Timeout:        5 * time.Second,
+		BufferMaxBytes: 8 * 16 * 2, // room for two 4x4 versions
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l, _ := decomp.NewRowBlock(4, 4, 1)
+	f.MustProgram("E").DefineRegion("d", l)
+	f.MustProgram("I").DefineRegion("d", l)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := f.MustProgram("E").Process(0)
+	data := make([]float64, 16)
+	var got error
+	for k := 1; k <= 10; k++ {
+		if got = p.Export("d", float64(k), data); got != nil {
+			break
+		}
+	}
+	if !errors.Is(got, buffer.ErrBufferFull) {
+		t.Fatalf("err = %v, want ErrBufferFull", got)
+	}
+	if f.Err() == nil {
+		t.Error("framework did not record the failure")
+	}
+}
+
+// TestCloseUnblocksImport: closing the framework mid-import fails the
+// blocked call promptly instead of hanging until the timeout.
+func TestCloseUnblocksImport(t *testing.T) {
+	f := buildCoupling(t, Options{Timeout: 30 * time.Second}, 1, 1, 4, "REGL 1")
+	p := f.MustProgram("I").Process(0)
+	dst := make([]float64, 16)
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Import("d", 10, dst) // nothing exported: blocks
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	f.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("import succeeded after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("import did not unblock on Close")
+	}
+}
+
+// TestExportAfterFailureFails: once a program failed, subsequent collective
+// calls fail fast with the recorded error.
+func TestExportAfterFailureFails(t *testing.T) {
+	f := buildCoupling(t, Options{Timeout: 5 * time.Second}, 1, 2, 4, "REGL 1")
+	imp := f.MustProgram("I")
+	// Trip a Property-1 violation on the importer.
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			dst := make([]float64, 8)
+			imp.Process(r).Import("d", float64(10+r), dst)
+		}(r)
+	}
+	wg.Wait()
+	if f.Err() == nil {
+		t.Fatal("violation not recorded")
+	}
+	dst := make([]float64, 8)
+	if _, err := imp.Process(0).Import("d", 30, dst); err == nil {
+		t.Error("import after failure succeeded")
+	}
+}
+
+// TestExporterDecreasingTimestampFails: the model requires increasing export
+// timestamps; the violation surfaces as an Export error.
+func TestExporterDecreasingTimestampFails(t *testing.T) {
+	f := buildCoupling(t, Options{Timeout: 5 * time.Second}, 1, 1, 4, "REGL 1")
+	p := f.MustProgram("E").Process(0)
+	data := make([]float64, 16)
+	if err := p.Export("d", 5, data); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Export("d", 4, data)
+	if err == nil || !strings.Contains(err.Error(), "not greater") {
+		t.Errorf("decreasing export: %v", err)
+	}
+}
+
+// TestImportWrongSizeFails: a destination buffer that does not match the
+// local block is rejected before any protocol traffic.
+func TestImportWrongSizeFails(t *testing.T) {
+	f := buildCoupling(t, Options{Timeout: 5 * time.Second}, 1, 1, 4, "REGL 1")
+	p := f.MustProgram("I").Process(0)
+	if _, err := p.Import("d", 1, make([]float64, 3)); err == nil {
+		t.Error("wrong-size import accepted")
+	}
+	pe := f.MustProgram("E").Process(0)
+	if err := pe.Export("d", 1, make([]float64, 3)); err == nil {
+		t.Error("wrong-size export accepted")
+	}
+}
+
+// TestDoubleStartRejected: Start is not idempotent by design.
+func TestDoubleStartRejected(t *testing.T) {
+	f := buildCoupling(t, Options{Timeout: 5 * time.Second}, 1, 1, 4, "REGL 1")
+	if err := f.Start(); err == nil {
+		t.Error("second Start succeeded")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/decomp"
+)
+
+// TestFinishRegionUnblocksTrailingImports: an importer that requests past
+// the exporter's final version gets answers (including matches against
+// still-buffered versions) instead of hanging.
+func TestFinishRegionUnblocksTrailingImports(t *testing.T) {
+	f := buildCoupling(t, Options{BuddyHelp: true, Timeout: 10 * time.Second}, 2, 2, 8, "REGL 2.5")
+	exp, imp := f.MustProgram("E"), f.MustProgram("I")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runProcs(t, exp, func(p *Process) error {
+			block, _ := p.Block("d")
+			for k := 1; k <= 10; k++ {
+				if err := p.Export("d", float64(k), fillBlock(block, float64(k))); err != nil {
+					return err
+				}
+			}
+			return p.FinishRegion("d")
+		})
+	}()
+
+	runProcs(t, imp, func(p *Process) error {
+		block, _ := p.Block("d")
+		dst := make([]float64, block.Area())
+		// Request @11: region [8.5, 11]; the exporter stopped at 10, which
+		// stays buffered (beyond its last request horizon) and matches.
+		res, err := p.Import("d", 11, dst)
+		if err != nil {
+			return err
+		}
+		if !res.Matched || res.MatchTS != 10 {
+			return fmt.Errorf("request @11 resolved %+v, want MATCH D@10", res)
+		}
+		g := decomp.Grid{Block: block, Data: dst}
+		if g.At(block.R0, block.C0) != cell(10, block.R0, block.C0) {
+			return fmt.Errorf("data wrong after finish-resolved match")
+		}
+		// Request @50: far beyond anything produced: NO MATCH, not a hang.
+		res, err = p.Import("d", 50, dst)
+		if err != nil {
+			return err
+		}
+		if res.Matched {
+			return fmt.Errorf("request @50 matched %g", res.MatchTS)
+		}
+		return nil
+	})
+	wg.Wait()
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFinishRegionResolvesPending: requests already pending when the
+// exporter finishes are answered.
+func TestFinishRegionResolvesPending(t *testing.T) {
+	f := buildCoupling(t, Options{BuddyHelp: true, Timeout: 10 * time.Second}, 2, 1, 4, "REGL 0.25")
+	exp, imp := f.MustProgram("E"), f.MustProgram("I")
+
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runProcs(t, imp, func(p *Process) error {
+			close(started)
+			block, _ := p.Block("d")
+			dst := make([]float64, block.Area())
+			// Region [19.75, 20]: the exporter never gets there.
+			res, err := p.Import("d", 20, dst)
+			if err != nil {
+				return err
+			}
+			if res.Matched {
+				return fmt.Errorf("matched %g, want NO MATCH", res.MatchTS)
+			}
+			return nil
+		})
+	}()
+
+	<-started
+	time.Sleep(20 * time.Millisecond) // let the request reach the exporter
+	runProcs(t, exp, func(p *Process) error {
+		block, _ := p.Block("d")
+		for k := 1; k <= 3; k++ {
+			if err := p.Export("d", float64(k), fillBlock(block, float64(k))); err != nil {
+				return err
+			}
+		}
+		return p.FinishRegion("d")
+	})
+	wg.Wait()
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFinishRegionValidation: undefined regions fail; unconnected regions
+// are a no-op; exporting after finishing fails.
+func TestFinishRegionValidation(t *testing.T) {
+	f := buildCoupling(t, Options{Timeout: 5 * time.Second}, 1, 1, 4, "REGL 1")
+	p := f.MustProgram("E").Process(0)
+	if err := p.FinishRegion("ghost"); err == nil {
+		t.Error("undefined region accepted")
+	}
+	if err := p.FinishRegion("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Export("d", 1, make([]float64, 16)); err == nil {
+		t.Error("export after FinishRegion accepted")
+	}
+}

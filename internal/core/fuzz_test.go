@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/decomp"
+)
+
+// FuzzDecodeData: the binary data-message decoder must never panic on
+// malformed payloads and must round-trip valid ones.
+func FuzzDecodeData(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, dataHeaderSize-1))
+	f.Add(encodeData(3, 19.6, decomp.NewRect(0, 0, 2, 2), []float64{1, 2, 3, 4}))
+	f.Add(encodeData(0, 0, decomp.Rect{}, nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		reqID, matchTS, sub, vals, err := decodeData(b)
+		if err != nil {
+			return
+		}
+		if len(vals) != sub.Area() {
+			t.Fatalf("decoded %d values for %v", len(vals), sub)
+		}
+		enc := encodeData(reqID, matchTS, sub, vals)
+		if len(enc) != len(b) {
+			// Rect normalization may differ for degenerate rects; only
+			// demand byte-identical round trips for non-empty payloads.
+			if sub.Area() > 0 {
+				t.Fatalf("round trip length %d != %d", len(enc), len(b))
+			}
+			return
+		}
+		for i := range b {
+			if enc[i] != b[i] && sub.Area() > 0 {
+				t.Fatalf("round trip differs at %d", i)
+			}
+		}
+	})
+}

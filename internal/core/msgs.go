@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/decomp"
+	"repro/internal/match"
+	"repro/internal/wire"
+)
+
+// connKey names a connection uniquely: "P0.r1>P1.r1".
+func connKey(exp, imp string) string { return exp + ">" + imp }
+
+// coupledWindow returns the sub-rectangle a connection transfers: its
+// configured window, or the whole array when none was given.
+func coupledWindow(cc config.Connection, l decomp.Layout) decomp.Rect {
+	if cc.Windowed() {
+		return cc.Window
+	}
+	return decomp.Bounds(l)
+}
+
+// layoutMsg announces one region's layout during the rep-to-rep handshake
+// and the rep-to-process fan-out.
+type layoutMsg struct {
+	Conn   string // connection key
+	Region string // region name on the RECEIVING side
+	Remote decomp.Spec
+	Local  decomp.Spec
+}
+
+// importCallMsg is an importer process entering a collective import.
+type importCallMsg struct {
+	Region string
+	ReqTS  float64
+}
+
+// requestMsg is an import request travelling importer-rep -> exporter-rep,
+// and exporter-rep -> exporter processes (KindForward).
+type requestMsg struct {
+	Conn  string
+	ReqID int
+	ReqTS float64
+}
+
+// responseMsg is an exporter process's (possibly repeated) reply to a
+// forwarded request.
+type responseMsg struct {
+	Conn    string
+	ReqID   int
+	ReqTS   float64
+	Rank    int
+	Result  match.Result
+	MatchTS float64
+	Latest  float64
+}
+
+// answerMsg is the final collective answer: exporter-rep -> importer-rep,
+// then importer-rep -> importer processes. The same shape serves buddy-help
+// messages (exporter-rep -> pending exporter processes).
+type answerMsg struct {
+	Conn    string
+	Region  string // import region name (filled by the importer rep fan-out)
+	ReqID   int
+	ReqTS   float64
+	Result  match.Result
+	MatchTS float64
+}
+
+// errorMsg aborts a program when its rep detects a violation.
+type errorMsg struct {
+	Text string
+}
+
+// dataMsg header layout (binary, little-endian), followed by raw float64s:
+//
+//	reqID   int64
+//	matchTS float64
+//	r0,c0,r1,c1 int64 (the global sub-rectangle)
+const dataHeaderSize = 8 * 6
+
+// encodeData builds a KindData payload from a packed sub-rectangle.
+func encodeData(reqID int, matchTS float64, sub decomp.Rect, vals []float64) []byte {
+	buf := make([]byte, 0, dataHeaderSize+wire.Float64sSize(len(vals)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(reqID)))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(matchTS))
+	for _, v := range []int{sub.R0, sub.C0, sub.R1, sub.C1} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v)))
+	}
+	return wire.AppendFloat64s(buf, vals)
+}
+
+// decodeData parses a KindData payload.
+func decodeData(b []byte) (reqID int, matchTS float64, sub decomp.Rect, vals []float64, err error) {
+	if len(b) < dataHeaderSize {
+		return 0, 0, decomp.Rect{}, nil, fmt.Errorf("core: data message of %d bytes", len(b))
+	}
+	reqID = int(int64(binary.LittleEndian.Uint64(b)))
+	matchTS = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	sub = decomp.NewRect(
+		int(int64(binary.LittleEndian.Uint64(b[16:]))),
+		int(int64(binary.LittleEndian.Uint64(b[24:]))),
+		int(int64(binary.LittleEndian.Uint64(b[32:]))),
+		int(int64(binary.LittleEndian.Uint64(b[40:]))),
+	)
+	vals, err = wire.DecodeFloat64s(b[dataHeaderSize:])
+	if err != nil {
+		return 0, 0, decomp.Rect{}, nil, err
+	}
+	if len(vals) != sub.Area() {
+		return 0, 0, decomp.Rect{}, nil,
+			fmt.Errorf("core: data message carries %d values for %v (%d cells)", len(vals), sub, sub.Area())
+	}
+	return reqID, matchTS, sub, vals, nil
+}

@@ -1,0 +1,717 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/collective"
+	"repro/internal/config"
+	"repro/internal/decomp"
+	"repro/internal/match"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Process is one rank of a parallel program. Its Export and Import methods
+// are the framework's collective operations: every process of the program
+// must call them in the same order with the same timestamps (Property 1),
+// though not at the same time.
+type Process struct {
+	prog *Program
+	rank int
+	d    *transport.Dispatcher
+	comm *collective.Comm
+	log  *trace.Log
+
+	// mu serializes access to the buffer managers (application Export calls
+	// versus the control loop's forwarded requests and buddy-help messages).
+	mu   sync.Mutex
+	exps map[string]*exportRegion
+	imps map[string]*importState
+
+	expConnByKey map[string]*exportConn
+	impByKey     map[string]*importState
+
+	expectedLayouts int
+	layoutsSeen     map[string]bool
+	ready           chan struct{}
+	abort           chan struct{}
+	abortOnce       sync.Once
+}
+
+// exportRegion groups the per-connection export pipelines of one region.
+type exportRegion struct {
+	def   regionDef
+	block decomp.Rect
+	conns []*exportConn
+	// store shares one physical snapshot per timestamp across the region's
+	// connections when it is fanned out to several importers (one memcpy per
+	// export, however many connections buffer it). nil for single-connection
+	// regions, which use the manager's own recycling copy path.
+	store *versionStore
+}
+
+// versionStore is the refcounted shared-snapshot table of a fanned-out
+// export region. It is driven only under the owning process's mu.
+type versionStore struct {
+	versions map[float64]*sharedVersion
+}
+
+type sharedVersion struct {
+	data []float64
+	refs int
+}
+
+func newVersionStore() *versionStore {
+	return &versionStore{versions: make(map[float64]*sharedVersion)}
+}
+
+// snapshot returns the shared copy for ts, creating it on first use.
+func (vs *versionStore) snapshot(ts float64, data []float64) []float64 {
+	if v, ok := vs.versions[ts]; ok {
+		v.refs++
+		return v.data
+	}
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	vs.versions[ts] = &sharedVersion{data: buf, refs: 1}
+	return buf
+}
+
+// release drops one reference; the version is forgotten when the last
+// manager frees it (the data itself may still be aliased by an in-flight
+// transfer, so it is left to the garbage collector, never recycled).
+func (vs *versionStore) release(ts float64) {
+	v, ok := vs.versions[ts]
+	if !ok {
+		return
+	}
+	v.refs--
+	if v.refs <= 0 {
+		delete(vs.versions, ts)
+	}
+}
+
+// live returns the number of distinct shared versions currently held.
+func (vs *versionStore) live() int { return len(vs.versions) }
+
+// exportConn is one connection's export pipeline on this process.
+type exportConn struct {
+	cc       config.Connection
+	key      string
+	mgr      *buffer.Manager
+	block    decomp.Rect
+	outgoing []decomp.Transfer // this rank's sends of the redistribution plan
+}
+
+// importState is one imported region's receive machinery on this process.
+type importState struct {
+	cc       config.Connection
+	key      string
+	block    decomp.Rect
+	incoming []decomp.Transfer
+	answers  chan answerMsg
+	nextCall int
+
+	pmu    sync.Mutex
+	pieces map[int][]piece
+	signal chan struct{}
+}
+
+type piece struct {
+	matchTS float64
+	sub     decomp.Rect
+	vals    []float64
+}
+
+func (st *importState) addPiece(reqID int, p piece) {
+	st.pmu.Lock()
+	if st.pieces == nil {
+		st.pieces = make(map[int][]piece)
+	}
+	st.pieces[reqID] = append(st.pieces[reqID], p)
+	st.pmu.Unlock()
+	select {
+	case st.signal <- struct{}{}:
+	default:
+	}
+}
+
+func newProcess(p *Program, rank int, d *transport.Dispatcher) (*Process, error) {
+	comm, err := collective.New(d, p.name, rank, p.n)
+	if err != nil {
+		return nil, err
+	}
+	proc := &Process{
+		prog:         p,
+		rank:         rank,
+		d:            d,
+		comm:         comm,
+		exps:         make(map[string]*exportRegion),
+		imps:         make(map[string]*importState),
+		expConnByKey: make(map[string]*exportConn),
+		impByKey:     make(map[string]*importState),
+		layoutsSeen:  make(map[string]bool),
+		ready:        make(chan struct{}),
+		abort:        make(chan struct{}),
+	}
+	if p.fw.opts.Trace {
+		proc.log = trace.NewLog()
+	}
+	comm.SetTimeout(p.fw.opts.Timeout)
+	return proc, nil
+}
+
+func (p *Process) addr() transport.Addr { return transport.Proc(p.prog.name, p.rank) }
+
+// Rank returns this process's rank within its program.
+func (p *Process) Rank() int { return p.rank }
+
+// Comm returns the process's intra-program collective communicator (used by
+// application code for halo exchange, reductions, barriers, ...).
+func (p *Process) Comm() *collective.Comm { return p.comm }
+
+// Trace returns the process's event log (nil unless Options.Trace).
+func (p *Process) Trace() *trace.Log { return p.log }
+
+// Block returns this process's global sub-rectangle of a defined region.
+func (p *Process) Block(region string) (decomp.Rect, error) {
+	def, ok := p.prog.regions[region]
+	if !ok {
+		return decomp.Rect{}, fmt.Errorf("core: %s: undefined region %q", p.addr(), region)
+	}
+	return def.layout.Block(p.rank), nil
+}
+
+// ExportStats returns the buffer statistics per connection (keyed by the
+// import endpoint, e.g. "U.f") for an exported region.
+func (p *Process) ExportStats(region string) (map[string]buffer.Stats, error) {
+	st, ok := p.exps[region]
+	if !ok {
+		return nil, fmt.Errorf("core: %s: region %q has no export state", p.addr(), region)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]buffer.Stats, len(st.conns))
+	for _, c := range st.conns {
+		out[c.cc.Import.String()] = c.mgr.Stats()
+	}
+	return out, nil
+}
+
+// BufferedBytes sums the live buffered bytes across an exported region's
+// connections.
+func (p *Process) BufferedBytes(region string) (int64, error) {
+	st, ok := p.exps[region]
+	if !ok {
+		return 0, fmt.Errorf("core: %s: region %q has no export state", p.addr(), region)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int64
+	for _, c := range st.conns {
+		total += c.mgr.BufferedBytes()
+	}
+	return total, nil
+}
+
+// start builds the per-connection state (pipelines whose layouts arrive via
+// the rep during the Start handshake) and launches the control loop.
+func (p *Process) start() {
+	fw := p.prog.fw
+	// First pass: group exporting connections by region so fanned-out
+	// regions can share snapshots.
+	expConns := make(map[string][]config.Connection)
+	for _, conn := range fw.cfg.Connections {
+		if conn.Export.Program == p.prog.name {
+			expConns[conn.Export.Region] = append(expConns[conn.Export.Region], conn)
+		}
+	}
+	for region, conns := range expConns {
+		def := p.prog.regions[region]
+		reg := &exportRegion{def: def, block: def.layout.Block(p.rank)}
+		if len(conns) > 1 {
+			reg.store = newVersionStore()
+		}
+		p.exps[region] = reg
+		for _, conn := range conns {
+			p.expectedLayouts++
+			mcfg := buffer.Config{
+				Policy:   conn.Policy,
+				Tol:      conn.Tolerance,
+				Log:      p.log,
+				MaxBytes: fw.opts.BufferMaxBytes,
+			}
+			if reg.store != nil {
+				mcfg.Snapshot = reg.store.snapshot
+				mcfg.Release = reg.store.release
+			}
+			mgr, err := buffer.NewManager(mcfg)
+			if err != nil {
+				p.prog.fail(err)
+				return
+			}
+			key := connKey(conn.Export.String(), conn.Import.String())
+			ec := &exportConn{cc: conn, key: key, mgr: mgr, block: reg.block}
+			reg.conns = append(reg.conns, ec)
+			p.expConnByKey[key] = ec
+		}
+	}
+	for _, conn := range fw.cfg.Connections {
+		key := connKey(conn.Export.String(), conn.Import.String())
+		if conn.Import.Program == p.prog.name {
+			p.expectedLayouts++
+			def := p.prog.regions[conn.Import.Region]
+			st := &importState{
+				cc:      conn,
+				key:     key,
+				block:   def.layout.Block(p.rank),
+				answers: make(chan answerMsg, 4096),
+				signal:  make(chan struct{}, 1),
+			}
+			p.imps[conn.Import.Region] = st
+			p.impByKey[key] = st
+		}
+	}
+	// Exported regions with no connections still deserve state so Export on
+	// them takes the documented low-overhead path.
+	if p.expectedLayouts == 0 {
+		close(p.ready)
+	}
+	go p.ctlLoop()
+}
+
+// waitReady blocks until the layout handshake completed for this process.
+func (p *Process) waitReady(d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-p.ready:
+		return nil
+	case <-p.abort:
+		if err := p.prog.err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("aborted during layout handshake")
+	case <-t.C:
+		return fmt.Errorf("layout handshake timed out")
+	}
+}
+
+func (p *Process) abortWith(err error) {
+	p.abortOnce.Do(func() { close(p.abort) })
+}
+
+func (p *Process) checkAbort() error {
+	select {
+	case <-p.abort:
+		if err := p.prog.err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("core: %s aborted", p.addr())
+	default:
+		return nil
+	}
+}
+
+func (p *Process) closeProc() {
+	p.abortWith(nil)
+	p.d.Close()
+}
+
+// ctlLoop is the process's framework-control goroutine: it applies forwarded
+// requests, buddy-help messages and layout announcements to the export
+// pipelines, and routes import answers and data pieces to waiting Import
+// calls.
+func (p *Process) ctlLoop() {
+	ctl := p.d.Chan(transport.KindControl)
+	data := p.d.Chan(transport.KindData)
+	for {
+		select {
+		case m, ok := <-ctl:
+			if !ok {
+				return
+			}
+			p.handleControl(m)
+		case m, ok := <-data:
+			if !ok {
+				return
+			}
+			p.handleData(m)
+		}
+	}
+}
+
+func (p *Process) handleControl(m transport.Message) {
+	switch m.Tag {
+	case "layout":
+		var lm layoutMsg
+		if err := wire.Unmarshal(m.Payload, &lm); err != nil {
+			p.prog.fail(err)
+			return
+		}
+		p.handleLayout(lm)
+	case "forward":
+		var rm requestMsg
+		if err := wire.Unmarshal(m.Payload, &rm); err != nil {
+			p.prog.fail(err)
+			return
+		}
+		p.handleForward(rm)
+	case "buddy":
+		var am answerMsg
+		if err := wire.Unmarshal(m.Payload, &am); err != nil {
+			p.prog.fail(err)
+			return
+		}
+		p.handleBuddy(am)
+	case "answer":
+		var am answerMsg
+		if err := wire.Unmarshal(m.Payload, &am); err != nil {
+			p.prog.fail(err)
+			return
+		}
+		st, ok := p.impByKey[am.Conn]
+		if !ok {
+			p.prog.fail(fmt.Errorf("core: %s: answer for unknown connection %q", p.addr(), am.Conn))
+			return
+		}
+		st.answers <- am
+	default:
+		p.prog.fail(fmt.Errorf("core: %s: unknown control tag %q", p.addr(), m.Tag))
+	}
+}
+
+// handleLayout finishes wiring one connection once the peer layout is known:
+// it computes the redistribution plan and this rank's share of it. Repeated
+// announcements (the distributed-mode handshake re-sends until the peer is
+// up) are ignored.
+func (p *Process) handleLayout(lm layoutMsg) {
+	if p.layoutsSeen[lm.Conn] {
+		return
+	}
+	remote, err := lm.Remote.Build()
+	if err != nil {
+		p.prog.fail(err)
+		return
+	}
+	if ec, ok := p.expConnByKey[lm.Conn]; ok {
+		local := p.prog.regions[ec.cc.Export.Region].layout
+		plan, err := decomp.Schedule(local, remote, coupledWindow(ec.cc, local))
+		if err != nil {
+			p.prog.fail(err)
+			return
+		}
+		ec.outgoing = decomp.Outgoing(plan, p.rank)
+	}
+	if st, ok := p.impByKey[lm.Conn]; ok {
+		local := p.prog.regions[st.cc.Import.Region].layout
+		plan, err := decomp.Schedule(remote, local, coupledWindow(st.cc, local))
+		if err != nil {
+			p.prog.fail(err)
+			return
+		}
+		st.incoming = decomp.Incoming(plan, p.rank)
+	}
+	p.layoutsSeen[lm.Conn] = true
+	if len(p.layoutsSeen) == p.expectedLayouts {
+		close(p.ready)
+	}
+}
+
+// handleForward applies a forwarded import request to the connection's
+// pipeline and replies to the rep (the paper's step (1)-(2) in Section 4).
+func (p *Process) handleForward(rm requestMsg) {
+	ec, ok := p.expConnByKey[rm.Conn]
+	if !ok {
+		p.prog.fail(fmt.Errorf("core: %s: forwarded request for unknown connection %q", p.addr(), rm.Conn))
+		return
+	}
+	p.mu.Lock()
+	rr, err := ec.mgr.OnRequest(rm.ReqTS)
+	p.mu.Unlock()
+	if err != nil {
+		p.prog.fail(err)
+		return
+	}
+	if rr.ReqIndex != rm.ReqID {
+		p.prog.fail(fmt.Errorf("core: %s: request id drift: local %d, rep %d", p.addr(), rr.ReqIndex, rm.ReqID))
+		return
+	}
+	p.sendResponse(ec, rm.ReqID, rm.ReqTS, rr.Decision.Result, rr.Decision.MatchTS, rr.Decision.Latest)
+	p.sendMatches(ec, rr.Sends)
+}
+
+// handleBuddy applies a buddy-help message: the collective answer for a
+// request this process reported PENDING.
+func (p *Process) handleBuddy(am answerMsg) {
+	ec, ok := p.expConnByKey[am.Conn]
+	if !ok {
+		p.prog.fail(fmt.Errorf("core: %s: buddy-help for unknown connection %q", p.addr(), am.Conn))
+		return
+	}
+	p.mu.Lock()
+	sends, err := ec.mgr.OnFinal(am.ReqID, am.Result, am.MatchTS)
+	p.mu.Unlock()
+	if err != nil {
+		p.prog.fail(err)
+		return
+	}
+	p.sendMatches(ec, sends)
+}
+
+func (p *Process) handleData(m transport.Message) {
+	st, ok := p.impByKey[m.Tag]
+	if !ok {
+		p.prog.fail(fmt.Errorf("core: %s: data for unknown connection %q", p.addr(), m.Tag))
+		return
+	}
+	reqID, matchTS, sub, vals, err := decodeData(m.Payload)
+	if err != nil {
+		p.prog.fail(err)
+		return
+	}
+	st.addPiece(reqID, piece{matchTS: matchTS, sub: sub, vals: vals})
+}
+
+// sendResponse reports one (possibly updated) matching decision to the rep.
+func (p *Process) sendResponse(ec *exportConn, reqID int, reqTS float64, result match.Result, matchTS, latest float64) {
+	msg := responseMsg{
+		Conn: ec.key, ReqID: reqID, ReqTS: reqTS, Rank: p.rank,
+		Result: result, MatchTS: matchTS, Latest: latest,
+	}
+	err := p.d.Send(transport.Message{
+		Kind:    transport.KindResponse,
+		Dst:     transport.Rep(p.prog.name),
+		Tag:     ec.key,
+		Payload: wire.MustMarshal(msg),
+	})
+	if err != nil {
+		p.prog.fail(err)
+	}
+}
+
+// sendMatches transfers matched data objects to the importer processes along
+// this rank's share of the redistribution plan.
+func (p *Process) sendMatches(ec *exportConn, sends []buffer.SendItem) {
+	for _, s := range sends {
+		g := decomp.Grid{Block: ec.block, Data: s.Data}
+		for _, tr := range ec.outgoing {
+			vals, err := g.Pack(tr.Sub)
+			if err != nil {
+				p.prog.fail(err)
+				return
+			}
+			p.prog.proto.data.Add(1)
+			err = p.d.Send(transport.Message{
+				Kind:    transport.KindData,
+				Dst:     transport.Proc(ec.cc.Import.Program, tr.To),
+				Tag:     ec.key,
+				Payload: encodeData(s.ReqIndex, s.MatchTS, tr.Sub, vals),
+			})
+			if err != nil {
+				p.prog.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// Export is the collective export operation: it offers a new version of the
+// region's distributed data (this process's local block, with simulation
+// timestamp ts) to every connection of the region. The framework copies the
+// data only when the buffering rules require it; the copy cost is what the
+// paper's benchmark measures.
+func (p *Process) Export(region string, ts float64, data []float64) error {
+	if err := p.checkAbort(); err != nil {
+		return err
+	}
+	def, ok := p.prog.regions[region]
+	if !ok {
+		return fmt.Errorf("core: %s: export of undefined region %q", p.addr(), region)
+	}
+	st, connected := p.exps[region]
+	if !connected {
+		// Low-overhead path: the connection specification has no entries for
+		// this exported region, so nothing is ever buffered or transferred.
+		if want := def.layout.Block(p.rank).Area(); len(data) != want {
+			return fmt.Errorf("core: %s: export %q with %d values, block has %d", p.addr(), region, len(data), want)
+		}
+		return nil
+	}
+	if want := st.block.Area(); len(data) != want {
+		return fmt.Errorf("core: %s: export %q with %d values, block has %d", p.addr(), region, len(data), want)
+	}
+
+	type outcome struct {
+		ec  *exportConn
+		res buffer.OfferResult
+	}
+	outs := make([]outcome, 0, len(st.conns))
+	p.mu.Lock()
+	for _, ec := range st.conns {
+		res, err := ec.mgr.Offer(ts, data)
+		if err != nil {
+			p.mu.Unlock()
+			p.prog.fail(err)
+			return err
+		}
+		outs = append(outs, outcome{ec: ec, res: res})
+	}
+	p.mu.Unlock()
+
+	for _, o := range outs {
+		for _, r := range o.res.Resolutions {
+			p.sendResponse(o.ec, r.ReqIndex, r.ReqTS, r.Decision.Result, r.Decision.MatchTS, r.Decision.Latest)
+		}
+		p.sendMatches(o.ec, o.res.Sends)
+	}
+	return nil
+}
+
+// FinishRegion is the collective end-of-stream declaration for an exported
+// region: this process will export no further versions. Pending import
+// requests resolve immediately (MATCH on the best buffered candidate, or NO
+// MATCH), and later requests resolve against the buffered versions — so an
+// importer that outlives the exporter gets answers instead of waiting
+// forever. Like Export, it must be called by every process of the program
+// (Property 1). Exporting the region after FinishRegion is an error.
+func (p *Process) FinishRegion(region string) error {
+	if err := p.checkAbort(); err != nil {
+		return err
+	}
+	if _, ok := p.prog.regions[region]; !ok {
+		return fmt.Errorf("core: %s: finish of undefined region %q", p.addr(), region)
+	}
+	st, connected := p.exps[region]
+	if !connected {
+		return nil // low-overhead path: nothing to resolve
+	}
+	type outcome struct {
+		ec          *exportConn
+		resolutions []buffer.Resolution
+		sends       []buffer.SendItem
+	}
+	outs := make([]outcome, 0, len(st.conns))
+	p.mu.Lock()
+	for _, ec := range st.conns {
+		res, sends, err := ec.mgr.Finish()
+		if err != nil {
+			p.mu.Unlock()
+			return err
+		}
+		outs = append(outs, outcome{ec: ec, resolutions: res, sends: sends})
+	}
+	p.mu.Unlock()
+	for _, o := range outs {
+		for _, r := range o.resolutions {
+			p.sendResponse(o.ec, r.ReqIndex, r.ReqTS, r.Decision.Result, r.Decision.MatchTS, r.Decision.Latest)
+		}
+		p.sendMatches(o.ec, o.sends)
+	}
+	return nil
+}
+
+// ImportResult reports the outcome of an Import call.
+type ImportResult struct {
+	// Matched is false when the collective answer was NO MATCH; dst is then
+	// untouched.
+	Matched bool
+	// MatchTS is the matched export timestamp when Matched.
+	MatchTS float64
+}
+
+// Import is the collective import operation: it requests the region's data
+// at timestamp ts and, on a match, fills dst (this process's local block)
+// with the matched version.
+func (p *Process) Import(region string, ts float64, dst []float64) (ImportResult, error) {
+	if err := p.checkAbort(); err != nil {
+		return ImportResult{}, err
+	}
+	st, ok := p.imps[region]
+	if !ok {
+		return ImportResult{}, fmt.Errorf("core: %s: import of unconnected region %q (no connection in the coupling configuration)", p.addr(), region)
+	}
+	if want := st.block.Area(); len(dst) != want {
+		return ImportResult{}, fmt.Errorf("core: %s: import %q into %d values, block has %d", p.addr(), region, len(dst), want)
+	}
+	reqID := st.nextCall
+	st.nextCall++
+
+	err := p.d.Send(transport.Message{
+		Kind:    transport.KindImportCall,
+		Dst:     transport.Rep(p.prog.name),
+		Tag:     region,
+		Payload: wire.MustMarshal(importCallMsg{Region: region, ReqTS: ts}),
+	})
+	if err != nil {
+		return ImportResult{}, err
+	}
+
+	timeout := p.prog.fw.opts.Timeout
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	var ans answerMsg
+	select {
+	case ans = <-st.answers:
+	case <-p.abort:
+		return ImportResult{}, p.abortErr()
+	case <-timer.C:
+		return ImportResult{}, fmt.Errorf("core: %s: import %q@%g timed out waiting for answer", p.addr(), region, ts)
+	}
+	if ans.ReqID != reqID || ans.ReqTS != ts {
+		err := fmt.Errorf("core: %s: answer mismatch: got req %d@%g, want %d@%g (collective import order violated?)",
+			p.addr(), ans.ReqID, ans.ReqTS, reqID, ts)
+		p.prog.fail(err)
+		return ImportResult{}, err
+	}
+	if ans.Result != match.Match {
+		return ImportResult{Matched: false}, nil
+	}
+
+	// Collect this rank's pieces of the matched distributed object.
+	need := len(st.incoming)
+	g := decomp.Grid{Block: st.block, Data: dst}
+	got := 0
+	for got < need {
+		st.pmu.Lock()
+		ps := st.pieces[reqID]
+		delete(st.pieces, reqID)
+		st.pmu.Unlock()
+		for _, pc := range ps {
+			if pc.matchTS != ans.MatchTS {
+				err := fmt.Errorf("core: %s: piece for req %d has timestamp %g, answer said %g",
+					p.addr(), reqID, pc.matchTS, ans.MatchTS)
+				p.prog.fail(err)
+				return ImportResult{}, err
+			}
+			if err := g.Unpack(pc.sub, pc.vals); err != nil {
+				p.prog.fail(err)
+				return ImportResult{}, err
+			}
+			got++
+		}
+		if got >= need {
+			break
+		}
+		select {
+		case <-st.signal:
+		case <-p.abort:
+			return ImportResult{}, p.abortErr()
+		case <-timer.C:
+			return ImportResult{}, fmt.Errorf("core: %s: import %q@%g timed out with %d of %d pieces",
+				p.addr(), region, ts, got, need)
+		}
+	}
+	return ImportResult{Matched: true, MatchTS: ans.MatchTS}, nil
+}
+
+func (p *Process) abortErr() error {
+	if err := p.prog.err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("core: %s aborted", p.addr())
+}

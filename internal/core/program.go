@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/config"
+	"repro/internal/decomp"
+	"repro/internal/transport"
+)
+
+// regionDef is a program-level region definition: the distributed layout of
+// one named 2-D array the program exports or imports.
+type regionDef struct {
+	name   string
+	layout decomp.Layout
+}
+
+// Program is one parallel simulation component: n processes plus a
+// representative.
+type Program struct {
+	fw   *Framework
+	name string
+	n    int
+
+	regions map[string]regionDef
+	rep     *repRunner
+	procs   []*Process
+	proto   protoCounters
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+func newProgram(f *Framework, pc config.Program) (*Program, error) {
+	p := &Program{
+		fw:      f,
+		name:    pc.Name,
+		n:       pc.Procs,
+		regions: make(map[string]regionDef),
+	}
+	repEP, err := f.net.Register(transport.Rep(pc.Name))
+	if err != nil {
+		return nil, fmt.Errorf("core: register rep of %s: %w", pc.Name, err)
+	}
+	p.rep = newRepRunner(p, transport.NewDispatcher(repEP))
+	for r := 0; r < pc.Procs; r++ {
+		ep, err := f.net.Register(transport.Proc(pc.Name, r))
+		if err != nil {
+			return nil, fmt.Errorf("core: register %s: %w", transport.Proc(pc.Name, r), err)
+		}
+		proc, err := newProcess(p, r, transport.NewDispatcher(ep))
+		if err != nil {
+			return nil, err
+		}
+		p.procs = append(p.procs, proc)
+	}
+	return p, nil
+}
+
+// Name returns the program name.
+func (p *Program) Name() string { return p.name }
+
+// Procs returns the number of processes.
+func (p *Program) Procs() int { return p.n }
+
+// Process returns the rank-th process.
+func (p *Program) Process(rank int) *Process { return p.procs[rank] }
+
+// DefineRegion declares a distributed region before Start. All processes of
+// the program share the definition (it is a collective property).
+func (p *Program) DefineRegion(name string, layout decomp.Layout) error {
+	if name == "" {
+		return fmt.Errorf("core: empty region name in program %s", p.name)
+	}
+	if _, dup := p.regions[name]; dup {
+		return fmt.Errorf("core: program %s defined region %q twice", p.name, name)
+	}
+	if layout.Procs() != p.n {
+		return fmt.Errorf("core: region %s.%s layout is for %d processes, program has %d",
+			p.name, name, layout.Procs(), p.n)
+	}
+	p.regions[name] = regionDef{name: name, layout: layout}
+	return nil
+}
+
+// start launches the rep loop and process control loops.
+func (p *Program) start() {
+	p.rep.start()
+	for _, proc := range p.procs {
+		proc.start()
+	}
+}
+
+// fail records the program's first error and aborts its processes.
+func (p *Program) fail(err error) {
+	if err == nil {
+		return
+	}
+	p.errMu.Lock()
+	first := p.firstErr == nil
+	if first {
+		p.firstErr = err
+	}
+	p.errMu.Unlock()
+	if first {
+		for _, proc := range p.procs {
+			proc.abortWith(err)
+		}
+	}
+}
+
+// ExportTotals aggregates the buffer statistics of an exported region across
+// all processes and connections of the program (counts and times summed;
+// per-request records omitted).
+func (p *Program) ExportTotals(region string) (buffer.Stats, error) {
+	var total buffer.Stats
+	for _, proc := range p.procs {
+		stats, err := proc.ExportStats(region)
+		if err != nil {
+			return buffer.Stats{}, err
+		}
+		for _, st := range stats {
+			total.Exports += st.Exports
+			total.Copies += st.Copies
+			total.Skips += st.Skips
+			total.Sends += st.Sends
+			total.Removes += st.Removes
+			total.UnnecessaryCopies += st.UnnecessaryCopies
+			total.BytesCopied += st.BytesCopied
+			total.CopyTime += st.CopyTime
+			total.UnnecessaryTime += st.UnnecessaryTime
+		}
+	}
+	return total, nil
+}
+
+// err returns the program's first recorded error.
+func (p *Program) err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.firstErr
+}
+
+func (p *Program) close() {
+	p.rep.close()
+	for _, proc := range p.procs {
+		proc.closeProc()
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import "sync/atomic"
+
+// ProtocolStats counts the control-plane and data-plane messages a program
+// exchanged, quantifying the paper's description of the rep as a
+// "low-overhead control gateway": per import request the control cost is one
+// request, n forwards, >= n responses, one answer (plus its fan-out) and at
+// most n-1 buddy-help messages, independent of the data volume.
+type ProtocolStats struct {
+	// ImportCalls counts collective import calls received by the rep from
+	// its own processes (importer side).
+	ImportCalls uint64
+	// RequestsForwarded counts requests fanned out to the program's
+	// processes (exporter side).
+	RequestsForwarded uint64
+	// Responses counts matching responses received from the program's
+	// processes (exporter side; includes PENDING updates).
+	Responses uint64
+	// AnswersSent counts final answers sent to importing reps (exporter
+	// side); AnswersDelivered counts answers fanned out to the program's own
+	// processes (importer side).
+	AnswersSent, AnswersDelivered uint64
+	// BuddyMessages counts buddy-help messages sent to this program's
+	// processes (exporter side; zero when the optimization is off).
+	BuddyMessages uint64
+	// DataMessages counts matched-data pieces sent by this program's
+	// processes.
+	DataMessages uint64
+}
+
+// protoCounters is the internal atomic mirror of ProtocolStats.
+type protoCounters struct {
+	importCalls, requestsForwarded, responses  atomic.Uint64
+	answersSent, answersDelivered, buddy, data atomic.Uint64
+}
+
+func (c *protoCounters) snapshot() ProtocolStats {
+	return ProtocolStats{
+		ImportCalls:       c.importCalls.Load(),
+		RequestsForwarded: c.requestsForwarded.Load(),
+		Responses:         c.responses.Load(),
+		AnswersSent:       c.answersSent.Load(),
+		AnswersDelivered:  c.answersDelivered.Load(),
+		BuddyMessages:     c.buddy.Load(),
+		DataMessages:      c.data.Load(),
+	}
+}
+
+// ProtocolStats returns a snapshot of the program's message counters.
+func (p *Program) ProtocolStats() ProtocolStats { return p.proto.snapshot() }

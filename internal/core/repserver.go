@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/decomp"
+	"repro/internal/match"
+	"repro/internal/rep"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// repRunner is a program's representative process: the low-overhead control
+// gateway of Section 4. On the exporting side it fans import requests out to
+// the program's processes, aggregates their responses (package rep), answers
+// the importing program's rep, and — with buddy-help enabled — relays the
+// final answer to its own still-PENDING processes. On the importing side it
+// serializes the program's collective import calls into one request stream
+// per connection and fans answers back out.
+type repRunner struct {
+	prog *Program
+	d    *transport.Dispatcher
+
+	// Exporter-side state, by connection key.
+	expConns map[string]config.Connection
+	aggs     map[string]map[int]*rep.Request
+
+	// Importer-side state.
+	impConns map[string]config.Connection // by connection key
+	impSeq   map[string]*importSeq        // by import region name
+
+	// layoutReplied records connections whose peer rep already got our
+	// layout as a reply (the mutual half of the distributed handshake).
+	layoutReplied map[string]bool
+}
+
+// importSeq tracks the collective import-call sequence of one region.
+type importSeq struct {
+	conn    config.Connection
+	key     string
+	seq     []float64
+	perRank []int
+}
+
+func newRepRunner(p *Program, d *transport.Dispatcher) *repRunner {
+	return &repRunner{
+		prog:          p,
+		d:             d,
+		expConns:      make(map[string]config.Connection),
+		aggs:          make(map[string]map[int]*rep.Request),
+		impConns:      make(map[string]config.Connection),
+		impSeq:        make(map[string]*importSeq),
+		layoutReplied: make(map[string]bool),
+	}
+}
+
+func (r *repRunner) start() {
+	for _, conn := range r.prog.fw.cfg.Connections {
+		key := connKey(conn.Export.String(), conn.Import.String())
+		if conn.Export.Program == r.prog.name {
+			r.expConns[key] = conn
+			r.aggs[key] = make(map[int]*rep.Request)
+		}
+		if conn.Import.Program == r.prog.name {
+			r.impConns[key] = conn
+			r.impSeq[conn.Import.Region] = &importSeq{
+				conn:    conn,
+				key:     key,
+				perRank: make([]int, r.prog.n),
+			}
+		}
+	}
+	go r.run()
+}
+
+func (r *repRunner) close() { r.d.Close() }
+
+// sendLayout ships a layout announcement to a peer rep (invoked by
+// Framework.Start on this rep's behalf).
+func (r *repRunner) sendLayout(dst transport.Addr, lm layoutMsg) error {
+	return r.d.Send(transport.Message{
+		Kind:    transport.KindLayout,
+		Dst:     dst,
+		Tag:     lm.Conn,
+		Payload: wire.MustMarshal(lm),
+	})
+}
+
+func (r *repRunner) run() {
+	calls := r.d.Chan(transport.KindImportCall)
+	resps := r.d.Chan(transport.KindResponse)
+	reqs := r.d.Chan(transport.KindRequest)
+	answers := r.d.Chan(transport.KindAnswer)
+	layouts := r.d.Chan(transport.KindLayout)
+	for {
+		select {
+		case m, ok := <-calls:
+			if !ok {
+				return
+			}
+			r.handleImportCall(m)
+		case m, ok := <-resps:
+			if !ok {
+				return
+			}
+			r.handleResponse(m)
+		case m, ok := <-reqs:
+			if !ok {
+				return
+			}
+			r.handleRequest(m)
+		case m, ok := <-answers:
+			if !ok {
+				return
+			}
+			r.handleAnswer(m)
+		case m, ok := <-layouts:
+			if !ok {
+				return
+			}
+			r.handleLayout(m)
+		}
+	}
+}
+
+// toProcs fans a control message out to every process of the program.
+func (r *repRunner) toProcs(tag string, payload []byte) {
+	for rank := 0; rank < r.prog.n; rank++ {
+		err := r.d.Send(transport.Message{
+			Kind:    transport.KindControl,
+			Dst:     transport.Proc(r.prog.name, rank),
+			Tag:     tag,
+			Payload: payload,
+		})
+		if err != nil {
+			r.prog.fail(err)
+			return
+		}
+	}
+}
+
+// handleLayout forwards a peer rep's layout announcement to the processes
+// and, once per connection, replies with this side's layout. The reply makes
+// the handshake mutual: a peer that joined after our initial announcement
+// (distributed mode) still learns our layout, because receiving its
+// announcement proves it is reachable now.
+func (r *repRunner) handleLayout(m transport.Message) {
+	r.toProcs("layout", m.Payload)
+	var lm layoutMsg
+	if err := wire.Unmarshal(m.Payload, &lm); err != nil {
+		r.prog.fail(err)
+		return
+	}
+	if r.layoutReplied[lm.Conn] {
+		return
+	}
+	var conn config.Connection
+	var ourRegion, peerRegion, peerProgram string
+	if c, ok := r.expConns[lm.Conn]; ok {
+		conn, ourRegion, peerRegion, peerProgram = c, c.Export.Region, c.Import.Region, c.Import.Program
+	} else if c, ok := r.impConns[lm.Conn]; ok {
+		conn, ourRegion, peerRegion, peerProgram = c, c.Import.Region, c.Export.Region, c.Export.Program
+	} else {
+		r.prog.fail(fmt.Errorf("core: %s got layout for unknown connection %q", r.prog.name, lm.Conn))
+		return
+	}
+	_ = conn
+	def, ok := r.prog.regions[ourRegion]
+	if !ok {
+		r.prog.fail(fmt.Errorf("core: program %s never defined region %q named in the coupling configuration",
+			r.prog.name, ourRegion))
+		return
+	}
+	spec, err := decomp.SpecOf(def.layout)
+	if err != nil {
+		r.prog.fail(err)
+		return
+	}
+	r.layoutReplied[lm.Conn] = true
+	if err := r.sendLayout(transport.Rep(peerProgram), layoutMsg{
+		Conn: lm.Conn, Region: peerRegion, Remote: spec,
+	}); err != nil {
+		r.prog.fail(err)
+	}
+}
+
+// handleImportCall serializes the program's collective import calls: the
+// first process to request a new timestamp triggers the request to the
+// exporting program's rep; later processes are validated against the
+// sequence (Property 1 on the importer side).
+func (r *repRunner) handleImportCall(m transport.Message) {
+	var cm importCallMsg
+	if err := wire.Unmarshal(m.Payload, &cm); err != nil {
+		r.prog.fail(err)
+		return
+	}
+	r.prog.proto.importCalls.Add(1)
+	is, ok := r.impSeq[cm.Region]
+	if !ok {
+		r.prog.fail(fmt.Errorf("core: %s imports region %q, which no connection feeds", r.prog.name, cm.Region))
+		return
+	}
+	rank := m.Src.Rank
+	if rank < 0 || rank >= r.prog.n {
+		r.prog.fail(fmt.Errorf("core: import call from unexpected source %s", m.Src))
+		return
+	}
+	idx := is.perRank[rank]
+	if idx < len(is.seq) {
+		if is.seq[idx] != cm.ReqTS {
+			r.prog.fail(fmt.Errorf(
+				"core: Property 1 violation in importer %s: rank %d requested %s@%g as call #%d, others requested @%g",
+				r.prog.name, rank, cm.Region, cm.ReqTS, idx, is.seq[idx]))
+			return
+		}
+		is.perRank[rank]++
+		return
+	}
+	// First arrival of a new collective import: validate monotonicity and
+	// forward to the exporter's rep.
+	if len(is.seq) > 0 && cm.ReqTS <= is.seq[len(is.seq)-1] {
+		r.prog.fail(fmt.Errorf("core: importer %s: request timestamps must increase (%g after %g)",
+			r.prog.name, cm.ReqTS, is.seq[len(is.seq)-1]))
+		return
+	}
+	is.seq = append(is.seq, cm.ReqTS)
+	is.perRank[rank]++
+	reqID := len(is.seq) - 1
+	err := r.d.Send(transport.Message{
+		Kind:    transport.KindRequest,
+		Dst:     transport.Rep(is.conn.Export.Program),
+		Tag:     is.key,
+		Payload: wire.MustMarshal(requestMsg{Conn: is.key, ReqID: reqID, ReqTS: cm.ReqTS}),
+	})
+	if err != nil {
+		r.prog.fail(err)
+	}
+}
+
+// handleRequest (exporter side) registers an aggregator for the request and
+// forwards it to all processes — the rep's steps (1) of Section 4.
+func (r *repRunner) handleRequest(m transport.Message) {
+	var rm requestMsg
+	if err := wire.Unmarshal(m.Payload, &rm); err != nil {
+		r.prog.fail(err)
+		return
+	}
+	conns := r.aggs[rm.Conn]
+	if conns == nil {
+		r.prog.fail(fmt.Errorf("core: %s got request for unknown connection %q", r.prog.name, rm.Conn))
+		return
+	}
+	if _, dup := conns[rm.ReqID]; dup {
+		r.prog.fail(fmt.Errorf("core: %s got duplicate request %d on %q", r.prog.name, rm.ReqID, rm.Conn))
+		return
+	}
+	conns[rm.ReqID] = rep.NewRequest(rm.ReqTS, r.prog.n)
+	r.prog.proto.requestsForwarded.Add(uint64(r.prog.n))
+	r.toProcs("forward", m.Payload)
+}
+
+// handleResponse (exporter side) aggregates one process response; when the
+// final collective answer forms, it is sent to the importing program's rep
+// and — the buddy-help optimization — to the still-PENDING local processes.
+func (r *repRunner) handleResponse(m transport.Message) {
+	var sm responseMsg
+	if err := wire.Unmarshal(m.Payload, &sm); err != nil {
+		r.prog.fail(err)
+		return
+	}
+	conns := r.aggs[sm.Conn]
+	if conns == nil {
+		r.prog.fail(fmt.Errorf("core: %s got response for unknown connection %q", r.prog.name, sm.Conn))
+		return
+	}
+	agg, ok := conns[sm.ReqID]
+	if !ok {
+		r.prog.fail(fmt.Errorf("core: %s got response for unknown request %d on %q", r.prog.name, sm.ReqID, sm.Conn))
+		return
+	}
+	r.prog.proto.responses.Add(1)
+	ans, err := agg.Add(rep.Response{
+		Rank: sm.Rank, Result: sm.Result, MatchTS: sm.MatchTS, Latest: sm.Latest,
+	})
+	if err != nil {
+		r.prog.fail(err)
+		return
+	}
+	if ans == nil {
+		return
+	}
+	conn := r.expConns[sm.Conn]
+	final := answerMsg{
+		Conn: sm.Conn, ReqID: sm.ReqID, ReqTS: sm.ReqTS,
+		Result: ans.Result, MatchTS: ans.MatchTS,
+	}
+	payload := wire.MustMarshal(final)
+	r.prog.proto.answersSent.Add(1)
+	if err := r.d.Send(transport.Message{
+		Kind:    transport.KindAnswer,
+		Dst:     transport.Rep(conn.Import.Program),
+		Tag:     sm.Conn,
+		Payload: payload,
+	}); err != nil {
+		r.prog.fail(err)
+		return
+	}
+	if r.prog.fw.opts.BuddyHelp {
+		r.prog.proto.buddy.Add(uint64(len(ans.BuddyRanks)))
+		for _, rank := range ans.BuddyRanks {
+			if err := r.d.Send(transport.Message{
+				Kind:    transport.KindControl,
+				Dst:     transport.Proc(r.prog.name, rank),
+				Tag:     "buddy",
+				Payload: payload,
+			}); err != nil {
+				r.prog.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// handleAnswer (importer side) fans the exporter rep's final answer out to
+// the program's processes.
+func (r *repRunner) handleAnswer(m transport.Message) {
+	var am answerMsg
+	if err := wire.Unmarshal(m.Payload, &am); err != nil {
+		r.prog.fail(err)
+		return
+	}
+	conn, ok := r.impConns[am.Conn]
+	if !ok {
+		r.prog.fail(fmt.Errorf("core: %s got answer for unknown connection %q", r.prog.name, am.Conn))
+		return
+	}
+	am.Region = conn.Import.Region
+	r.prog.proto.answersDelivered.Add(uint64(r.prog.n))
+	if am.Result != match.Match && am.Result != match.NoMatch {
+		r.prog.fail(fmt.Errorf("core: %s got non-final answer %v", r.prog.name, am.Result))
+		return
+	}
+	r.toProcs("answer", wire.MustMarshal(am))
+}

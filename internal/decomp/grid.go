@@ -1,0 +1,88 @@
+package decomp
+
+import "fmt"
+
+// Grid is one process's local block of a distributed 2-D float64 array,
+// stored row-major, addressed by global coordinates.
+type Grid struct {
+	// Block is the global rectangle this grid holds.
+	Block Rect
+	// Data holds Block.Area() values, row-major.
+	Data []float64
+}
+
+// NewGrid allocates a zeroed grid covering block.
+func NewGrid(block Rect) *Grid {
+	return &Grid{Block: block, Data: make([]float64, block.Area())}
+}
+
+// NewGridFor allocates the grid for rank under layout l.
+func NewGridFor(l Layout, rank int) *Grid { return NewGrid(l.Block(rank)) }
+
+// index converts global coordinates to the flat offset; the caller must
+// ensure containment.
+func (g *Grid) index(row, col int) int {
+	return (row-g.Block.R0)*g.Block.Cols() + (col - g.Block.C0)
+}
+
+// At returns the value at global (row, col).
+func (g *Grid) At(row, col int) float64 { return g.Data[g.index(row, col)] }
+
+// Set stores v at global (row, col).
+func (g *Grid) Set(row, col int, v float64) { g.Data[g.index(row, col)] = v }
+
+// Fill sets every element from f(row, col) in global coordinates.
+func (g *Grid) Fill(f func(row, col int) float64) {
+	i := 0
+	for r := g.Block.R0; r < g.Block.R1; r++ {
+		for c := g.Block.C0; c < g.Block.C1; c++ {
+			g.Data[i] = f(r, c)
+			i++
+		}
+	}
+}
+
+// Clone returns a deep copy of the grid.
+func (g *Grid) Clone() *Grid {
+	out := &Grid{Block: g.Block, Data: make([]float64, len(g.Data))}
+	copy(out.Data, g.Data)
+	return out
+}
+
+// Pack copies the global sub-rectangle sub (which must lie inside the grid's
+// block) into a fresh contiguous row-major buffer.
+func (g *Grid) Pack(sub Rect) ([]float64, error) {
+	if !g.Block.ContainsRect(sub) {
+		return nil, fmt.Errorf("decomp: pack %v outside block %v", sub, g.Block)
+	}
+	out := make([]float64, sub.Area())
+	g.PackInto(sub, out)
+	return out, nil
+}
+
+// PackInto copies sub into dst, which must have sub.Area() elements; sub
+// must lie inside the grid's block.
+func (g *Grid) PackInto(sub Rect, dst []float64) {
+	w := sub.Cols()
+	for r := 0; r < sub.Rows(); r++ {
+		srcOff := g.index(sub.R0+r, sub.C0)
+		copy(dst[r*w:(r+1)*w], g.Data[srcOff:srcOff+w])
+	}
+}
+
+// Unpack copies a contiguous row-major buffer (as produced by Pack) into the
+// global sub-rectangle sub of this grid.
+func (g *Grid) Unpack(sub Rect, vals []float64) error {
+	if !g.Block.ContainsRect(sub) {
+		return fmt.Errorf("decomp: unpack %v outside block %v", sub, g.Block)
+	}
+	if len(vals) != sub.Area() {
+		return fmt.Errorf("decomp: unpack %v needs %d values, got %d", sub, sub.Area(), len(vals))
+	}
+	w := sub.Cols()
+	for r := 0; r < sub.Rows(); r++ {
+		dstOff := g.index(sub.R0+r, sub.C0)
+		copy(g.Data[dstOff:dstOff+w], vals[r*w:(r+1)*w])
+	}
+	return nil
+}

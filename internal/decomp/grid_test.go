@@ -1,0 +1,90 @@
+package decomp
+
+import (
+	"testing"
+)
+
+func TestGridAtSet(t *testing.T) {
+	g := NewGrid(NewRect(2, 3, 5, 7))
+	if len(g.Data) != 12 {
+		t.Fatalf("data len %d", len(g.Data))
+	}
+	g.Set(2, 3, 1.5)
+	g.Set(4, 6, -2)
+	if g.At(2, 3) != 1.5 || g.At(4, 6) != -2 {
+		t.Error("At/Set mismatch")
+	}
+	if g.Data[0] != 1.5 || g.Data[11] != -2 {
+		t.Error("row-major placement wrong")
+	}
+}
+
+func TestGridFill(t *testing.T) {
+	g := NewGrid(NewRect(1, 1, 3, 4))
+	g.Fill(func(r, c int) float64 { return float64(10*r + c) })
+	if g.At(1, 1) != 11 || g.At(2, 3) != 23 {
+		t.Errorf("fill produced %v", g.Data)
+	}
+}
+
+func TestGridClone(t *testing.T) {
+	g := NewGrid(NewRect(0, 0, 2, 2))
+	g.Set(0, 0, 7)
+	h := g.Clone()
+	h.Set(0, 0, 9)
+	if g.At(0, 0) != 7 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestGridPackUnpack(t *testing.T) {
+	g := NewGrid(NewRect(0, 0, 4, 4))
+	g.Fill(func(r, c int) float64 { return float64(r*4 + c) })
+	sub := NewRect(1, 1, 3, 4)
+	buf, err := g.Pack(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 6, 7, 9, 10, 11}
+	for i, v := range want {
+		if buf[i] != v {
+			t.Fatalf("pack = %v, want %v", buf, want)
+		}
+	}
+	h := NewGrid(NewRect(0, 0, 4, 4))
+	if err := h.Unpack(sub, buf); err != nil {
+		t.Fatal(err)
+	}
+	for r := sub.R0; r < sub.R1; r++ {
+		for c := sub.C0; c < sub.C1; c++ {
+			if h.At(r, c) != g.At(r, c) {
+				t.Fatalf("unpack (%d,%d) = %v", r, c, h.At(r, c))
+			}
+		}
+	}
+	// Outside the sub-rect must stay zero.
+	if h.At(0, 0) != 0 || h.At(3, 0) != 0 {
+		t.Error("unpack wrote outside sub-rectangle")
+	}
+}
+
+func TestGridPackErrors(t *testing.T) {
+	g := NewGrid(NewRect(0, 0, 4, 4))
+	if _, err := g.Pack(NewRect(0, 0, 5, 4)); err == nil {
+		t.Error("pack outside block accepted")
+	}
+	if err := g.Unpack(NewRect(0, 0, 5, 4), nil); err == nil {
+		t.Error("unpack outside block accepted")
+	}
+	if err := g.Unpack(NewRect(0, 0, 2, 2), make([]float64, 3)); err == nil {
+		t.Error("unpack with wrong value count accepted")
+	}
+}
+
+func TestNewGridFor(t *testing.T) {
+	l := mustLayout(NewRowBlock(8, 4, 2))
+	g := NewGridFor(l, 1)
+	if g.Block != l.Block(1) {
+		t.Errorf("grid block %v, want %v", g.Block, l.Block(1))
+	}
+}

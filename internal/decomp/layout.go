@@ -1,0 +1,152 @@
+package decomp
+
+import "fmt"
+
+// Layout describes how a rows x cols global 2-D array is partitioned among
+// the processes of one program. Blocks must tile the global rectangle
+// exactly: disjoint, and their union is the whole domain.
+type Layout interface {
+	// Shape returns the global array extent.
+	Shape() (rows, cols int)
+	// Procs returns the number of processes holding blocks.
+	Procs() int
+	// Block returns the global rectangle owned by rank.
+	Block(rank int) Rect
+	// Owner returns the rank owning global element (row, col).
+	Owner(row, col int) int
+}
+
+// Bounds returns the global rectangle of a layout.
+func Bounds(l Layout) Rect {
+	rows, cols := l.Shape()
+	return NewRect(0, 0, rows, cols)
+}
+
+// splitExtent partitions length n into p near-equal contiguous pieces and
+// returns the start offset of piece i (piece i spans [start(i), start(i+1))).
+// The first n%p pieces get one extra element, matching the usual HPC block
+// distribution.
+func splitStart(n, p, i int) int {
+	q, r := n/p, n%p
+	if i < r {
+		return i * (q + 1)
+	}
+	return r*(q+1) + (i-r)*q
+}
+
+// splitIndex returns which of the p pieces of an n-length extent holds x.
+func splitIndex(n, p, x int) int {
+	q, r := n/p, n%p
+	boundary := r * (q + 1)
+	if x < boundary {
+		return x / (q + 1)
+	}
+	if q == 0 {
+		return r - 1 // degenerate: more procs than elements; clamp
+	}
+	return r + (x-boundary)/q
+}
+
+// RowBlock partitions rows into contiguous near-equal bands, one per process
+// (the layout program U uses in the paper's benchmark).
+type RowBlock struct {
+	NRows, NCols int
+	P            int
+}
+
+// NewRowBlock returns a row-band layout of a rows x cols array over p
+// processes.
+func NewRowBlock(rows, cols, p int) (RowBlock, error) {
+	if rows <= 0 || cols <= 0 || p <= 0 {
+		return RowBlock{}, fmt.Errorf("decomp: invalid row-block %dx%d over %d", rows, cols, p)
+	}
+	if p > rows {
+		return RowBlock{}, fmt.Errorf("decomp: %d processes for %d rows", p, rows)
+	}
+	return RowBlock{NRows: rows, NCols: cols, P: p}, nil
+}
+
+// Shape implements Layout.
+func (l RowBlock) Shape() (int, int) { return l.NRows, l.NCols }
+
+// Procs implements Layout.
+func (l RowBlock) Procs() int { return l.P }
+
+// Block implements Layout.
+func (l RowBlock) Block(rank int) Rect {
+	return NewRect(splitStart(l.NRows, l.P, rank), 0, splitStart(l.NRows, l.P, rank+1), l.NCols)
+}
+
+// Owner implements Layout.
+func (l RowBlock) Owner(row, col int) int { return splitIndex(l.NRows, l.P, row) }
+
+// ColBlock partitions columns into contiguous near-equal bands.
+type ColBlock struct {
+	NRows, NCols int
+	P            int
+}
+
+// NewColBlock returns a column-band layout of a rows x cols array over p
+// processes.
+func NewColBlock(rows, cols, p int) (ColBlock, error) {
+	if rows <= 0 || cols <= 0 || p <= 0 {
+		return ColBlock{}, fmt.Errorf("decomp: invalid col-block %dx%d over %d", rows, cols, p)
+	}
+	if p > cols {
+		return ColBlock{}, fmt.Errorf("decomp: %d processes for %d cols", p, cols)
+	}
+	return ColBlock{NRows: rows, NCols: cols, P: p}, nil
+}
+
+// Shape implements Layout.
+func (l ColBlock) Shape() (int, int) { return l.NRows, l.NCols }
+
+// Procs implements Layout.
+func (l ColBlock) Procs() int { return l.P }
+
+// Block implements Layout.
+func (l ColBlock) Block(rank int) Rect {
+	return NewRect(0, splitStart(l.NCols, l.P, rank), l.NRows, splitStart(l.NCols, l.P, rank+1))
+}
+
+// Owner implements Layout.
+func (l ColBlock) Owner(row, col int) int { return splitIndex(l.NCols, l.P, col) }
+
+// Block2D partitions the array into a PR x PC grid of near-equal tiles; rank
+// r owns tile (r / PC, r % PC). Program F in the paper's benchmark uses a
+// 2x2 Block2D of the 1024x1024 array (512x512 per process).
+type Block2D struct {
+	NRows, NCols int
+	PR, PC       int
+}
+
+// NewBlock2D returns a pr x pc tile layout of a rows x cols array.
+func NewBlock2D(rows, cols, pr, pc int) (Block2D, error) {
+	if rows <= 0 || cols <= 0 || pr <= 0 || pc <= 0 {
+		return Block2D{}, fmt.Errorf("decomp: invalid 2d-block %dx%d over %dx%d", rows, cols, pr, pc)
+	}
+	if pr > rows || pc > cols {
+		return Block2D{}, fmt.Errorf("decomp: %dx%d process grid for %dx%d array", pr, pc, rows, cols)
+	}
+	return Block2D{NRows: rows, NCols: cols, PR: pr, PC: pc}, nil
+}
+
+// Shape implements Layout.
+func (l Block2D) Shape() (int, int) { return l.NRows, l.NCols }
+
+// Procs implements Layout.
+func (l Block2D) Procs() int { return l.PR * l.PC }
+
+// Block implements Layout.
+func (l Block2D) Block(rank int) Rect {
+	pr, pc := rank/l.PC, rank%l.PC
+	return NewRect(
+		splitStart(l.NRows, l.PR, pr), splitStart(l.NCols, l.PC, pc),
+		splitStart(l.NRows, l.PR, pr+1), splitStart(l.NCols, l.PC, pc+1),
+	)
+}
+
+// Owner implements Layout.
+func (l Block2D) Owner(row, col int) int {
+	return splitIndex(l.NRows, l.PR, row)*l.PC + splitIndex(l.NCols, l.PC, col)
+}

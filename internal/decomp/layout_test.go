@@ -1,0 +1,187 @@
+package decomp
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// checkTiling asserts the layout's blocks exactly tile the global domain:
+// disjoint, within bounds, covering every element, with Owner consistent.
+func checkTiling(t *testing.T, l Layout) {
+	t.Helper()
+	rows, cols := l.Shape()
+	seen := make([]int, rows*cols)
+	for i := range seen {
+		seen[i] = -1
+	}
+	total := 0
+	for p := 0; p < l.Procs(); p++ {
+		b := l.Block(p)
+		if !Bounds(l).ContainsRect(b) {
+			t.Fatalf("block %d = %v outside bounds %v", p, b, Bounds(l))
+		}
+		total += b.Area()
+		for r := b.R0; r < b.R1; r++ {
+			for c := b.C0; c < b.C1; c++ {
+				if prev := seen[r*cols+c]; prev != -1 {
+					t.Fatalf("element (%d,%d) owned by both %d and %d", r, c, prev, p)
+				}
+				seen[r*cols+c] = p
+				if o := l.Owner(r, c); o != p {
+					t.Fatalf("Owner(%d,%d) = %d, block says %d", r, c, o, p)
+				}
+			}
+		}
+	}
+	if total != rows*cols {
+		t.Fatalf("blocks cover %d of %d elements", total, rows*cols)
+	}
+}
+
+func TestRowBlockTiling(t *testing.T) {
+	for _, tc := range []struct{ rows, cols, p int }{
+		{8, 8, 1}, {8, 8, 2}, {8, 8, 3}, {10, 4, 7}, {5, 5, 5}, {1024, 1024, 32},
+	} {
+		l, err := NewRowBlock(tc.rows, tc.cols, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTiling(t, l)
+	}
+}
+
+func TestColBlockTiling(t *testing.T) {
+	for _, tc := range []struct{ rows, cols, p int }{
+		{8, 8, 2}, {4, 10, 7}, {5, 5, 5}, {3, 9, 3},
+	} {
+		l, err := NewColBlock(tc.rows, tc.cols, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTiling(t, l)
+	}
+}
+
+func TestBlock2DTiling(t *testing.T) {
+	for _, tc := range []struct{ rows, cols, pr, pc int }{
+		{8, 8, 2, 2}, {9, 7, 3, 2}, {16, 16, 4, 4}, {1024, 1024, 2, 2}, {5, 5, 1, 5},
+	} {
+		l, err := NewBlock2D(tc.rows, tc.cols, tc.pr, tc.pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTiling(t, l)
+	}
+}
+
+// Property-based tiling check over random shapes.
+func TestRowBlockTilingProperty(t *testing.T) {
+	f := func(rows, cols, p uint8) bool {
+		nr := int(rows%40) + 1
+		nc := int(cols%40) + 1
+		np := int(p%8) + 1
+		if np > nr {
+			np = nr
+		}
+		l, err := NewRowBlock(nr, nc, np)
+		if err != nil {
+			return false
+		}
+		area := 0
+		for i := 0; i < np; i++ {
+			area += l.Block(i).Area()
+		}
+		return area == nr*nc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	if _, err := NewRowBlock(0, 4, 1); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := NewRowBlock(4, 4, 5); err == nil {
+		t.Error("more procs than rows accepted")
+	}
+	if _, err := NewColBlock(4, 4, 5); err == nil {
+		t.Error("more procs than cols accepted")
+	}
+	if _, err := NewBlock2D(4, 4, 0, 2); err == nil {
+		t.Error("zero grid dim accepted")
+	}
+	if _, err := NewBlock2D(4, 4, 5, 1); err == nil {
+		t.Error("grid larger than rows accepted")
+	}
+}
+
+func TestPaperBenchmarkLayouts(t *testing.T) {
+	// Program F: 1024x1024 over a 2x2 grid -> 512x512 per process.
+	f, err := NewBlock2D(1024, 1024, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		b := f.Block(p)
+		if b.Rows() != 512 || b.Cols() != 512 {
+			t.Errorf("F block %d = %v, want 512x512", p, b)
+		}
+	}
+	// Program U: 1024x1024 over 4/8/16/32 row bands.
+	for _, n := range []int{4, 8, 16, 32} {
+		u, err := NewRowBlock(1024, 1024, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := u.Block(0)
+		if b.Rows() != 1024/n || b.Cols() != 1024 {
+			t.Errorf("U(%d) block 0 = %v", n, b)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	layouts := []Layout{
+		mustLayout(NewRowBlock(10, 6, 3)),
+		mustLayout(NewColBlock(10, 6, 2)),
+		mustLayout(NewBlock2D(10, 6, 2, 3)),
+	}
+	for _, l := range layouts {
+		spec, err := SpecOf(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%#v", back) != fmt.Sprintf("%#v", l) {
+			t.Errorf("round trip: %#v -> %#v", l, back)
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	if _, err := (Spec{Kind: "bogus"}).Build(); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if _, err := SpecOf(fakeLayout{}); err == nil {
+		t.Error("unknown layout type accepted")
+	}
+}
+
+type fakeLayout struct{}
+
+func (fakeLayout) Shape() (int, int)  { return 1, 1 }
+func (fakeLayout) Procs() int         { return 1 }
+func (fakeLayout) Block(int) Rect     { return NewRect(0, 0, 1, 1) }
+func (fakeLayout) Owner(int, int) int { return 0 }
+
+func mustLayout[L Layout](l L, err error) Layout {
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

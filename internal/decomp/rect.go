@@ -1,0 +1,74 @@
+// Package decomp implements the distributed-data-structure substrate the
+// coupling framework moves data between: rectangular index spaces, block
+// decompositions of 2-D arrays over process groups, and MxN redistribution
+// schedules (which exporter process sends which sub-rectangle to which
+// importer process) — the role Meta-Chaos / InterComm data movement plays in
+// the paper's system.
+package decomp
+
+import "fmt"
+
+// Rect is a half-open rectangle of global array indices:
+// rows [R0, R1), columns [C0, C1). An empty rectangle has R1 <= R0 or
+// C1 <= C0.
+type Rect struct {
+	R0, C0, R1, C1 int
+}
+
+// NewRect returns the rectangle covering rows [r0,r1) and columns [c0,c1).
+func NewRect(r0, c0, r1, c1 int) Rect { return Rect{R0: r0, C0: c0, R1: r1, C1: c1} }
+
+// Rows returns the row extent (0 if empty).
+func (r Rect) Rows() int {
+	if r.R1 <= r.R0 {
+		return 0
+	}
+	return r.R1 - r.R0
+}
+
+// Cols returns the column extent (0 if empty).
+func (r Rect) Cols() int {
+	if r.C1 <= r.C0 {
+		return 0
+	}
+	return r.C1 - r.C0
+}
+
+// Area returns the number of elements covered.
+func (r Rect) Area() int { return r.Rows() * r.Cols() }
+
+// Empty reports whether the rectangle covers no elements.
+func (r Rect) Empty() bool { return r.Area() == 0 }
+
+// Contains reports whether global element (row, col) lies inside r.
+func (r Rect) Contains(row, col int) bool {
+	return row >= r.R0 && row < r.R1 && col >= r.C0 && col < r.C1
+}
+
+// ContainsRect reports whether s lies entirely inside r (an empty s is
+// contained everywhere).
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.R0 >= r.R0 && s.R1 <= r.R1 && s.C0 >= r.C0 && s.C1 <= r.C1
+}
+
+// Intersect returns the overlap of r and s and whether it is non-empty.
+func (r Rect) Intersect(s Rect) (Rect, bool) {
+	out := Rect{
+		R0: max(r.R0, s.R0),
+		C0: max(r.C0, s.C0),
+		R1: min(r.R1, s.R1),
+		C1: min(r.C1, s.C1),
+	}
+	if out.Empty() {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// String renders the rectangle as [r0:r1,c0:c1].
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d:%d,%d:%d]", r.R0, r.R1, r.C0, r.C1)
+}

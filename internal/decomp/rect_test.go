@@ -1,0 +1,118 @@
+package decomp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(1, 2, 4, 7)
+	if r.Rows() != 3 || r.Cols() != 5 || r.Area() != 15 {
+		t.Errorf("rows/cols/area = %d/%d/%d", r.Rows(), r.Cols(), r.Area())
+	}
+	if r.Empty() {
+		t.Error("non-empty rect reported empty")
+	}
+	if r.String() != "[1:4,2:7]" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	for _, r := range []Rect{
+		NewRect(0, 0, 0, 5),
+		NewRect(0, 0, 5, 0),
+		NewRect(3, 3, 1, 9),
+		{},
+	} {
+		if !r.Empty() || r.Area() != 0 {
+			t.Errorf("%v should be empty with area 0, got area %d", r, r.Area())
+		}
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(0, 0, 4, 4)
+	cases := []struct {
+		row, col int
+		want     bool
+	}{
+		{0, 0, true}, {3, 3, true}, {4, 0, false}, {0, 4, false}, {-1, 2, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.row, c.col); got != c.want {
+			t.Errorf("Contains(%d,%d) = %v", c.row, c.col, got)
+		}
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	outer := NewRect(0, 0, 10, 10)
+	if !outer.ContainsRect(NewRect(2, 3, 5, 7)) {
+		t.Error("inner rect not contained")
+	}
+	if outer.ContainsRect(NewRect(5, 5, 11, 6)) {
+		t.Error("overflowing rect contained")
+	}
+	if !outer.ContainsRect(Rect{}) {
+		t.Error("empty rect must be contained everywhere")
+	}
+	if !NewRect(0, 0, 10, 10).ContainsRect(outer) {
+		t.Error("rect must contain itself")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := NewRect(0, 0, 5, 5)
+	b := NewRect(3, 2, 8, 4)
+	got, ok := a.Intersect(b)
+	if !ok || got != NewRect(3, 2, 5, 4) {
+		t.Errorf("intersect = %v ok=%v", got, ok)
+	}
+	if _, ok := a.Intersect(NewRect(5, 0, 6, 5)); ok {
+		t.Error("touching rects must not intersect (half-open)")
+	}
+	if _, ok := a.Intersect(NewRect(9, 9, 12, 12)); ok {
+		t.Error("disjoint rects intersect")
+	}
+}
+
+// Property: intersection is commutative and contained in both operands.
+func TestRectIntersectProperties(t *testing.T) {
+	norm := func(v int8) int { return int(v) % 16 }
+	f := func(a0, b0, a1, b1, c0, d0, c1, d1 int8) bool {
+		a := NewRect(norm(a0), norm(b0), norm(a1), norm(b1))
+		b := NewRect(norm(c0), norm(d0), norm(c1), norm(d1))
+		x, okx := a.Intersect(b)
+		y, oky := b.Intersect(a)
+		if okx != oky {
+			return false
+		}
+		if !okx {
+			return true
+		}
+		return x == y && a.ContainsRect(x) && b.ContainsRect(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection area never exceeds either operand's area, and every
+// point in the intersection is in both rects.
+func TestRectIntersectPointwise(t *testing.T) {
+	a := NewRect(1, 1, 6, 7)
+	b := NewRect(4, 0, 9, 5)
+	x, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("expected overlap")
+	}
+	for r := -1; r < 10; r++ {
+		for c := -1; c < 10; c++ {
+			in := a.Contains(r, c) && b.Contains(r, c)
+			if in != x.Contains(r, c) {
+				t.Fatalf("point (%d,%d): in-both=%v in-intersection=%v", r, c, in, x.Contains(r, c))
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package decomp
+
+import "fmt"
+
+// Transfer is one leg of a redistribution: the source rank sends the global
+// sub-rectangle Sub to the destination rank.
+type Transfer struct {
+	From, To int
+	Sub      Rect
+}
+
+// Schedule computes the full MxN redistribution plan from a source layout to
+// a destination layout over the region rect (global coordinates): one
+// Transfer per non-empty intersection of a source block, a destination
+// block, and the region. Both programs compute the same schedule
+// independently from the exchanged layout Specs, so no negotiation traffic
+// is needed per transfer.
+func Schedule(src, dst Layout, region Rect) ([]Transfer, error) {
+	sr, sc := src.Shape()
+	dr, dc := dst.Shape()
+	if sr != dr || sc != dc {
+		return nil, fmt.Errorf("decomp: schedule between different shapes %dx%d and %dx%d", sr, sc, dr, dc)
+	}
+	if !Bounds(src).ContainsRect(region) {
+		return nil, fmt.Errorf("decomp: region %v outside array %v", region, Bounds(src))
+	}
+	var plan []Transfer
+	for s := 0; s < src.Procs(); s++ {
+		sb, ok := src.Block(s).Intersect(region)
+		if !ok {
+			continue
+		}
+		for d := 0; d < dst.Procs(); d++ {
+			sub, ok := sb.Intersect(dst.Block(d))
+			if !ok {
+				continue
+			}
+			plan = append(plan, Transfer{From: s, To: d, Sub: sub})
+		}
+	}
+	return plan, nil
+}
+
+// FullSchedule is Schedule over the entire array.
+func FullSchedule(src, dst Layout) ([]Transfer, error) {
+	return Schedule(src, dst, Bounds(src))
+}
+
+// Outgoing filters a schedule to the transfers sent by rank.
+func Outgoing(plan []Transfer, rank int) []Transfer {
+	var out []Transfer
+	for _, t := range plan {
+		if t.From == rank {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Incoming filters a schedule to the transfers received by rank.
+func Incoming(plan []Transfer, rank int) []Transfer {
+	var out []Transfer
+	for _, t := range plan {
+		if t.To == rank {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package decomp
+
+import "fmt"
+
+// LayoutKind names a serializable layout family.
+type LayoutKind string
+
+// Supported layout kinds.
+const (
+	KindRowBlock LayoutKind = "rowblock"
+	KindColBlock LayoutKind = "colblock"
+	KindBlock2D  LayoutKind = "block2d"
+)
+
+// Spec is a wire-friendly layout description, exchanged between program
+// representatives during coupling initialization so each side can compute
+// redistribution schedules locally.
+type Spec struct {
+	Kind   LayoutKind
+	Rows   int
+	Cols   int
+	P      int // processes (rowblock/colblock)
+	PR, PC int // process grid (block2d)
+}
+
+// SpecOf returns the Spec describing a layout built by this package.
+func SpecOf(l Layout) (Spec, error) {
+	switch v := l.(type) {
+	case RowBlock:
+		return Spec{Kind: KindRowBlock, Rows: v.NRows, Cols: v.NCols, P: v.P}, nil
+	case ColBlock:
+		return Spec{Kind: KindColBlock, Rows: v.NRows, Cols: v.NCols, P: v.P}, nil
+	case Block2D:
+		return Spec{Kind: KindBlock2D, Rows: v.NRows, Cols: v.NCols, PR: v.PR, PC: v.PC}, nil
+	default:
+		return Spec{}, fmt.Errorf("decomp: layout type %T is not serializable", l)
+	}
+}
+
+// Build reconstructs the layout a Spec describes.
+func (s Spec) Build() (Layout, error) {
+	switch s.Kind {
+	case KindRowBlock:
+		return NewRowBlock(s.Rows, s.Cols, s.P)
+	case KindColBlock:
+		return NewColBlock(s.Rows, s.Cols, s.P)
+	case KindBlock2D:
+		return NewBlock2D(s.Rows, s.Cols, s.PR, s.PC)
+	default:
+		return nil, fmt.Errorf("decomp: unknown layout kind %q", s.Kind)
+	}
+}

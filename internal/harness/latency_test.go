@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencySweepRuns: the coupled protocol stays correct under injected
+// network latency, and the sweep reports sane numbers.
+func TestLatencySweepRuns(t *testing.T) {
+	base := tinyFigure4(2, true)
+	base.Exports = 81
+	points, err := RunLatencySweep(base, []time.Duration{0, 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points %v", points)
+	}
+	for _, pt := range points {
+		if pt.CopiesWith <= 0 || pt.CopiesWithout <= 0 {
+			t.Errorf("latency %v: degenerate copies %d/%d", pt.Latency, pt.CopiesWith, pt.CopiesWithout)
+		}
+		// The two runs see different live request-arrival timing, so allow
+		// small run-to-run noise; buddy-help must never be much worse.
+		if slack := base.Exports / 10; pt.CopiesWith > pt.CopiesWithout+slack {
+			t.Errorf("latency %v: buddy-help increased copies %d > %d+%d",
+				pt.Latency, pt.CopiesWith, pt.CopiesWithout, slack)
+		}
+	}
+}
+
+// TestFigure4WithLatencyCorrect: a full run over the latency network still
+// matches and transfers everything.
+func TestFigure4WithLatencyCorrect(t *testing.T) {
+	cfg := tinyFigure4(2, true)
+	cfg.Exports = 61
+	cfg.NetLatency = time.Millisecond
+	res, err := RunFigure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != cfg.Exports/cfg.MatchEvery {
+		t.Errorf("matched %d of %d", res.Matched, cfg.Exports/cfg.MatchEvery)
+	}
+	if res.SlowStats.Sends != res.Matched {
+		t.Errorf("sends %d, matched %d", res.SlowStats.Sends, res.Matched)
+	}
+}

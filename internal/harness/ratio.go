@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+)
+
+// RatioPoint is one entry of the tolerance-ratio sweep: the paper (Section
+// 5) observes that buddy-help's benefit depends on the ratio of the
+// acceptable region's size (the tolerance) to the inter-arrival spacing of
+// requests (MatchEvery in export timestamps). A larger ratio puts more
+// exports inside each acceptable region, where — without buddy-help — every
+// one becomes a buffered candidate.
+type RatioPoint struct {
+	Tolerance float64
+	// Ratio is Tolerance / MatchEvery.
+	Ratio float64
+	// CopiesWith / CopiesWithout are p_s's memcpy counts with and without
+	// buddy-help.
+	CopiesWith, CopiesWithout int
+	// SavedFraction is 1 - CopiesWith/CopiesWithout.
+	SavedFraction float64
+	// TubWithout is p_s's unnecessary buffering time without the
+	// optimization.
+	TubWithout time.Duration
+}
+
+// RunRatioSweep measures the buddy-help saving across tolerances for a fixed
+// request spacing (the Figure 7-vs-8 comparison, generalized to a curve).
+func RunRatioSweep(base Figure4Config, tolerances []float64) ([]RatioPoint, error) {
+	out := make([]RatioPoint, 0, len(tolerances))
+	for _, tol := range tolerances {
+		cfg := base
+		cfg.Tolerance = tol
+		cfg.Name = fmt.Sprintf("tol=%g", tol)
+		res, err := RunTub(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: ratio sweep tol %g: %w", tol, err)
+		}
+		pt := RatioPoint{
+			Tolerance:     tol,
+			Ratio:         tol / float64(cfg.MatchEvery),
+			CopiesWith:    res.With.SlowStats.Copies,
+			CopiesWithout: res.Without.SlowStats.Copies,
+			TubWithout:    res.Without.SlowStats.UnnecessaryTime,
+		}
+		if pt.CopiesWithout > 0 {
+			pt.SavedFraction = 1 - float64(pt.CopiesWith)/float64(pt.CopiesWithout)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

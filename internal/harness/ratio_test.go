@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRatioSweep: the buddy-help saving grows with the tolerance/inter-
+// arrival ratio (the paper's Section 5 observation behind Figures 7/8).
+func TestRatioSweep(t *testing.T) {
+	base := tinyFigure4(4, true)
+	base.Exports = 121
+	points, err := RunRatioSweep(base, []float64{0.5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points %v", points)
+	}
+	small, large := points[0], points[1]
+	if small.Ratio >= large.Ratio {
+		t.Fatalf("ratios not increasing: %v", points)
+	}
+	// With a tiny tolerance there is at most one export per region, so
+	// buddy-help has little to save; with tolerance 10 half of each cycle's
+	// exports are in-region candidates it can skip.
+	if large.CopiesWithout <= small.CopiesWithout {
+		t.Errorf("larger tolerance should force more copies without buddy-help: %d vs %d",
+			large.CopiesWithout, small.CopiesWithout)
+	}
+	if large.CopiesWith >= large.CopiesWithout {
+		t.Errorf("buddy-help saved nothing at high ratio: %d vs %d",
+			large.CopiesWith, large.CopiesWithout)
+	}
+	if large.SavedFraction <= small.SavedFraction {
+		t.Errorf("saved fraction did not grow with ratio: %.3f vs %.3f",
+			large.SavedFraction, small.SavedFraction)
+	}
+}
+
+// TestFigure4SyncImporterGradual: with neighbor synchronization the importer
+// trails at first, so the slow exporter buffers more during the transient
+// than in the unsynchronized case, while both end in the optimal state.
+func TestFigure4SyncImporterGradual(t *testing.T) {
+	free := tinyFigure4(4, true)
+	free.Exports = 161
+	sync := free
+	sync.SyncImporter = true
+
+	resFree, err := RunFigure4(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSync, err := RunFigure4(sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSync.Matched != resFree.Matched {
+		t.Errorf("matches differ: %d vs %d", resSync.Matched, resFree.Matched)
+	}
+	// Both must end with far more skips than copies.
+	for _, res := range []*Figure4Result{resFree, resSync} {
+		if res.SlowStats.Skips < res.SlowStats.Copies {
+			t.Errorf("%s: %d skips < %d copies", res.Cfg.Name, res.SlowStats.Skips, res.SlowStats.Copies)
+		}
+	}
+	_ = time.Millisecond
+}

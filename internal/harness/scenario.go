@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/match"
+	"repro/internal/trace"
+)
+
+// Scenario replays one of the paper's line-by-line figures against the same
+// per-process export pipeline (buffer.Manager) the framework runs in
+// production, returning the resulting trace and buffer statistics.
+type Scenario struct {
+	Figure string
+	Log    *trace.Log
+	Stats  buffer.Stats
+}
+
+// scenarioPayload is the stand-in data object for scenario traces.
+func scenarioPayload(ts float64) []float64 { return []float64{ts, ts, ts, ts} }
+
+// ScenarioFigure5 reproduces Figure 5: REGL, tolerance 2.5, exports at
+// k+0.6, requests at 20 and 40, buddy-help messages carrying the fastest
+// process's answers (MATCH D@19.6, MATCH D@39.6).
+func ScenarioFigure5() (*Scenario, error) {
+	log := trace.NewLog()
+	m, err := buffer.NewManager(buffer.Config{Policy: match.REGL, Tol: 2.5, Log: log})
+	if err != nil {
+		return nil, err
+	}
+	export := func(ts float64) error {
+		_, err := m.Offer(ts, scenarioPayload(ts))
+		return err
+	}
+	// Lines 1-4: exports 1.6 .. 14.6.
+	for ts := 1.6; ts < 14.7; ts++ {
+		if err := export(ts); err != nil {
+			return nil, err
+		}
+	}
+	// Lines 5-7: request D@20 (PENDING, remove everything below 17.5).
+	r1, err := m.OnRequest(20)
+	if err != nil {
+		return nil, err
+	}
+	if r1.Decision.Result != match.Pending {
+		return nil, fmt.Errorf("harness: figure 5 request 1 resolved %v", r1.Decision)
+	}
+	// Line 8: buddy-help {D@20, MATCH, D@19.6}.
+	if _, err := m.OnFinal(r1.ReqIndex, match.Match, 19.6); err != nil {
+		return nil, err
+	}
+	// Lines 10-20: exports 15.6 .. 31.6 (skips through 18.6, memcpy+send at
+	// 19.6, memcpys beyond the region).
+	for ts := 15.6; ts < 31.7; ts++ {
+		if err := export(ts); err != nil {
+			return nil, err
+		}
+	}
+	// Lines 21-23: request D@40.
+	r2, err := m.OnRequest(40)
+	if err != nil {
+		return nil, err
+	}
+	// Line 24: buddy-help {D@40, MATCH, D@39.6}.
+	if _, err := m.OnFinal(r2.ReqIndex, match.Match, 39.6); err != nil {
+		return nil, err
+	}
+	// Lines 26-33: exports 32.6 .. 40.6.
+	for ts := 32.6; ts < 40.7; ts++ {
+		if err := export(ts); err != nil {
+			return nil, err
+		}
+	}
+	return &Scenario{Figure: "5", Log: log, Stats: m.Stats()}, nil
+}
+
+// ScenarioFigure7 reproduces Figure 7: REGL, tolerance 5.0, request at 10.0,
+// with buddy-help.
+func ScenarioFigure7() (*Scenario, error) {
+	log := trace.NewLog()
+	m, err := buffer.NewManager(buffer.Config{Policy: match.REGL, Tol: 5, Log: log})
+	if err != nil {
+		return nil, err
+	}
+	for ts := 1.6; ts < 3.7; ts++ {
+		if _, err := m.Offer(ts, scenarioPayload(ts)); err != nil {
+			return nil, err
+		}
+	}
+	r, err := m.OnRequest(10)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.OnFinal(r.ReqIndex, match.Match, 9.6); err != nil {
+		return nil, err
+	}
+	for ts := 4.6; ts < 10.7; ts++ {
+		if _, err := m.Offer(ts, scenarioPayload(ts)); err != nil {
+			return nil, err
+		}
+	}
+	return &Scenario{Figure: "7", Log: log, Stats: m.Stats()}, nil
+}
+
+// ScenarioFigure8 reproduces Figure 8: the same configuration as Figure 7
+// but WITHOUT buddy-help — the process must keep buffering each new best
+// candidate until its own exports pass the acceptable region.
+func ScenarioFigure8() (*Scenario, error) {
+	log := trace.NewLog()
+	m, err := buffer.NewManager(buffer.Config{Policy: match.REGL, Tol: 5, Log: log})
+	if err != nil {
+		return nil, err
+	}
+	for ts := 1.6; ts < 3.7; ts++ {
+		if _, err := m.Offer(ts, scenarioPayload(ts)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := m.OnRequest(10); err != nil {
+		return nil, err
+	}
+	for ts := 4.6; ts < 11.7; ts++ {
+		if _, err := m.Offer(ts, scenarioPayload(ts)); err != nil {
+			return nil, err
+		}
+	}
+	return &Scenario{Figure: "8", Log: log, Stats: m.Stats()}, nil
+}
+
+// RunScenario dispatches by figure number ("5", "7", "8").
+func RunScenario(figure string) (*Scenario, error) {
+	switch figure {
+	case "5":
+		return ScenarioFigure5()
+	case "7":
+		return ScenarioFigure7()
+	case "8":
+		return ScenarioFigure8()
+	default:
+		return nil, fmt.Errorf("harness: no scenario for figure %q (have 5, 7, 8)", figure)
+	}
+}

@@ -1,0 +1,168 @@
+package match
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NoExports is the Latest value of a Decision made before any export.
+var NoExports = math.Inf(-1)
+
+// Matcher evaluates import requests against the strictly increasing sequence
+// of export timestamps observed by one exporter process, for one connection.
+//
+// The zero Matcher is not ready; use New.
+type Matcher struct {
+	policy Policy
+	tol    float64
+
+	// exports holds every export timestamp seen, increasing. It is the
+	// process's view; the buffer layer decides separately what data to keep.
+	exports []float64
+}
+
+// New returns a matcher for a connection with the given policy and
+// tolerance. The tolerance must be non-negative.
+func New(policy Policy, tol float64) (*Matcher, error) {
+	if tol < 0 || math.IsNaN(tol) || math.IsInf(tol, 0) {
+		return nil, fmt.Errorf("match: invalid tolerance %g", tol)
+	}
+	return &Matcher{policy: policy, tol: tol}, nil
+}
+
+// Policy returns the connection's match policy.
+func (m *Matcher) Policy() Policy { return m.policy }
+
+// Tolerance returns the connection's tolerance.
+func (m *Matcher) Tolerance() float64 { return m.tol }
+
+// Latest returns the latest export timestamp seen (NoExports if none).
+func (m *Matcher) Latest() float64 {
+	if len(m.exports) == 0 {
+		return NoExports
+	}
+	return m.exports[len(m.exports)-1]
+}
+
+// NumExports returns how many exports have been recorded.
+func (m *Matcher) NumExports() int { return len(m.exports) }
+
+// AddExport records the next export timestamp, which must exceed all
+// previous ones (the model requires strictly increasing timestamps).
+func (m *Matcher) AddExport(ts float64) error {
+	if math.IsNaN(ts) {
+		return fmt.Errorf("match: NaN export timestamp")
+	}
+	if len(m.exports) > 0 && ts <= m.Latest() {
+		return fmt.Errorf("match: export timestamp %g not greater than previous %g", ts, m.Latest())
+	}
+	m.exports = append(m.exports, ts)
+	return nil
+}
+
+// Evaluate resolves a request at timestamp x against the exports seen so
+// far. Evaluate is pure with respect to matcher state: calling it repeatedly
+// without intervening AddExport returns the same decision.
+func (m *Matcher) Evaluate(x float64) Decision {
+	return Evaluate(m.policy, m.tol, x, m.exports)
+}
+
+// Evaluate resolves a request at timestamp x under (policy, tol) against an
+// increasing slice of export timestamps.
+//
+// The decision is MATCH/NOMATCH only when no conforming future export (one
+// greater than the latest seen) could change the answer; otherwise PENDING.
+func Evaluate(policy Policy, tol, x float64, exports []float64) Decision {
+	region := policy.Region(x, tol)
+	latest := NoExports
+	if n := len(exports); n > 0 {
+		latest = exports[n-1]
+	}
+	d := Decision{Latest: latest, Region: region}
+
+	best, hasBest := bestCandidate(policy, x, region, exports)
+
+	// Could a future export beat (or become) the best candidate? Future
+	// exports are > latest. They matter only if some t with t > latest,
+	// t <= region.Hi would be chosen over the current best.
+	if hasBest {
+		if !betterPossible(policy, x, region, best, latest) {
+			d.Result = Match
+			d.MatchTS = best
+			return d
+		}
+		d.Result = Pending
+		return d
+	}
+	// No candidate yet: if the region's upper end is already unreachable,
+	// nothing will ever land there.
+	if latest >= region.Hi {
+		d.Result = NoMatch
+		return d
+	}
+	d.Result = Pending
+	return d
+}
+
+// bestCandidate picks the current winner among in-region exports.
+func bestCandidate(policy Policy, x float64, region Interval, exports []float64) (float64, bool) {
+	// exports is increasing: binary search the window [Lo, Hi].
+	lo := sort.SearchFloat64s(exports, region.Lo)
+	hi := sort.Search(len(exports), func(i int) bool { return exports[i] > region.Hi })
+	if lo >= hi {
+		return 0, false
+	}
+	window := exports[lo:hi]
+	switch policy {
+	case REGL:
+		// Largest not exceeding x == last in window (window Hi == x).
+		return window[len(window)-1], true
+	case REGU:
+		// Smallest at or above x == first in window.
+		return window[0], true
+	default: // REG: minimize |t - x|, ties to the earlier timestamp.
+		best := window[0]
+		bestDist := math.Abs(window[0] - x)
+		for _, t := range window[1:] {
+			if d := math.Abs(t - x); d < bestDist {
+				best, bestDist = t, d
+			}
+		}
+		return best, true
+	}
+}
+
+// betterPossible reports whether some future export t (t > latest,
+// t <= region.Hi) would beat the current best candidate.
+func betterPossible(policy Policy, x float64, region Interval, best, latest float64) bool {
+	if latest >= region.Hi {
+		return false // region closed; nothing can land in it any more
+	}
+	switch policy {
+	case REGL:
+		// Any later in-region export is closer to x (from below); if best is
+		// exactly x nothing can beat it (timestamps are unique).
+		return best != x
+	case REGU:
+		// best is the smallest in-region export; future exports are larger,
+		// hence farther from x. Never improvable.
+		return false
+	default: // REG
+		if best == x {
+			return false
+		}
+		// A future export t beats best iff |t - x| < |best - x|, i.e.
+		// t < x + |best-x| (t > x - |best-x| holds automatically for t >
+		// latest >= best when best < x; for best > x no t > best can win).
+		if best > x {
+			return false // later exports are even farther above x
+		}
+		dist := x - best
+		// Some t in (latest, min(region.Hi, x+dist)) must exist; with
+		// continuous timestamps that is latest < x+dist (and latest <
+		// region.Hi, already checked). Note t == x+dist ties and loses to
+		// the earlier best.
+		return latest < x+dist
+	}
+}

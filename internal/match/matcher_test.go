@@ -1,0 +1,438 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustMatcher(t *testing.T, p Policy, tol float64) *Matcher {
+	t.Helper()
+	m, err := New(p, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func addAll(t *testing.T, m *Matcher, ts ...float64) {
+	t.Helper()
+	for _, v := range ts {
+		if err := m.AddExport(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPolicyParseString(t *testing.T) {
+	for _, s := range []string{"REGL", "REGU", "REG"} {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != s {
+			t.Errorf("round trip %q -> %q", s, p.String())
+		}
+	}
+	if _, err := ParsePolicy("REGX"); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if Policy(99).String() == "" {
+		t.Error("unknown policy String empty")
+	}
+}
+
+func TestPolicyRegion(t *testing.T) {
+	cases := []struct {
+		p    Policy
+		want Interval
+	}{
+		{REGL, Interval{7.5, 10}},
+		{REGU, Interval{10, 12.5}},
+		{REG, Interval{7.5, 12.5}},
+	}
+	for _, c := range cases {
+		if got := c.p.Region(10, 2.5); got != c.want {
+			t.Errorf("%v.Region(10,2.5) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{1, 2}
+	if !iv.Contains(1) || !iv.Contains(2) || !iv.Contains(1.5) {
+		t.Error("closed interval endpoints/interior not contained")
+	}
+	if iv.Contains(0.999) || iv.Contains(2.001) {
+		t.Error("outside points contained")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, tol := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := New(REGL, tol); err == nil {
+			t.Errorf("tolerance %v accepted", tol)
+		}
+	}
+}
+
+func TestAddExportMonotonic(t *testing.T) {
+	m := mustMatcher(t, REGL, 1)
+	addAll(t, m, 1, 2, 3)
+	if err := m.AddExport(3); err == nil {
+		t.Error("equal timestamp accepted")
+	}
+	if err := m.AddExport(2.5); err == nil {
+		t.Error("decreasing timestamp accepted")
+	}
+	if err := m.AddExport(math.NaN()); err == nil {
+		t.Error("NaN accepted")
+	}
+	if m.NumExports() != 3 || m.Latest() != 3 {
+		t.Errorf("state after rejects: n=%d latest=%v", m.NumExports(), m.Latest())
+	}
+}
+
+func TestLatestNoExports(t *testing.T) {
+	m := mustMatcher(t, REGL, 1)
+	if m.Latest() != NoExports {
+		t.Errorf("Latest() = %v", m.Latest())
+	}
+}
+
+// TestPaperFigure5Evaluation walks the exact matching states of the paper's
+// Figure 5 scenario: REGL, tolerance 2.5, exports at k+0.6, request at 20.
+func TestPaperFigure5Evaluation(t *testing.T) {
+	m := mustMatcher(t, REGL, 2.5)
+	for ts := 1.6; ts < 14.7; ts++ {
+		addAll(t, m, ts)
+	}
+	// Line 6: reply {D@20, PENDING, D@14.6}.
+	d := m.Evaluate(20)
+	if d.Result != Pending {
+		t.Fatalf("after 14.6: %v", d)
+	}
+	if d.Latest != 14.6 {
+		t.Fatalf("latest = %v", d.Latest)
+	}
+	if d.Region != (Interval{17.5, 20}) {
+		t.Fatalf("region = %v", d.Region)
+	}
+	// The fastest process has exported through 20.6 and can decide: the
+	// match is D@19.6 (closest to 20 within [17.5, 20]).
+	fast := mustMatcher(t, REGL, 2.5)
+	for ts := 1.6; ts < 20.7; ts++ {
+		addAll(t, fast, ts)
+	}
+	d = fast.Evaluate(20)
+	if d.Result != Match || d.MatchTS != 19.6 {
+		t.Fatalf("fast decision = %v, want MATCH D@19.6", d)
+	}
+}
+
+// TestPaperFigure7Evaluation checks the REGL tolerance-5.0 scenario of
+// Figures 7/8: request at 10.0, acceptable region [5.0, 10.0], match D@9.6
+// decided once D@10.6 is exported.
+func TestPaperFigure7Evaluation(t *testing.T) {
+	m := mustMatcher(t, REGL, 5)
+	addAll(t, m, 1.6, 2.6, 3.6)
+	d := m.Evaluate(10)
+	if d.Result != Pending || d.Latest != 3.6 {
+		t.Fatalf("after 3.6: %v", d)
+	}
+	addAll(t, m, 4.6, 5.6, 6.6, 7.6, 8.6, 9.6)
+	d = m.Evaluate(10)
+	if d.Result != Pending {
+		t.Fatalf("9.6 in region but later export could still beat it: %v", d)
+	}
+	addAll(t, m, 10.6)
+	d = m.Evaluate(10)
+	if d.Result != Match || d.MatchTS != 9.6 {
+		t.Fatalf("after 10.6: %v, want MATCH D@9.6", d)
+	}
+}
+
+func TestREGLExactHit(t *testing.T) {
+	m := mustMatcher(t, REGL, 2)
+	addAll(t, m, 8, 10)
+	d := m.Evaluate(10)
+	if d.Result != Match || d.MatchTS != 10 {
+		t.Fatalf("exact hit: %v", d)
+	}
+}
+
+func TestREGLNoMatch(t *testing.T) {
+	m := mustMatcher(t, REGL, 1)
+	addAll(t, m, 1, 2, 8)
+	// Region [4, 5]: no export inside, latest 8 >= 5 -> NOMATCH.
+	d := m.Evaluate(5)
+	if d.Result != NoMatch {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestREGLPendingEmptyRegion(t *testing.T) {
+	m := mustMatcher(t, REGL, 1)
+	addAll(t, m, 1, 2)
+	// Region [4, 5]: nothing inside yet, latest 2 < 5 -> PENDING.
+	if d := m.Evaluate(5); d.Result != Pending {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestREGUFirstInRegionWins(t *testing.T) {
+	m := mustMatcher(t, REGU, 3)
+	addAll(t, m, 9)
+	// Region [10, 13]: no candidate, latest 9 < 13 -> PENDING.
+	if d := m.Evaluate(10); d.Result != Pending {
+		t.Fatalf("before candidate: %v", d)
+	}
+	addAll(t, m, 11)
+	// 11 is in region and closest-from-above; later exports are farther.
+	d := m.Evaluate(10)
+	if d.Result != Match || d.MatchTS != 11 {
+		t.Fatalf("got %v, want MATCH 11", d)
+	}
+}
+
+func TestREGUNoMatch(t *testing.T) {
+	m := mustMatcher(t, REGU, 1)
+	addAll(t, m, 5, 12)
+	// Region [10, 11] skipped entirely.
+	if d := m.Evaluate(10); d.Result != NoMatch {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestREGBelowCandidateStaysPending(t *testing.T) {
+	m := mustMatcher(t, REG, 5)
+	addAll(t, m, 7)
+	// Region [5, 15], best 7 at distance 3; an export in (7, 13) would beat
+	// it -> PENDING.
+	if d := m.Evaluate(10); d.Result != Pending {
+		t.Fatalf("got %v", d)
+	}
+	addAll(t, m, 9)
+	if d := m.Evaluate(10); d.Result != Pending {
+		t.Fatalf("after 9: %v", d)
+	}
+	addAll(t, m, 10.5)
+	// 10.5 at distance 0.5; a future export t > 10.5 has distance > 0.5.
+	d := m.Evaluate(10)
+	if d.Result != Match || d.MatchTS != 10.5 {
+		t.Fatalf("after 10.5: %v", d)
+	}
+}
+
+func TestREGDecidesWithoutReachingHi(t *testing.T) {
+	m := mustMatcher(t, REG, 100)
+	addAll(t, m, 9, 12)
+	// best 9 (dist 1) vs 12 (dist 2) -> 9; latest 12 > 10+1 -> nothing can
+	// beat 9 even though region extends to 110.
+	d := m.Evaluate(10)
+	if d.Result != Match || d.MatchTS != 9 {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestREGTieGoesToEarlier(t *testing.T) {
+	m := mustMatcher(t, REG, 5)
+	addAll(t, m, 8, 12)
+	// 8 and 12 both at distance 2; the earlier wins; latest 12 >= 10+2 so
+	// decided.
+	d := m.Evaluate(10)
+	if d.Result != Match || d.MatchTS != 8 {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestREGAboveCandidateDecided(t *testing.T) {
+	m := mustMatcher(t, REG, 5)
+	addAll(t, m, 11)
+	// best 11 above x=10: later exports are farther; decided immediately.
+	d := m.Evaluate(10)
+	if d.Result != Match || d.MatchTS != 11 {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestEvaluateBeforeAnyExport(t *testing.T) {
+	for _, p := range []Policy{REGL, REGU, REG} {
+		m := mustMatcher(t, p, 1)
+		d := m.Evaluate(10)
+		if d.Result != Pending || d.Latest != NoExports {
+			t.Errorf("%v: %v", p, d)
+		}
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	m := mustMatcher(t, REGL, 2.5)
+	addAll(t, m, 19.6, 20.6)
+	d := m.Evaluate(20)
+	if got := d.String(); got != "{MATCH, D@19.6, latest D@20.6}" {
+		t.Errorf("String = %q", got)
+	}
+	if (Decision{Result: Pending, Latest: 3}).String() != "{PENDING, latest D@3}" {
+		t.Errorf("pending string = %q", Decision{Result: Pending, Latest: 3}.String())
+	}
+	if (Decision{Result: NoMatch, Latest: 3}).String() != "{NO MATCH, latest D@3}" {
+		t.Errorf("nomatch string = %q", Decision{Result: NoMatch, Latest: 3}.String())
+	}
+	if Result(9).String() == "" || Policy(9).String() == "" {
+		t.Error("fallback strings empty")
+	}
+}
+
+// genExports builds a random increasing export sequence.
+func genExports(r *rand.Rand, n int) []float64 {
+	out := make([]float64, 0, n)
+	t := r.Float64() * 5
+	for i := 0; i < n; i++ {
+		t += 0.05 + r.Float64()*2
+		out = append(out, t)
+	}
+	return out
+}
+
+// Property: a MATCH is always inside the acceptable region, and under REGL
+// never exceeds the requested timestamp.
+func TestPropertyMatchInRegion(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		policy := Policy(r.Intn(3))
+		tol := r.Float64() * 4
+		exports := genExports(r, r.Intn(20))
+		x := r.Float64() * 30
+		d := Evaluate(policy, tol, x, exports)
+		if d.Result != Match {
+			continue
+		}
+		region := policy.Region(x, tol)
+		if !region.Contains(d.MatchTS) {
+			t.Fatalf("match %v outside region %v (policy %v x %v exports %v)",
+				d.MatchTS, region, policy, x, exports)
+		}
+		if policy == REGL && d.MatchTS > x {
+			t.Fatalf("REGL match %v beyond request %v", d.MatchTS, x)
+		}
+		if policy == REGU && d.MatchTS < x {
+			t.Fatalf("REGU match %v before request %v", d.MatchTS, x)
+		}
+	}
+}
+
+// Property (decision stability): once a request resolves to MATCH or
+// NOMATCH, appending further (larger) exports never changes the decision.
+// This is the exact guarantee buddy-help relies on: the fastest process's
+// answer is final, so slower peers can act on it.
+func TestPropertyDecisionStability(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		policy := Policy(r.Intn(3))
+		tol := r.Float64() * 4
+		exports := genExports(r, 3+r.Intn(15))
+		x := exports[r.Intn(len(exports))] + (r.Float64()-0.3)*3
+		// Find the first prefix where the decision is final.
+		for k := 0; k <= len(exports); k++ {
+			d := Evaluate(policy, tol, x, exports[:k])
+			if d.Result == Pending {
+				continue
+			}
+			for k2 := k + 1; k2 <= len(exports); k2++ {
+				d2 := Evaluate(policy, tol, x, exports[:k2])
+				if d2.Result != d.Result || (d.Result == Match && d2.MatchTS != d.MatchTS) {
+					t.Fatalf("decision changed: prefix %d gave %v, prefix %d gave %v (policy %v tol %v x %v exports %v)",
+						k, d, k2, d2, policy, tol, x, exports)
+				}
+			}
+			break
+		}
+	}
+}
+
+// Property: with timestamps strictly increasing, every request eventually
+// resolves once an export passes the region's upper bound.
+func TestPropertyEventualResolution(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		policy := Policy(r.Intn(3))
+		tol := r.Float64() * 4
+		exports := genExports(r, 5+r.Intn(15))
+		x := r.Float64() * 10
+		region := policy.Region(x, tol)
+		if exports[len(exports)-1] < region.Hi {
+			continue // never passed the region
+		}
+		d := Evaluate(policy, tol, x, exports)
+		if d.Result == Pending {
+			t.Fatalf("latest %v >= hi %v but still pending (policy %v x %v exports %v)",
+				exports[len(exports)-1], region.Hi, policy, x, exports)
+		}
+	}
+}
+
+// Property: the decision equals the brute-force "oracle" that looks at the
+// final export sequence, whenever the incremental evaluation is final.
+func TestPropertyAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		policy := Policy(r.Intn(3))
+		tol := r.Float64() * 4
+		exports := genExports(r, 5+r.Intn(15))
+		x := r.Float64() * 12
+		d := Evaluate(policy, tol, x, exports)
+		if d.Result == Pending {
+			continue
+		}
+		oracleTS, oracleOK := oracleBest(policy, tol, x, exports)
+		if oracleOK != (d.Result == Match) {
+			t.Fatalf("oracle ok=%v decision=%v (policy %v tol %v x %v exports %v)",
+				oracleOK, d, policy, tol, x, exports)
+		}
+		if oracleOK && oracleTS != d.MatchTS {
+			t.Fatalf("oracle %v != match %v (policy %v tol %v x %v exports %v)",
+				oracleTS, d.MatchTS, policy, tol, x, exports)
+		}
+	}
+}
+
+// oracleBest picks the best candidate given the complete export history.
+func oracleBest(policy Policy, tol, x float64, exports []float64) (float64, bool) {
+	region := policy.Region(x, tol)
+	best, found := 0.0, false
+	for _, t := range exports {
+		if !region.Contains(t) {
+			continue
+		}
+		if !found {
+			best, found = t, true
+			continue
+		}
+		if math.Abs(t-x) < math.Abs(best-x) {
+			best = t
+		}
+	}
+	return best, found
+}
+
+// quick-based sanity: Evaluate never panics and always returns a region
+// containing any MATCH timestamp.
+func TestQuickEvaluateTotal(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		exports := genExports(r, int(n%24))
+		policy := Policy(r.Intn(3))
+		tol := r.Float64() * 3
+		x := r.Float64() * 20
+		d := Evaluate(policy, tol, x, exports)
+		if d.Result == Match && !d.Region.Contains(d.MatchTS) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package match implements the approximate temporal matching model the
+// coupling framework is built on (the paper's Section 3.1, following Wu &
+// Sussman 2004): every exported data object carries an increasing simulation
+// timestamp; an import request names a timestamp, and a per-connection match
+// policy plus tolerance define the acceptable region of export timestamps
+// and which timestamp in that region is the match.
+//
+// Matching is incremental: evaluated against the exports seen so far, a
+// request resolves to MATCH or NOMATCH only when no future export could
+// change the answer; otherwise the result is PENDING. PENDING is what slower
+// exporter processes report, and what the buddy-help optimization resolves
+// for them.
+package match
+
+import "fmt"
+
+// Policy selects the acceptable region around a requested timestamp and
+// which in-region export wins. The names follow the paper's configuration
+// syntax (Figure 2).
+type Policy int
+
+const (
+	// REGL accepts exports in [x-tol, x]; the match is the in-region export
+	// closest to (i.e. the largest not exceeding) the requested timestamp x.
+	REGL Policy = iota
+	// REGU accepts exports in [x, x+tol]; the match is the in-region export
+	// closest to (the smallest at or above) x.
+	REGU
+	// REG accepts exports in [x-tol, x+tol]; the match is the in-region
+	// export with minimum |export - x|, ties resolved to the earlier export.
+	REG
+)
+
+var policyNames = map[Policy]string{REGL: "REGL", REGU: "REGU", REG: "REG"}
+
+// String returns the configuration-file spelling of the policy.
+func (p Policy) String() string {
+	if s, ok := policyNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy converts a configuration-file spelling into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "REGL":
+		return REGL, nil
+	case "REGU":
+		return REGU, nil
+	case "REG":
+		return REG, nil
+	default:
+		return 0, fmt.Errorf("match: unknown policy %q", s)
+	}
+}
+
+// Interval is a closed timestamp interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether t lies in the interval.
+func (iv Interval) Contains(t float64) bool { return t >= iv.Lo && t <= iv.Hi }
+
+// String renders the interval as [lo, hi].
+func (iv Interval) String() string { return fmt.Sprintf("[%g, %g]", iv.Lo, iv.Hi) }
+
+// Region returns the acceptable region for a request at timestamp x with the
+// given tolerance.
+func (p Policy) Region(x, tol float64) Interval {
+	switch p {
+	case REGL:
+		return Interval{Lo: x - tol, Hi: x}
+	case REGU:
+		return Interval{Lo: x, Hi: x + tol}
+	default: // REG
+		return Interval{Lo: x - tol, Hi: x + tol}
+	}
+}
+
+// Result is the outcome of evaluating a request against the exports seen so
+// far by one process.
+type Result int
+
+const (
+	// Pending means the best match cannot yet be decided: a future export
+	// might still be (or beat) the match.
+	Pending Result = iota
+	// Match means the request resolves to a specific exported timestamp.
+	Match
+	// NoMatch means no export in the acceptable region exists or ever will.
+	NoMatch
+)
+
+var resultNames = [...]string{Pending: "PENDING", Match: "MATCH", NoMatch: "NO MATCH"}
+
+// String returns the paper's spelling of the result.
+func (r Result) String() string {
+	if int(r) < len(resultNames) {
+		return resultNames[r]
+	}
+	return fmt.Sprintf("Result(%d)", int(r))
+}
+
+// Decision is a process's full answer to a forwarded request: the result,
+// the matched timestamp when Result == Match, and the latest timestamp the
+// process has exported so far (the paper's replies carry this, e.g.
+// "{D@20, PENDING, D@14.6}").
+type Decision struct {
+	Result  Result
+	MatchTS float64 // valid when Result == Match
+	Latest  float64 // latest export seen; NoExports if none
+	// Region is the acceptable region the decision was evaluated against.
+	Region Interval
+}
+
+// String renders the decision in the paper's reply style.
+func (d Decision) String() string {
+	switch d.Result {
+	case Match:
+		return fmt.Sprintf("{MATCH, D@%g, latest D@%g}", d.MatchTS, d.Latest)
+	case NoMatch:
+		return fmt.Sprintf("{NO MATCH, latest D@%g}", d.Latest)
+	default:
+		return fmt.Sprintf("{PENDING, latest D@%g}", d.Latest)
+	}
+}

@@ -1,0 +1,223 @@
+// Package metrics collects per-iteration timing series and aggregates
+// repeated runs — the measurement layer behind the paper's Figure 4 plots
+// (per-iteration data-export time of the slowest exporter process, averaged
+// over several runs).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// Series is one run's per-iteration duration series.
+type Series struct {
+	Name string
+	durs []time.Duration
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Append records the next iteration's duration.
+func (s *Series) Append(d time.Duration) { s.durs = append(s.durs, d) }
+
+// Len returns the number of recorded iterations.
+func (s *Series) Len() int { return len(s.durs) }
+
+// At returns iteration i's duration.
+func (s *Series) At(i int) time.Duration { return s.durs[i] }
+
+// Durations returns a copy of the raw series.
+func (s *Series) Durations() []time.Duration {
+	out := make([]time.Duration, len(s.durs))
+	copy(out, s.durs)
+	return out
+}
+
+// Total returns the sum of the series.
+func (s *Series) Total() time.Duration {
+	var t time.Duration
+	for _, d := range s.durs {
+		t += d
+	}
+	return t
+}
+
+// Mean returns the mean duration (0 for an empty series).
+func (s *Series) Mean() time.Duration {
+	if len(s.durs) == 0 {
+		return 0
+	}
+	return s.Total() / time.Duration(len(s.durs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on a sorted copy.
+func (s *Series) Percentile(p float64) time.Duration {
+	if len(s.durs) == 0 {
+		return 0
+	}
+	sorted := s.Durations()
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Window returns the mean over iterations [lo, hi).
+func (s *Series) Window(lo, hi int) time.Duration {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.durs) {
+		hi = len(s.durs)
+	}
+	if lo >= hi {
+		return 0
+	}
+	var t time.Duration
+	for _, d := range s.durs[lo:hi] {
+		t += d
+	}
+	return t / time.Duration(hi-lo)
+}
+
+// MeanOf averages multiple equal-length series pointwise (the paper reports
+// results from six runs per configuration). Series of different lengths are
+// truncated to the shortest.
+func MeanOf(name string, runs ...*Series) *Series {
+	out := NewSeries(name)
+	if len(runs) == 0 {
+		return out
+	}
+	n := runs[0].Len()
+	for _, r := range runs[1:] {
+		if r.Len() < n {
+			n = r.Len()
+		}
+	}
+	for i := 0; i < n; i++ {
+		var t time.Duration
+		for _, r := range runs {
+			t += r.At(i)
+		}
+		out.Append(t / time.Duration(len(runs)))
+	}
+	return out
+}
+
+// WriteCSV emits "iteration,<name>_ns" rows for plotting.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "iteration,%s_ns\n", s.Name); err != nil {
+		return err
+	}
+	for i, d := range s.durs {
+		if _, err := fmt.Fprintf(w, "%d,%d\n", i, d.Nanoseconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSVMulti emits one column per series (truncated to the shortest).
+func WriteCSVMulti(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	header := "iteration"
+	n := series[0].Len()
+	for _, s := range series {
+		header += "," + s.Name + "_ns"
+		if s.Len() < n {
+			n = s.Len()
+		}
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		row := fmt.Sprint(i)
+		for _, s := range series {
+			row += fmt.Sprintf(",%d", s.At(i).Nanoseconds())
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sparkline renders the series as a compact unicode plot (width buckets,
+// bucket mean), handy for eyeballing the Figure-4 shape in a terminal.
+func (s *Series) Sparkline(width int) string {
+	if s.Len() == 0 || width <= 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	if width > s.Len() {
+		width = s.Len()
+	}
+	buckets := make([]float64, width)
+	for b := range buckets {
+		lo := b * s.Len() / width
+		hi := (b + 1) * s.Len() / width
+		if hi == lo {
+			hi = lo + 1
+		}
+		var t time.Duration
+		for _, d := range s.durs[lo:hi] {
+			t += d
+		}
+		buckets[b] = float64(t) / float64(hi-lo)
+	}
+	maxV := buckets[0]
+	for _, v := range buckets {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]rune, width)
+	for i, v := range buckets {
+		idx := 0
+		if maxV > 0 {
+			idx = int(v / maxV * float64(len(ramp)-1))
+		}
+		out[i] = ramp[idx]
+	}
+	return string(out)
+}
+
+// SettleIteration estimates when the series reaches its settled (final)
+// level: the first iteration from which every remaining tail-window mean
+// stays within factor x of the final window's mean. It is used to estimate
+// the paper's "iterations needed to reach the optimal state" (~400 for the
+// 16-process importer, ~25 for 32). Returns Len() if it never settles.
+func (s *Series) SettleIteration(window int, factor float64) int {
+	n := s.Len()
+	if n == 0 || window <= 0 || window > n {
+		return n
+	}
+	final := float64(s.Window(n-window, n))
+	if final == 0 {
+		final = 1
+	}
+	// Walk backwards while window means stay within factor of the final.
+	settle := n
+	for i := n - window; i >= 0; i-- {
+		m := float64(s.Window(i, i+window))
+		if m <= final*factor {
+			settle = i
+			continue
+		}
+		break
+	}
+	return settle
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func seriesOf(name string, ns ...int) *Series {
+	s := NewSeries(name)
+	for _, v := range ns {
+		s.Append(time.Duration(v))
+	}
+	return s
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := seriesOf("x", 10, 20, 30)
+	if s.Len() != 3 || s.At(1) != 20 || s.Total() != 60 || s.Mean() != 20 {
+		t.Errorf("basics wrong: len=%d at1=%v total=%v mean=%v", s.Len(), s.At(1), s.Total(), s.Mean())
+	}
+	d := s.Durations()
+	d[0] = 999
+	if s.At(0) != 10 {
+		t.Error("Durations not a copy")
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewSeries("e")
+	if s.Mean() != 0 || s.Total() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty series stats nonzero")
+	}
+	if s.Sparkline(10) != "" {
+		t.Error("empty sparkline not empty")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := seriesOf("p", 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	if got := s.Percentile(50); got != 5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(100); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := seriesOf("w", 10, 20, 30, 40)
+	if got := s.Window(1, 3); got != 25 {
+		t.Errorf("window = %v", got)
+	}
+	if got := s.Window(-5, 100); got != 25 {
+		t.Errorf("clamped window = %v", got)
+	}
+	if got := s.Window(3, 3); got != 0 {
+		t.Errorf("empty window = %v", got)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	a := seriesOf("a", 10, 20, 30)
+	b := seriesOf("b", 30, 40, 50, 60)
+	m := MeanOf("m", a, b)
+	if m.Len() != 3 {
+		t.Fatalf("len %d", m.Len())
+	}
+	if m.At(0) != 20 || m.At(2) != 40 {
+		t.Errorf("means %v %v", m.At(0), m.At(2))
+	}
+	if MeanOf("none").Len() != 0 {
+		t.Error("MeanOf() not empty")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := seriesOf("exp", 5, 7)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "iteration,exp_ns\n0,5\n1,7\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q", sb.String())
+	}
+}
+
+func TestWriteCSVMulti(t *testing.T) {
+	a := seriesOf("a", 1, 2)
+	b := seriesOf("b", 3, 4, 5)
+	var sb strings.Builder
+	if err := WriteCSVMulti(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 || lines[0] != "iteration,a_ns,b_ns" || lines[2] != "1,2,4" {
+		t.Errorf("csv lines %v", lines)
+	}
+	if err := WriteCSVMulti(&sb); err != nil {
+		t.Errorf("no-series csv: %v", err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := seriesOf("s", 1, 1, 1, 1, 100, 100, 100, 100)
+	sp := s.Sparkline(4)
+	if len([]rune(sp)) != 4 {
+		t.Fatalf("width %d", len([]rune(sp)))
+	}
+	runes := []rune(sp)
+	if runes[0] >= runes[3] {
+		t.Errorf("sparkline not increasing: %q", sp)
+	}
+}
+
+func TestSettleIteration(t *testing.T) {
+	// A staircase that settles at iteration 60.
+	s := NewSeries("settle")
+	for i := 0; i < 100; i++ {
+		v := 100
+		switch {
+		case i >= 60:
+			v = 10
+		case i >= 30:
+			v = 50
+		}
+		s.Append(time.Duration(v))
+	}
+	got := s.SettleIteration(10, 1.5)
+	if got < 55 || got > 65 {
+		t.Errorf("settle at %d, want ~60", got)
+	}
+	// A flat series settles immediately.
+	flat := seriesOf("flat", 5, 5, 5, 5, 5, 5)
+	if got := flat.SettleIteration(2, 1.5); got != 0 {
+		t.Errorf("flat settles at %d, want 0", got)
+	}
+	if NewSeries("e").SettleIteration(2, 1.5) != 0 {
+		t.Error("empty settle not len")
+	}
+}

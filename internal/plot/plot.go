@@ -1,0 +1,156 @@
+// Package plot renders simple line charts as standalone SVG — enough to
+// regenerate the paper's Figure 4 as an image from the measured
+// per-iteration series, with no dependencies.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one polyline.
+type Series struct {
+	Name string
+	X, Y []float64
+	// Color is any SVG color; empty picks from a default palette.
+	Color string
+}
+
+// Chart is a titled line chart with linear axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// W, H are the image dimensions in pixels (defaults 800x480).
+	W, H   int
+	Series []Series
+}
+
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const margin = 56.0
+
+// SVG renders the chart.
+func (c *Chart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	w, h := float64(c.W), float64(c.H)
+	if w <= 0 {
+		w = 800
+	}
+	if h <= 0 {
+		h = 480
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if ymin > 0 {
+		ymin = 0 // anchor durations at zero
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	px := func(x float64) float64 { return margin + (x-xmin)/(xmax-xmin)*(w-2*margin) }
+	py := func(y float64) float64 { return h - margin - (y-ymin)/(ymax-ymin)*(h-2*margin) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		margin, h-margin, w-margin, h-margin)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		margin, margin, margin, h-margin)
+	// Ticks and grid.
+	for _, t := range ticks(xmin, xmax, 6) {
+		x := px(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", x, margin, x, h-margin)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, h-margin+16, fmtTick(t))
+	}
+	for _, t := range ticks(ymin, ymax, 5) {
+		y := py(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", margin, y, w-margin, y)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			margin-6, y+4, fmtTick(t))
+	}
+	// Series.
+	for i, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = palette[i%len(palette)]
+		}
+		var pts strings.Builder
+		for j := range s.X {
+			fmt.Fprintf(&pts, "%.1f,%.1f ", px(s.X[j]), py(s.Y[j]))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.2" points="%s"/>`+"\n",
+			color, strings.TrimSpace(pts.String()))
+		// Legend entry.
+		lx, ly := w-margin-130, margin+14+float64(i)*16
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly-4, lx+18, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="12">%s</text>`+"\n", lx+24, ly, esc(s.Name))
+	}
+	// Labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="14" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+		w/2, margin/2, esc(c.Title))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		w/2, h-12, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		h/2, h/2, esc(c.YLabel))
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// ticks returns ~n nicely spaced values covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag >= 5:
+		step = 5 * mag
+	case raw/mag >= 2:
+		step = 2 * mag
+	default:
+		step = mag
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,92 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func chartOf(t *testing.T, series ...Series) string {
+	t.Helper()
+	c := Chart{Title: "T & T", XLabel: "iteration", YLabel: "ms", Series: series}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svg
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg := chartOf(t,
+		Series{Name: "U=4", X: []float64{0, 1, 2}, Y: []float64{1, 2, 3}},
+		Series{Name: "U=32", X: []float64{0, 1, 2}, Y: []float64{3, 2, 1}},
+	)
+	var doc struct{}
+	if err := xml.Unmarshal([]byte(svg), &doc); err != nil {
+		t.Fatalf("not well-formed XML: %v\n%s", err, svg)
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("want 2 polylines:\n%s", svg)
+	}
+	if !strings.Contains(svg, "T &amp; T") {
+		t.Error("title not escaped")
+	}
+	for _, want := range []string{"iteration", "ms", "U=4", "U=32"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	c := Chart{}
+	if _, err := c.SVG(); err == nil {
+		t.Error("no-series chart accepted")
+	}
+	c = Chart{Series: []Series{{Name: "bad", X: []float64{1}, Y: nil}}}
+	if _, err := c.SVG(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	c = Chart{Series: []Series{{Name: "empty"}}}
+	if _, err := c.SVG(); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestSVGDegenerateRanges(t *testing.T) {
+	// Constant series and single points must not divide by zero.
+	svg := chartOf(t, Series{Name: "flat", X: []float64{5, 5}, Y: []float64{7, 7}})
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Errorf("degenerate ranges leak NaN/Inf:\n%s", svg)
+	}
+}
+
+func TestTicks(t *testing.T) {
+	got := ticks(0, 1000, 6)
+	if len(got) < 3 || got[0] < 0 || got[len(got)-1] > 1000+1e-6 {
+		t.Errorf("ticks(0,1000) = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("ticks not increasing: %v", got)
+		}
+	}
+	// Small fractional range.
+	got = ticks(0, 0.003, 5)
+	if len(got) < 2 {
+		t.Errorf("fractional ticks %v", got)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	if fmtTick(100) != "100" {
+		t.Errorf("fmtTick(100) = %q", fmtTick(100))
+	}
+	if fmtTick(0.25) != "0.25" {
+		t.Errorf("fmtTick(0.25) = %q", fmtTick(0.25))
+	}
+	if s := fmtTick(math.Pi); !strings.HasPrefix(s, "3.14") {
+		t.Errorf("fmtTick(pi) = %q", s)
+	}
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collective"
+	"repro/internal/decomp"
+	"repro/internal/wire"
+)
+
+// HeatSolver integrates the diffusion equation u_t = u_xx + u_yy + f on the
+// unit square with homogeneous Dirichlet boundaries, explicit Euler on an
+// N x N interior grid distributed by row bands. Its much smaller stable time
+// step (dt <= h^2/4) makes it the natural fine-time-scale partner in a
+// multi-resolution coupling: many diffusion steps per coupled exchange.
+type HeatSolver struct {
+	comm  *collective.Comm
+	rank  int
+	procs int
+
+	n     int
+	block decomp.Rect
+	h, dt float64
+
+	cur, next      []float64
+	forcing        []float64
+	haloUp, haloDn []float64
+	step           int
+}
+
+// NewHeatSolver builds the solver for rank under a row-band layout of an
+// N x N interior grid. Pass dt <= 0 for 0.9 * h^2/4.
+func NewHeatSolver(comm *collective.Comm, layout decomp.RowBlock, rank int, dt float64) (*HeatSolver, error) {
+	rows, cols := layout.Shape()
+	if rows != cols {
+		return nil, fmt.Errorf("sim: heat solver needs a square grid, got %dx%d", rows, cols)
+	}
+	if comm == nil && layout.Procs() != 1 {
+		return nil, fmt.Errorf("sim: nil comm with %d processes", layout.Procs())
+	}
+	h := 1 / float64(rows+1)
+	if dt <= 0 {
+		dt = 0.9 * h * h / 4
+	}
+	if dt > h*h/4 {
+		return nil, fmt.Errorf("sim: dt %g violates the diffusion stability bound %g", dt, h*h/4)
+	}
+	block := layout.Block(rank)
+	return &HeatSolver{
+		comm:    comm,
+		rank:    rank,
+		procs:   layout.Procs(),
+		n:       rows,
+		block:   block,
+		h:       h,
+		dt:      dt,
+		cur:     make([]float64, block.Area()),
+		next:    make([]float64, block.Area()),
+		forcing: make([]float64, block.Area()),
+		haloUp:  make([]float64, block.Cols()),
+		haloDn:  make([]float64, block.Cols()),
+	}, nil
+}
+
+// Block returns the local block.
+func (s *HeatSolver) Block() decomp.Rect { return s.block }
+
+// Dt returns the time step.
+func (s *HeatSolver) Dt() float64 { return s.dt }
+
+// Time returns the current simulation time.
+func (s *HeatSolver) Time() float64 { return float64(s.step) * s.dt }
+
+// Local returns the live local solution block.
+func (s *HeatSolver) Local() []float64 { return s.cur }
+
+// SetInitial sets u(0) from a point function of (x, y).
+func (s *HeatSolver) SetInitial(u0 func(x, y float64) float64) {
+	i := 0
+	for r := s.block.R0; r < s.block.R1; r++ {
+		y := float64(r+1) * s.h
+		for c := s.block.C0; c < s.block.C1; c++ {
+			x := float64(c+1) * s.h
+			s.cur[i] = u0(x, y)
+			i++
+		}
+	}
+}
+
+// SetForcing installs the forcing for subsequent steps (copied).
+func (s *HeatSolver) SetForcing(vals []float64) error {
+	if len(vals) != len(s.forcing) {
+		return fmt.Errorf("sim: forcing has %d values, block has %d", len(vals), len(s.forcing))
+	}
+	copy(s.forcing, vals)
+	return nil
+}
+
+func (s *HeatSolver) at(r, c int) float64 {
+	if c < 0 || c >= s.n || r < 0 || r >= s.n {
+		return 0
+	}
+	switch {
+	case r < s.block.R0:
+		return s.haloUp[c]
+	case r >= s.block.R1:
+		return s.haloDn[c]
+	default:
+		return s.cur[(r-s.block.R0)*s.block.Cols()+c]
+	}
+}
+
+func (s *HeatSolver) exchangeHalos() error {
+	if s.procs == 1 {
+		return nil
+	}
+	w := s.block.Cols()
+	tagDn := fmt.Sprintf("heat-dn:%d", s.step)
+	tagUp := fmt.Sprintf("heat-up:%d", s.step)
+	if s.rank > 0 {
+		if err := s.comm.Send(s.rank-1, tagUp, wire.EncodeFloat64s(s.cur[:w])); err != nil {
+			return err
+		}
+	}
+	if s.rank < s.procs-1 {
+		if err := s.comm.Send(s.rank+1, tagDn, wire.EncodeFloat64s(s.cur[len(s.cur)-w:])); err != nil {
+			return err
+		}
+	}
+	if s.rank > 0 {
+		b, err := s.comm.Recv(s.rank-1, tagDn)
+		if err != nil {
+			return err
+		}
+		if err := wire.DecodeFloat64sInto(b, s.haloUp); err != nil {
+			return err
+		}
+	}
+	if s.rank < s.procs-1 {
+		b, err := s.comm.Recv(s.rank+1, tagUp)
+		if err != nil {
+			return err
+		}
+		if err := wire.DecodeFloat64sInto(b, s.haloDn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step advances one explicit Euler step.
+func (s *HeatSolver) Step() error {
+	if err := s.exchangeHalos(); err != nil {
+		return err
+	}
+	lam := s.dt / (s.h * s.h)
+	i := 0
+	for r := s.block.R0; r < s.block.R1; r++ {
+		for c := s.block.C0; c < s.block.C1; c++ {
+			u := s.cur[i]
+			lap := s.at(r-1, c) + s.at(r+1, c) + s.at(r, c-1) + s.at(r, c+1) - 4*u
+			s.next[i] = u + lam*lap + s.dt*s.forcing[i]
+			i++
+		}
+	}
+	s.cur, s.next = s.next, s.cur
+	s.step++
+	return nil
+}
+
+// L2Norm returns the global discrete L2 norm of the current solution,
+// reduced across the group when parallel.
+func (s *HeatSolver) L2Norm() (float64, error) {
+	local := 0.0
+	for _, v := range s.cur {
+		local += v * v
+	}
+	total := local
+	if s.comm != nil && s.procs > 1 {
+		var err error
+		total, err = s.comm.AllReduceScalar(local, collective.Sum)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return math.Sqrt(total) * s.h, nil
+}
+
+// MaxAbs returns the global max |u|.
+func (s *HeatSolver) MaxAbs() (float64, error) {
+	local := 0.0
+	for _, v := range s.cur {
+		if a := math.Abs(v); a > local {
+			local = a
+		}
+	}
+	if s.comm == nil || s.procs == 1 {
+		return local, nil
+	}
+	return s.comm.AllReduceScalar(local, collective.Max)
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// StepOverlapped advances one explicit Euler step with communication/
+// computation overlap, mirroring WaveSolver.StepOverlapped: boundary rows
+// are posted, the interior is computed while halos are in flight, and the
+// boundary rows finish after the halos arrive. Bitwise identical to Step.
+func (s *HeatSolver) StepOverlapped() error {
+	if s.procs == 1 {
+		return s.Step()
+	}
+	w := s.block.Cols()
+	tagDn := fmt.Sprintf("heat-dn:%d", s.step)
+	tagUp := fmt.Sprintf("heat-up:%d", s.step)
+
+	if s.rank > 0 {
+		if err := s.comm.Send(s.rank-1, tagUp, wire.EncodeFloat64s(s.cur[:w])); err != nil {
+			return err
+		}
+	}
+	if s.rank < s.procs-1 {
+		if err := s.comm.Send(s.rank+1, tagDn, wire.EncodeFloat64s(s.cur[len(s.cur)-w:])); err != nil {
+			return err
+		}
+	}
+
+	lam := s.dt / (s.h * s.h)
+	update := func(r int) {
+		base := (r - s.block.R0) * w
+		for c := s.block.C0; c < s.block.C1; c++ {
+			i := base + (c - s.block.C0)
+			u := s.cur[i]
+			lap := s.at(r-1, c) + s.at(r+1, c) + s.at(r, c-1) + s.at(r, c+1) - 4*u
+			s.next[i] = u + lam*lap + s.dt*s.forcing[i]
+		}
+	}
+	for r := s.block.R0 + 1; r < s.block.R1-1; r++ {
+		update(r)
+	}
+
+	if s.rank > 0 {
+		b, err := s.comm.Recv(s.rank-1, tagDn)
+		if err != nil {
+			return err
+		}
+		if err := wire.DecodeFloat64sInto(b, s.haloUp); err != nil {
+			return err
+		}
+	}
+	if s.rank < s.procs-1 {
+		b, err := s.comm.Recv(s.rank+1, tagUp)
+		if err != nil {
+			return err
+		}
+		if err := wire.DecodeFloat64sInto(b, s.haloDn); err != nil {
+			return err
+		}
+	}
+
+	update(s.block.R0)
+	if s.block.Rows() > 1 {
+		update(s.block.R1 - 1)
+	}
+
+	s.cur, s.next = s.next, s.cur
+	s.step++
+	return nil
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHeatOverlappedMatchesBlocking mirrors the wave solver's overlap test.
+func TestHeatOverlappedMatchesBlocking(t *testing.T) {
+	const n, steps, p = 20, 40, 4
+	run := func(overlapped bool) [][]float64 {
+		comms := newGroup(t, p)
+		l := rowLayout(t, n, p)
+		out := make([][]float64, p)
+		errs := make([]error, p)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				s, err := NewHeatSolver(comms[r], l, r, -1)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				s.SetInitial(func(x, y float64) float64 { return x * (1 - x) * y })
+				field := NewField(l, r, PulseForcing)
+				buf := make([]float64, s.Block().Area())
+				for k := 0; k < steps; k++ {
+					field.Sample(s.Time(), buf)
+					s.SetForcing(buf)
+					if overlapped {
+						errs[r] = s.StepOverlapped()
+					} else {
+						errs[r] = s.Step()
+					}
+					if errs[r] != nil {
+						return
+					}
+				}
+				out[r] = append([]float64(nil), s.Local()...)
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+		}
+		return out
+	}
+	a, b := run(false), run(true)
+	for r := 0; r < p; r++ {
+		for i := range a[r] {
+			if a[r][i] != b[r][i] {
+				t.Fatalf("rank %d index %d: %v != %v", r, i, a[r][i], b[r][i])
+			}
+		}
+	}
+}
+
+func TestHeatOverlappedSingleProc(t *testing.T) {
+	l := rowLayout(t, 8, 1)
+	s, err := NewHeatSolver(nil, l, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInitial(func(x, y float64) float64 { return 1 })
+	if err := s.StepOverlapped(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Time() <= 0 {
+		t.Error("time did not advance")
+	}
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collective"
+	"repro/internal/decomp"
+	"repro/internal/wire"
+)
+
+// WaveSolver integrates u_tt = u_xx + u_yy + f on the unit square with
+// homogeneous Dirichlet boundaries, using the explicit leapfrog scheme on an
+// N x N interior grid distributed by row bands. It is the "program U" of the
+// paper's micro-benchmark.
+type WaveSolver struct {
+	comm  *collective.Comm // nil for a single-process (serial) solver
+	rank  int
+	procs int
+
+	n     int // interior grid size
+	block decomp.Rect
+	h, dt float64
+
+	prev, cur, next []float64
+	forcing         []float64
+	haloUp, haloDn  []float64 // neighbor rows: block.R0-1 and block.R1
+
+	step int
+}
+
+// NewWaveSolver builds the solver for rank under a row-band layout of an
+// N x N interior grid. comm may be nil only when the layout has one process.
+// dt must satisfy the CFL condition dt <= h/sqrt(2); pass dt <= 0 to use
+// 0.9 * h / sqrt(2).
+func NewWaveSolver(comm *collective.Comm, layout decomp.RowBlock, rank int, dt float64) (*WaveSolver, error) {
+	rows, cols := layout.Shape()
+	if rows != cols {
+		return nil, fmt.Errorf("sim: wave solver needs a square grid, got %dx%d", rows, cols)
+	}
+	if comm == nil && layout.Procs() != 1 {
+		return nil, fmt.Errorf("sim: nil comm with %d processes", layout.Procs())
+	}
+	if comm != nil && (comm.Rank() != rank || comm.Size() != layout.Procs()) {
+		return nil, fmt.Errorf("sim: comm rank/size %d/%d does not match layout rank/procs %d/%d",
+			comm.Rank(), comm.Size(), rank, layout.Procs())
+	}
+	h := 1 / float64(rows+1)
+	if dt <= 0 {
+		dt = 0.9 * h / math.Sqrt2
+	}
+	if dt > h/math.Sqrt2 {
+		return nil, fmt.Errorf("sim: dt %g violates the CFL bound %g", dt, h/math.Sqrt2)
+	}
+	block := layout.Block(rank)
+	s := &WaveSolver{
+		comm:    comm,
+		rank:    rank,
+		procs:   layout.Procs(),
+		n:       rows,
+		block:   block,
+		h:       h,
+		dt:      dt,
+		prev:    make([]float64, block.Area()),
+		cur:     make([]float64, block.Area()),
+		next:    make([]float64, block.Area()),
+		forcing: make([]float64, block.Area()),
+		haloUp:  make([]float64, block.Cols()),
+		haloDn:  make([]float64, block.Cols()),
+	}
+	return s, nil
+}
+
+// Block returns the solver's local block.
+func (s *WaveSolver) Block() decomp.Rect { return s.block }
+
+// N returns the interior grid size.
+func (s *WaveSolver) N() int { return s.n }
+
+// Dt returns the time step.
+func (s *WaveSolver) Dt() float64 { return s.dt }
+
+// Time returns the current simulation time (step * dt).
+func (s *WaveSolver) Time() float64 { return float64(s.step) * s.dt }
+
+// Step returns the number of completed time steps.
+func (s *WaveSolver) Steps() int { return s.step }
+
+// Local returns the current local solution block (live storage; callers must
+// copy if they keep it across steps).
+func (s *WaveSolver) Local() []float64 { return s.cur }
+
+// SetInitial sets u(0) and u_t(0) from point functions of (x, y).
+func (s *WaveSolver) SetInitial(u0, v0 func(x, y float64) float64) {
+	i := 0
+	for r := s.block.R0; r < s.block.R1; r++ {
+		y := float64(r+1) * s.h
+		for c := s.block.C0; c < s.block.C1; c++ {
+			x := float64(c+1) * s.h
+			u := u0(x, y)
+			s.cur[i] = u
+			// First-order start: u(-dt) = u(0) - dt*v(0).
+			s.prev[i] = u - s.dt*v0(x, y)
+			i++
+		}
+	}
+}
+
+// SetForcing installs the forcing field for subsequent steps (local block
+// values, row-major). The slice is copied.
+func (s *WaveSolver) SetForcing(vals []float64) error {
+	if len(vals) != len(s.forcing) {
+		return fmt.Errorf("sim: forcing has %d values, block has %d", len(vals), len(s.forcing))
+	}
+	copy(s.forcing, vals)
+	return nil
+}
+
+// at reads the current solution at global (r, c), using halos and Dirichlet
+// boundaries.
+func (s *WaveSolver) at(r, c int) float64 {
+	if c < 0 || c >= s.n || r < 0 || r >= s.n {
+		return 0
+	}
+	switch {
+	case r < s.block.R0:
+		return s.haloUp[c]
+	case r >= s.block.R1:
+		return s.haloDn[c]
+	default:
+		return s.cur[(r-s.block.R0)*s.block.Cols()+c]
+	}
+}
+
+// exchangeHalos swaps boundary rows with the neighboring ranks.
+func (s *WaveSolver) exchangeHalos() error {
+	if s.procs == 1 {
+		return nil
+	}
+	w := s.block.Cols()
+	tagDn := fmt.Sprintf("halo-dn:%d", s.step) // data moving to the next rank
+	tagUp := fmt.Sprintf("halo-up:%d", s.step) // data moving to the previous rank
+	if s.rank > 0 {
+		if err := s.comm.Send(s.rank-1, tagUp, wire.EncodeFloat64s(s.cur[:w])); err != nil {
+			return err
+		}
+	}
+	if s.rank < s.procs-1 {
+		if err := s.comm.Send(s.rank+1, tagDn, wire.EncodeFloat64s(s.cur[len(s.cur)-w:])); err != nil {
+			return err
+		}
+	}
+	if s.rank > 0 {
+		b, err := s.comm.Recv(s.rank-1, tagDn)
+		if err != nil {
+			return err
+		}
+		if err := wire.DecodeFloat64sInto(b, s.haloUp); err != nil {
+			return err
+		}
+	}
+	if s.rank < s.procs-1 {
+		b, err := s.comm.Recv(s.rank+1, tagUp)
+		if err != nil {
+			return err
+		}
+		if err := wire.DecodeFloat64sInto(b, s.haloDn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step advances the solution by one leapfrog time step:
+//
+//	u^{k+1} = 2u^k - u^{k-1} + dt^2 (lap u^k + f^k)
+func (s *WaveSolver) Step() error {
+	if err := s.exchangeHalos(); err != nil {
+		return err
+	}
+	lam := (s.dt * s.dt) / (s.h * s.h)
+	dt2 := s.dt * s.dt
+	i := 0
+	for r := s.block.R0; r < s.block.R1; r++ {
+		for c := s.block.C0; c < s.block.C1; c++ {
+			u := s.cur[i]
+			lap := s.at(r-1, c) + s.at(r+1, c) + s.at(r, c-1) + s.at(r, c+1) - 4*u
+			s.next[i] = 2*u - s.prev[i] + lam*lap + dt2*s.forcing[i]
+			i++
+		}
+	}
+	s.prev, s.cur, s.next = s.cur, s.next, s.prev
+	s.step++
+	return nil
+}
+
+// L2Norm returns the global discrete L2 norm of the current solution
+// (sqrt(h^2 * sum u^2)), reduced across the group when parallel.
+func (s *WaveSolver) L2Norm() (float64, error) {
+	local := 0.0
+	for _, v := range s.cur {
+		local += v * v
+	}
+	total := local
+	if s.comm != nil && s.procs > 1 {
+		var err error
+		total, err = s.comm.AllReduceScalar(local, collective.Sum)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return math.Sqrt(total) * s.h, nil
+}
+
+// MaxAbs returns the global max |u|, reduced across the group when parallel.
+func (s *WaveSolver) MaxAbs() (float64, error) {
+	local := 0.0
+	for _, v := range s.cur {
+		if a := math.Abs(v); a > local {
+			local = a
+		}
+	}
+	if s.comm == nil || s.procs == 1 {
+		return local, nil
+	}
+	return s.comm.AllReduceScalar(local, collective.Max)
+}

@@ -1,0 +1,140 @@
+// Package trace records per-process framework events in the style of the
+// paper's scenario figures (Figures 5, 7 and 8): one line per export /
+// memcpy / skip / remove / request / reply / buddy-help / send. The
+// tracedemo command and the scenario tests regenerate those figures from
+// these logs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Op is the kind of event.
+type Op int
+
+// Event kinds, in the vocabulary of the paper's figures.
+const (
+	// OpExportCopy is an export call that buffered its data ("call memcpy").
+	OpExportCopy Op = iota
+	// OpExportSkip is an export call that skipped buffering ("skip memcpy").
+	OpExportSkip
+	// OpRemove is the framework freeing buffered data objects.
+	OpRemove
+	// OpRequest is the arrival of a forwarded import request.
+	OpRequest
+	// OpReply is this process's response to a forwarded request.
+	OpReply
+	// OpBuddyHelp is the arrival of a buddy-help message.
+	OpBuddyHelp
+	// OpSend is the transfer of matched data to the importer.
+	OpSend
+)
+
+// Event is one trace line. TS is the data timestamp the event concerns, Req
+// the request timestamp when relevant. For OpRemove, TS..TS2 is the range of
+// removed timestamps. Result carries the reply/answer spelling (PENDING,
+// MATCH, NO MATCH); Latest the "current latest export" in a reply.
+type Event struct {
+	Op     Op
+	TS     float64
+	TS2    float64
+	Req    float64
+	Result string
+	Latest float64
+}
+
+// String renders the event as one paper-style line.
+func (e Event) String() string {
+	switch e.Op {
+	case OpExportCopy:
+		return fmt.Sprintf("export D@%g, call memcpy.", e.TS)
+	case OpExportSkip:
+		return fmt.Sprintf("export D@%g, skip memcpy.", e.TS)
+	case OpRemove:
+		if e.TS == e.TS2 {
+			return fmt.Sprintf("remove D@%g.", e.TS)
+		}
+		return fmt.Sprintf("remove D@%g, ..., D@%g.", e.TS, e.TS2)
+	case OpRequest:
+		return fmt.Sprintf("receive request for D@%g.", e.Req)
+	case OpReply:
+		if e.Result == "MATCH" {
+			return fmt.Sprintf("reply {D@%g, MATCH, D@%g}.", e.Req, e.TS)
+		}
+		return fmt.Sprintf("reply {D@%g, %s, D@%g}.", e.Req, e.Result, e.Latest)
+	case OpBuddyHelp:
+		return fmt.Sprintf("receive buddy-help {D@%g, %s, D@%g}.", e.Req, e.Result, e.TS)
+	case OpSend:
+		return fmt.Sprintf("send D@%g out.", e.TS)
+	default:
+		return fmt.Sprintf("event(%d)", int(e.Op))
+	}
+}
+
+// Log is a concurrency-safe append-only event log. A nil *Log is a valid
+// no-op sink, so tracing can be disabled without branching at call sites.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Add appends an event; Add on a nil log is a no-op.
+func (l *Log) Add(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Events returns a snapshot of the recorded events.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Lines renders every event as a numbered, paper-style line.
+func (l *Log) Lines() []string {
+	evs := l.Events()
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = fmt.Sprintf("%-3d %s", i+1, e.String())
+	}
+	return out
+}
+
+// Format joins Lines with newlines.
+func (l *Log) Format() string { return strings.Join(l.Lines(), "\n") }
+
+// Count returns how many events of op were recorded.
+func (l *Log) Count(op Op) int {
+	n := 0
+	for _, e := range l.Events() {
+		if e.Op == op {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventStrings(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Op: OpExportCopy, TS: 1.6}, "export D@1.6, call memcpy."},
+		{Event{Op: OpExportSkip, TS: 15.6}, "export D@15.6, skip memcpy."},
+		{Event{Op: OpRemove, TS: 1.6, TS2: 14.6}, "remove D@1.6, ..., D@14.6."},
+		{Event{Op: OpRemove, TS: 31.6, TS2: 31.6}, "remove D@31.6."},
+		{Event{Op: OpRequest, Req: 20}, "receive request for D@20."},
+		{Event{Op: OpReply, Req: 20, Result: "PENDING", Latest: 14.6}, "reply {D@20, PENDING, D@14.6}."},
+		{Event{Op: OpReply, Req: 20, Result: "MATCH", TS: 19.6}, "reply {D@20, MATCH, D@19.6}."},
+		{Event{Op: OpBuddyHelp, Req: 20, Result: "MATCH", TS: 19.6}, "receive buddy-help {D@20, MATCH, D@19.6}."},
+		{Event{Op: OpSend, TS: 19.6}, "send D@19.6 out."},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+	if (Event{Op: Op(99)}).String() == "" {
+		t.Error("unknown op renders empty")
+	}
+}
+
+func TestNilLogIsNoOp(t *testing.T) {
+	var l *Log
+	l.Add(Event{Op: OpSend})
+	if l.Len() != 0 || l.Events() != nil {
+		t.Error("nil log not a no-op")
+	}
+}
+
+func TestLogAccumulates(t *testing.T) {
+	l := NewLog()
+	l.Add(Event{Op: OpExportCopy, TS: 1})
+	l.Add(Event{Op: OpExportSkip, TS: 2})
+	l.Add(Event{Op: OpExportSkip, TS: 3})
+	if l.Len() != 3 {
+		t.Fatalf("len %d", l.Len())
+	}
+	if l.Count(OpExportSkip) != 2 || l.Count(OpExportCopy) != 1 || l.Count(OpSend) != 0 {
+		t.Error("counts wrong")
+	}
+	lines := l.Lines()
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "1 ") {
+		t.Errorf("lines %v", lines)
+	}
+	if !strings.Contains(l.Format(), "export D@2, skip memcpy.") {
+		t.Errorf("format: %s", l.Format())
+	}
+}
+
+func TestLogEventsSnapshot(t *testing.T) {
+	l := NewLog()
+	l.Add(Event{Op: OpSend, TS: 1})
+	evs := l.Events()
+	l.Add(Event{Op: OpSend, TS: 2})
+	if len(evs) != 1 {
+		t.Error("snapshot grew")
+	}
+}
+
+func TestLogConcurrent(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Add(Event{Op: OpExportCopy, TS: float64(j)})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Errorf("len %d, want 800", l.Len())
+	}
+}

@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// Dispatcher owns an endpoint's receive loop and fans messages out to
+// per-kind queues, so independent protocol layers (collective operations,
+// framework control, bulk data) can share one endpoint without stealing each
+// other's messages — the role MPI tags/communicators play in the paper's
+// substrate.
+//
+// Queues are unbounded: the dispatcher never blocks on a slow consumer, so a
+// process busy in a long compute phase cannot stall its peers' sends (the
+// paper's framework likewise decouples request handling from the application
+// loop).
+type Dispatcher struct {
+	ep Endpoint
+
+	mu      sync.Mutex
+	queues  map[Kind]*queue
+	chans   map[Kind]chan Message
+	err     error
+	closed  bool
+	stopped chan struct{}
+}
+
+// queue is an unbounded FIFO with blocking receive.
+type queue struct {
+	mu     sync.Mutex
+	items  []Message
+	signal chan struct{} // capacity 1; poked on push and on close
+	closed bool
+}
+
+func newQueue() *queue {
+	return &queue{signal: make(chan struct{}, 1)}
+}
+
+func (q *queue) push(m Message) {
+	q.mu.Lock()
+	q.items = append(q.items, m)
+	q.mu.Unlock()
+	q.poke()
+}
+
+func (q *queue) poke() {
+	select {
+	case q.signal <- struct{}{}:
+	default:
+	}
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.poke()
+}
+
+// pop removes the head message, blocking until one is available, the queue
+// closes (ErrClosed), or the deadline passes (ErrTimeout; zero deadline means
+// no deadline).
+func (q *queue) pop(deadline <-chan time.Time) (Message, error) {
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			m := q.items[0]
+			q.items = q.items[1:]
+			if len(q.items) > 0 {
+				// More waiting: re-poke for other blocked receivers.
+				defer q.poke()
+			}
+			q.mu.Unlock()
+			return m, nil
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return Message{}, ErrClosed
+		}
+		q.mu.Unlock()
+		select {
+		case <-q.signal:
+		case <-deadline:
+			return Message{}, ErrTimeout
+		}
+	}
+}
+
+// NewDispatcher wraps ep and starts its receive loop.
+func NewDispatcher(ep Endpoint) *Dispatcher {
+	d := &Dispatcher{
+		ep:      ep,
+		queues:  make(map[Kind]*queue),
+		chans:   make(map[Kind]chan Message),
+		stopped: make(chan struct{}),
+	}
+	go d.run()
+	return d
+}
+
+// Chan returns a channel delivering the messages of kind, in order, fed by a
+// per-kind pump goroutine (so multiple kinds can be multiplexed with select).
+// The channel closes when the dispatcher stops. For any given kind use
+// either Chan or Recv/RecvTimeout, not both.
+func (d *Dispatcher) Chan(kind Kind) <-chan Message {
+	d.mu.Lock()
+	ch, ok := d.chans[kind]
+	if ok {
+		d.mu.Unlock()
+		return ch
+	}
+	ch = make(chan Message, 64)
+	d.chans[kind] = ch
+	d.mu.Unlock()
+	q := d.queue(kind)
+	go func() {
+		for {
+			m, err := q.pop(nil)
+			if err != nil {
+				close(ch)
+				return
+			}
+			select {
+			case ch <- m:
+			case <-d.stopped:
+				close(ch)
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// Endpoint returns the wrapped endpoint (for Send; callers must not Recv on
+// it directly once a Dispatcher owns it).
+func (d *Dispatcher) Endpoint() Endpoint { return d.ep }
+
+// Addr returns the wrapped endpoint's address.
+func (d *Dispatcher) Addr() Addr { return d.ep.Addr() }
+
+// Send forwards to the underlying endpoint.
+func (d *Dispatcher) Send(msg Message) error { return d.ep.Send(msg) }
+
+func (d *Dispatcher) queue(kind Kind) *queue {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	q, ok := d.queues[kind]
+	if !ok {
+		q = newQueue()
+		if d.closed {
+			q.closed = true
+		}
+		d.queues[kind] = q
+	}
+	return q
+}
+
+// Recv receives the next message of kind, blocking until one arrives or the
+// dispatcher stops (returning ErrClosed).
+func (d *Dispatcher) Recv(kind Kind) (Message, error) {
+	return d.queue(kind).pop(nil)
+}
+
+// RecvTimeout is Recv with a deadline.
+func (d *Dispatcher) RecvTimeout(kind Kind, timeout time.Duration) (Message, error) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	return d.queue(kind).pop(t.C)
+}
+
+// Err returns the error that stopped the receive loop, or nil while running.
+func (d *Dispatcher) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+// Close closes the underlying endpoint, which stops the receive loop and
+// closes all queues.
+func (d *Dispatcher) Close() error { return d.ep.Close() }
+
+func (d *Dispatcher) run() {
+	for {
+		m, err := d.ep.Recv()
+		if err != nil {
+			d.stop(err)
+			return
+		}
+		d.queue(m.Kind).push(m)
+	}
+}
+
+func (d *Dispatcher) stop(err error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.err = err
+	qs := make([]*queue, 0, len(d.queues))
+	for _, q := range d.queues {
+		qs = append(qs, q)
+	}
+	d.mu.Unlock()
+	close(d.stopped)
+	for _, q := range qs {
+		q.close()
+	}
+}

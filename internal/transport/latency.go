@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LatencyNetwork wraps another Network and delays every message by a fixed
+// latency plus optional uniform jitter, preserving per-pair FIFO order. It
+// models the cluster interconnect of the paper's testbed (Gigabit Ethernet,
+// ~100 µs) or a WAN, and supports the ablation of how control-message
+// latency erodes the buddy-help window: a buddy-help message only saves
+// memcpys if it outruns the slow process's exports.
+type LatencyNetwork struct {
+	inner   Network
+	latency time.Duration
+	jitter  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewLatencyNetwork wraps inner, delaying each delivery by latency plus a
+// uniform random amount in [0, jitter).
+func NewLatencyNetwork(inner Network, latency, jitter time.Duration) *LatencyNetwork {
+	return &LatencyNetwork{
+		inner:   inner,
+		latency: latency,
+		jitter:  jitter,
+		rng:     rand.New(rand.NewSource(1)),
+	}
+}
+
+// Register implements Network.
+func (n *LatencyNetwork) Register(addr Addr) (Endpoint, error) {
+	ep, err := n.inner.Register(addr)
+	if err != nil {
+		return nil, err
+	}
+	le := &latencyEndpoint{
+		net:   n,
+		inner: ep,
+		queue: make(chan delayedMsg, DefaultMailboxDepth),
+		done:  make(chan struct{}),
+	}
+	go le.pump()
+	return le, nil
+}
+
+// Close implements Network.
+func (n *LatencyNetwork) Close() error { return n.inner.Close() }
+
+// delay draws one delivery delay.
+func (n *LatencyNetwork) delay() time.Duration {
+	d := n.latency
+	if n.jitter > 0 {
+		n.mu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(n.jitter)))
+		n.mu.Unlock()
+	}
+	return d
+}
+
+type delayedMsg struct {
+	due time.Time
+	msg Message
+}
+
+// latencyEndpoint delays sends: each message is queued with a due time and a
+// per-endpoint pump goroutine releases them in order, preserving FIFO (the
+// fixed base latency dominates, and the pump never reorders).
+type latencyEndpoint struct {
+	net      *LatencyNetwork
+	inner    Endpoint
+	queue    chan delayedMsg
+	done     chan struct{}
+	closeOne sync.Once
+}
+
+func (e *latencyEndpoint) pump() {
+	for {
+		select {
+		case dm := <-e.queue:
+			if wait := time.Until(dm.due); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-e.done:
+					return
+				}
+			}
+			if err := e.inner.Send(dm.msg); err != nil {
+				return
+			}
+		case <-e.done:
+			return
+		}
+	}
+}
+
+func (e *latencyEndpoint) Addr() Addr { return e.inner.Addr() }
+
+func (e *latencyEndpoint) Send(msg Message) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case e.queue <- delayedMsg{due: time.Now().Add(e.net.delay()), msg: msg}:
+		return nil
+	case <-e.done:
+		return ErrClosed
+	}
+}
+
+func (e *latencyEndpoint) Recv() (Message, error) { return e.inner.Recv() }
+
+func (e *latencyEndpoint) RecvTimeout(d time.Duration) (Message, error) {
+	return e.inner.RecvTimeout(d)
+}
+
+func (e *latencyEndpoint) Close() error {
+	e.closeOne.Do(func() { close(e.done) })
+	return e.inner.Close()
+}

@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultMailboxDepth is the buffered-channel depth of each in-memory
+// mailbox. It is deep enough that control traffic never blocks senders in the
+// workloads this repo runs; data-plane backpressure is handled above the
+// transport.
+const DefaultMailboxDepth = 1024
+
+// MemNetwork routes messages through buffered channels inside one OS process.
+// It is the default substrate: a "cluster" of goroutine processes.
+type MemNetwork struct {
+	mu     sync.RWMutex
+	boxes  map[Addr]*memEndpoint
+	seq    map[seqKey]uint64
+	depth  int
+	closed bool
+}
+
+// NewMemNetwork returns an empty in-memory network with DefaultMailboxDepth
+// mailboxes.
+func NewMemNetwork() *MemNetwork { return NewMemNetworkDepth(DefaultMailboxDepth) }
+
+// NewMemNetworkDepth returns an in-memory network whose mailboxes buffer
+// depth messages before senders block.
+func NewMemNetworkDepth(depth int) *MemNetwork {
+	if depth < 1 {
+		depth = 1
+	}
+	return &MemNetwork{
+		boxes: make(map[Addr]*memEndpoint),
+		seq:   make(map[seqKey]uint64),
+		depth: depth,
+	}
+}
+
+// Register claims addr and returns its endpoint.
+func (n *MemNetwork) Register(addr Addr) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.boxes[addr]; dup {
+		return nil, ErrDuplicateAddr
+	}
+	ep := &memEndpoint{
+		net:  n,
+		addr: addr,
+		box:  make(chan Message, n.depth),
+		done: make(chan struct{}),
+	}
+	n.boxes[addr] = ep
+	return ep, nil
+}
+
+// Close shuts down the network and every endpoint registered on it.
+func (n *MemNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*memEndpoint, 0, len(n.boxes))
+	for _, ep := range n.boxes {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return nil
+}
+
+// deliver routes msg to its destination mailbox, blocking if the mailbox is
+// full (providing natural backpressure, like a rendezvous send).
+func (n *MemNetwork) deliver(msg Message) error {
+	n.mu.RLock()
+	dst, ok := n.boxes[msg.Dst]
+	n.mu.RUnlock()
+	if !ok {
+		return ErrUnknownAddr
+	}
+	select {
+	case dst.box <- msg:
+		return nil
+	case <-dst.done:
+		return ErrClosed
+	}
+}
+
+func (n *MemNetwork) nextSeq(k seqKey) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.seq[k]++
+	return n.seq[k]
+}
+
+func (n *MemNetwork) unregister(addr Addr) {
+	n.mu.Lock()
+	delete(n.boxes, addr)
+	n.mu.Unlock()
+}
+
+type memEndpoint struct {
+	net      *MemNetwork
+	addr     Addr
+	box      chan Message
+	done     chan struct{}
+	closeOne sync.Once
+}
+
+func (e *memEndpoint) Addr() Addr { return e.addr }
+
+func (e *memEndpoint) Send(msg Message) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	msg.Src = e.addr
+	msg.Seq = e.net.nextSeq(seqKey{src: e.addr, dst: msg.Dst})
+	return e.net.deliver(msg)
+}
+
+func (e *memEndpoint) Recv() (Message, error) {
+	select {
+	case m := <-e.box:
+		return m, nil
+	case <-e.done:
+		// Drain anything raced in before close was observed.
+		select {
+		case m := <-e.box:
+			return m, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+func (e *memEndpoint) RecvTimeout(d time.Duration) (Message, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case m := <-e.box:
+		return m, nil
+	case <-e.done:
+		return Message{}, ErrClosed
+	case <-t.C:
+		return Message{}, ErrTimeout
+	}
+}
+
+func (e *memEndpoint) Close() error {
+	e.closeOne.Do(func() {
+		close(e.done)
+		e.net.unregister(e.addr)
+	})
+	return nil
+}

@@ -1,0 +1,301 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPRouter is the hub of a star-topology TCP network. Every endpoint dials
+// the router once, announces its address, and the router forwards messages by
+// destination. A star keeps connection count linear in the number of
+// processes, matching the "rep as low-overhead gateway" spirit of the paper,
+// and means the framework code above needs no topology knowledge.
+type TCPRouter struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[Addr]*routerConn
+	seq    map[seqKey]uint64
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type routerConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	emu  sync.Mutex // serializes writes to enc
+}
+
+// StartTCPRouter listens on addr (e.g. "127.0.0.1:0") and serves endpoint
+// connections until Close.
+func StartTCPRouter(addr string) (*TCPRouter, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: router listen: %w", err)
+	}
+	r := &TCPRouter{
+		ln:    ln,
+		conns: make(map[Addr]*routerConn),
+		seq:   make(map[seqKey]uint64),
+	}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// ListenAddr returns the router's bound address, for clients to dial.
+func (r *TCPRouter) ListenAddr() string { return r.ln.Addr().String() }
+
+// Close stops the router and disconnects all endpoints.
+func (r *TCPRouter) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	conns := make([]*routerConn, 0, len(r.conns))
+	for _, c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	err := r.ln.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	r.wg.Wait()
+	return err
+}
+
+func (r *TCPRouter) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		r.wg.Add(1)
+		go r.serveConn(conn)
+	}
+}
+
+// serveConn reads the hello (a Message whose Src is the endpoint's claimed
+// address), registers the connection, then forwards every further message.
+func (r *TCPRouter) serveConn(conn net.Conn) {
+	defer r.wg.Done()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var hello Message
+	if err := dec.Decode(&hello); err != nil {
+		conn.Close()
+		return
+	}
+	addr := hello.Src
+	rc := &routerConn{conn: conn, enc: enc}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if _, dup := r.conns[addr]; dup {
+		r.mu.Unlock()
+		// Duplicate registration: refuse by closing; the dialer's Recv will
+		// fail and Register report it.
+		conn.Close()
+		return
+	}
+	r.conns[addr] = rc
+	r.mu.Unlock()
+	// Ack the hello so Register can fail fast on duplicates.
+	rc.send(Message{Kind: KindControl, Tag: "hello-ok", Dst: addr})
+
+	defer func() {
+		r.mu.Lock()
+		if r.conns[addr] == rc {
+			delete(r.conns, addr)
+		}
+		r.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		m.Src = addr // router stamps the true source
+		r.forward(m)
+	}
+}
+
+func (r *TCPRouter) forward(m Message) {
+	r.mu.Lock()
+	dst, ok := r.conns[m.Dst]
+	if ok {
+		r.seq[seqKey{src: m.Src, dst: m.Dst}]++
+		m.Seq = r.seq[seqKey{src: m.Src, dst: m.Dst}]
+	}
+	r.mu.Unlock()
+	if !ok {
+		// No receiver: drop. TCP endpoints in this repo register before any
+		// peer sends to them (the framework handshakes at startup).
+		return
+	}
+	dst.send(m)
+}
+
+func (c *routerConn) send(m Message) {
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	_ = c.enc.Encode(m) // a failed peer is detected by its own read loop
+}
+
+// TCPNetwork is the client side of a router-based network. Register dials the
+// router once per address.
+type TCPNetwork struct {
+	routerAddr string
+
+	mu     sync.Mutex
+	eps    []*tcpEndpoint
+	closed bool
+}
+
+// NewTCPNetwork returns a network whose endpoints connect to the router at
+// routerAddr.
+func NewTCPNetwork(routerAddr string) *TCPNetwork {
+	return &TCPNetwork{routerAddr: routerAddr}
+}
+
+// Register dials the router and claims addr.
+func (n *TCPNetwork) Register(addr Addr) (Endpoint, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	n.mu.Unlock()
+
+	conn, err := net.Dial("tcp", n.routerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial router: %w", err)
+	}
+	ep := &tcpEndpoint{
+		addr: addr,
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+		box:  make(chan Message, DefaultMailboxDepth),
+		done: make(chan struct{}),
+	}
+	// Hello handshake: announce our address, wait for the ack.
+	if err := ep.enc.Encode(Message{Kind: KindControl, Tag: "hello", Src: addr}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	var ack Message
+	if err := ep.dec.Decode(&ack); err != nil {
+		conn.Close()
+		return nil, ErrDuplicateAddr
+	}
+	go ep.readLoop()
+
+	n.mu.Lock()
+	n.eps = append(n.eps, ep)
+	n.mu.Unlock()
+	return ep, nil
+}
+
+// Close closes every endpoint registered through this network object.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	eps := n.eps
+	n.eps = nil
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return nil
+}
+
+type tcpEndpoint struct {
+	addr Addr
+	conn net.Conn
+	enc  *gob.Encoder
+	emu  sync.Mutex
+	dec  *gob.Decoder
+
+	box      chan Message
+	done     chan struct{}
+	closeOne sync.Once
+}
+
+func (e *tcpEndpoint) readLoop() {
+	for {
+		var m Message
+		if err := e.dec.Decode(&m); err != nil {
+			e.Close()
+			return
+		}
+		select {
+		case e.box <- m:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) Addr() Addr { return e.addr }
+
+func (e *tcpEndpoint) Send(msg Message) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	msg.Src = e.addr
+	e.emu.Lock()
+	defer e.emu.Unlock()
+	if err := e.enc.Encode(msg); err != nil {
+		return fmt.Errorf("transport: tcp send %s: %w", routeString(msg), err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Recv() (Message, error) {
+	select {
+	case m := <-e.box:
+		return m, nil
+	case <-e.done:
+		select {
+		case m := <-e.box:
+			return m, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+func (e *tcpEndpoint) RecvTimeout(d time.Duration) (Message, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case m := <-e.box:
+		return m, nil
+	case <-e.done:
+		return Message{}, ErrClosed
+	case <-t.C:
+		return Message{}, ErrTimeout
+	}
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.closeOne.Do(func() {
+		close(e.done)
+		e.conn.Close()
+	})
+	return nil
+}

@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// startRouter starts a localhost router and registers cleanup.
+func startRouter(t *testing.T) *TCPRouter {
+	t.Helper()
+	r, err := StartTCPRouter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	r := startRouter(t)
+	n := NewTCPNetwork(r.ListenAddr())
+	defer n.Close()
+	a, err := n.Register(Proc("P", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Register(Proc("P", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := Message{Kind: KindData, Dst: b.Addr(), Tag: "x", Payload: []byte("payload")}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != a.Addr() || got.Tag != "x" || string(got.Payload) != "payload" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestTCPFIFO(t *testing.T) {
+	r := startRouter(t)
+	n := NewTCPNetwork(r.ListenAddr())
+	defer n.Close()
+	a, _ := n.Register(Proc("P", 0))
+	b, _ := n.Register(Proc("P", 1))
+	const k = 200
+	go func() {
+		for i := 0; i < k; i++ {
+			a.Send(Message{Kind: KindPoint, Dst: b.Addr(), Tag: fmt.Sprint(i)})
+		}
+	}()
+	for i := 0; i < k; i++ {
+		m, err := b.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Tag != fmt.Sprint(i) {
+			t.Fatalf("out of order at %d: %q", i, m.Tag)
+		}
+	}
+}
+
+func TestTCPDuplicateRegister(t *testing.T) {
+	r := startRouter(t)
+	n := NewTCPNetwork(r.ListenAddr())
+	defer n.Close()
+	if _, err := n.Register(Proc("P", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Register(Proc("P", 0)); err == nil {
+		t.Error("duplicate register succeeded")
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	r := startRouter(t)
+	n := NewTCPNetwork(r.ListenAddr())
+	defer n.Close()
+	a, _ := n.Register(Proc("P", 0))
+	b, _ := n.Register(Proc("P", 1))
+	a.Send(Message{Kind: KindPoint, Dst: b.Addr(), Tag: "ping"})
+	m, err := b.RecvTimeout(5 * time.Second)
+	if err != nil || m.Tag != "ping" {
+		t.Fatalf("ping: %v", err)
+	}
+	b.Send(Message{Kind: KindPoint, Dst: a.Addr(), Tag: "pong"})
+	m, err = a.RecvTimeout(5 * time.Second)
+	if err != nil || m.Tag != "pong" {
+		t.Fatalf("pong: %v", err)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	r := startRouter(t)
+	n := NewTCPNetwork(r.ListenAddr())
+	defer n.Close()
+	a, _ := n.Register(Proc("P", 0))
+	b, _ := n.Register(Proc("P", 1))
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := a.Send(Message{Kind: KindData, Dst: b.Addr(), Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.RecvTimeout(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Payload) != len(payload) {
+		t.Fatalf("payload size %d, want %d", len(m.Payload), len(payload))
+	}
+	for i := 0; i < len(payload); i += 4097 {
+		if m.Payload[i] != byte(i) {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	r := startRouter(t)
+	n := NewTCPNetwork(r.ListenAddr())
+	defer n.Close()
+	a, _ := n.Register(Proc("P", 0))
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+}
+
+func TestTCPRouterClose(t *testing.T) {
+	r := startRouter(t)
+	n := NewTCPNetwork(r.ListenAddr())
+	defer n.Close()
+	a, _ := n.Register(Proc("P", 0))
+	r.Close()
+	// After the router dies, the endpoint's read loop closes it.
+	_, err := a.RecvTimeout(2 * time.Second)
+	if err == nil {
+		t.Error("expected error after router close")
+	}
+}

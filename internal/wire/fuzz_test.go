@@ -1,0 +1,36 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodeFloat64s: the codec must never panic and must round-trip
+// whatever it accepts.
+func FuzzDecodeFloat64s(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	f.Add(make([]byte, 7))
+	f.Add(EncodeFloat64s([]float64{1, math.Inf(1), math.NaN()}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		vals, err := DecodeFloat64s(b)
+		if err != nil {
+			if len(b)%8 == 0 {
+				t.Fatalf("rejected valid length %d: %v", len(b), err)
+			}
+			return
+		}
+		if len(vals) != len(b)/8 {
+			t.Fatalf("decoded %d values from %d bytes", len(vals), len(b))
+		}
+		enc := EncodeFloat64s(vals)
+		if len(enc) != len(b) {
+			t.Fatalf("re-encode length %d != %d", len(enc), len(b))
+		}
+		for i := range b {
+			if enc[i] != b[i] {
+				t.Fatalf("round trip differs at byte %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat64sRoundTrip(t *testing.T) {
+	in := []float64{0, 1, -1, math.Pi, math.MaxFloat64, math.SmallestNonzeroFloat64, math.Inf(1), math.Inf(-1)}
+	out, err := DecodeFloat64s(EncodeFloat64s(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip: got %v want %v", out, in)
+	}
+}
+
+func TestFloat64sRoundTripProperty(t *testing.T) {
+	f := func(in []float64) bool {
+		out, err := DecodeFloat64s(EncodeFloat64s(in))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			// NaN-safe comparison on bit patterns.
+			if math.Float64bits(in[i]) != math.Float64bits(out[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64sNaNPreserved(t *testing.T) {
+	out, err := DecodeFloat64s(EncodeFloat64s([]float64{math.NaN()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(out[0]) {
+		t.Error("NaN not preserved")
+	}
+}
+
+func TestDecodeFloat64sBadLength(t *testing.T) {
+	if _, err := DecodeFloat64s(make([]byte, 7)); err == nil {
+		t.Error("expected error for length 7")
+	}
+}
+
+func TestDecodeFloat64sInto(t *testing.T) {
+	b := EncodeFloat64s([]float64{1, 2, 3})
+	dst := make([]float64, 3)
+	if err := DecodeFloat64sInto(b, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[2] != 3 {
+		t.Errorf("dst = %v", dst)
+	}
+	if err := DecodeFloat64sInto(b, make([]float64, 2)); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+}
+
+func TestFloat64sSize(t *testing.T) {
+	if Float64sSize(10) != 80 {
+		t.Errorf("Float64sSize(10) = %d", Float64sSize(10))
+	}
+	if got := len(EncodeFloat64s(make([]float64, 5))); got != Float64sSize(5) {
+		t.Errorf("encoded len %d != size %d", got, Float64sSize(5))
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	type payload struct {
+		A int
+		B string
+		C []float64
+	}
+	in := payload{A: 7, B: "x", C: []float64{1.5}}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("got %+v want %+v", out, in)
+	}
+}
+
+func TestUnmarshalError(t *testing.T) {
+	var v struct{ A int }
+	if err := Unmarshal([]byte{0xff, 0x00}, &v); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestMustMarshalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMarshal(chan) did not panic")
+		}
+	}()
+	MustMarshal(make(chan int)) // gob cannot encode channels
+}
+
+func TestAppendFloat64s(t *testing.T) {
+	prefix := []byte{0xAA}
+	b := AppendFloat64s(prefix, []float64{1})
+	if len(b) != 9 || b[0] != 0xAA {
+		t.Errorf("append result %v", b)
+	}
+}
