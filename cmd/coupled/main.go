@@ -51,6 +51,11 @@ func main() {
 		every   = flag.Int("every", 10, "importer requests once per this many exporter steps")
 		buddy   = flag.Bool("buddy", true, "enable buddy-help")
 		verbose = flag.Bool("v", false, "print per-import match lines")
+		hb      = flag.Duration("heartbeat", 0,
+			"rep heartbeat interval: detect a dead peer program within 2x this (0 = disabled)")
+		retries = flag.Int("maxretries", 0,
+			"distributed mode: reconnect to the router up to this many times after a connection "+
+				"failure, replaying unacknowledged messages (0 = fail on first loss)")
 	)
 	flag.Parse()
 	if *listen != "" {
@@ -67,7 +72,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*cfgPath, *program, *router, *gridN, *steps, *every, *buddy, *verbose); err != nil {
+	if err := run(*cfgPath, *program, *router, *gridN, *steps, *every, *buddy, *verbose, *hb, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "coupled:", err)
 		os.Exit(1)
 	}
@@ -107,18 +112,26 @@ func contains(xs []string, s string) bool {
 	return false
 }
 
-func run(cfgPath, program, router string, gridN, steps, every int, buddy, verbose bool) error {
+func run(cfgPath, program, router string, gridN, steps, every int, buddy, verbose bool,
+	heartbeat time.Duration, maxRetries int) error {
 	cfg, err := config.ParseFile(cfgPath)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{BuddyHelp: buddy, Timeout: 2 * time.Minute}
+	opts := core.Options{BuddyHelp: buddy, Timeout: 2 * time.Minute, Heartbeat: heartbeat}
 	var fw *core.Framework
 	if program != "" {
 		if router == "" {
 			return fmt.Errorf("-program needs -router")
 		}
-		opts.Network = transport.NewTCPNetwork(router)
+		tcp := transport.NewTCPNetwork(router)
+		opts.Network = tcp
+		if maxRetries > 0 {
+			// Reconnection alone redials the router; the reliable layer on top
+			// replays whatever the dead socket swallowed, exactly once.
+			tcp.MaxRetries = maxRetries
+			opts.Network = transport.NewReliableNetwork(tcp, transport.ReliableConfig{})
+		}
 		fw, err = core.Join(cfg, program, opts)
 	} else {
 		fw, err = core.New(cfg, opts)

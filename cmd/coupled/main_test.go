@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func writeCfg(t *testing.T, body string) string {
@@ -17,7 +18,7 @@ func writeCfg(t *testing.T, body string) string {
 
 func TestRunSingleProcess(t *testing.T) {
 	cfg := writeCfg(t, "A local b 2\nB local b 2\n#\nA.x B.x REGL 2.5\n")
-	if err := run(cfg, "", "", 16, 30, 10, true, false); err != nil {
+	if err := run(cfg, "", "", 16, 30, 10, true, false, 200*time.Millisecond, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -31,20 +32,20 @@ out local b 1
 src.a mid.a REGL 1.0
 mid.b out.b REGL 1.0
 `)
-	if err := run(cfg, "", "", 8, 20, 5, true, false); err != nil {
+	if err := run(cfg, "", "", 8, 20, 5, true, false, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadConfigPath(t *testing.T) {
-	if err := run("/nonexistent/x.cfg", "", "", 8, 10, 5, true, false); err == nil {
+	if err := run("/nonexistent/x.cfg", "", "", 8, 10, 5, true, false, 0, 0); err == nil {
 		t.Error("missing config accepted")
 	}
 }
 
 func TestRunProgramNeedsRouter(t *testing.T) {
 	cfg := writeCfg(t, "A local b 1\nB local b 1\n#\nA.x B.x REGL 1\n")
-	if err := run(cfg, "A", "", 8, 10, 5, true, false); err == nil {
+	if err := run(cfg, "A", "", 8, 10, 5, true, false, 0, 0); err == nil {
 		t.Error("-program without -router accepted")
 	}
 }
@@ -58,7 +59,7 @@ C local b 1
 A.x B.x REGL 1
 B.y C.y REGL 1
 `)
-	if err := run(cfgPath, "", "", 8, 20, 5, false, true); err != nil {
+	if err := run(cfgPath, "", "", 8, 20, 5, false, true, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }

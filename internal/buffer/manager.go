@@ -296,6 +296,21 @@ func (m *Manager) Finish() ([]Resolution, []SendItem, error) {
 // Finished reports whether Finish has been called.
 func (m *Manager) Finished() bool { return m.finished }
 
+// Evict frees every buffered entry regardless of the retention rules and
+// returns how many were dropped. It is the framework's response to a dead
+// importer: no buffered version of this connection can ever be sent, so
+// holding them would grow the buffer without bound while the exporter keeps
+// running. Entries freed unsent still count toward the unnecessary-buffering
+// statistics — they were real copies the coupling never used.
+func (m *Manager) Evict() int {
+	n := 0
+	for _, e := range m.entries {
+		m.free(e)
+		n++
+	}
+	return n
+}
+
 // closedDecision resolves a request knowing no further exports will come:
 // the match is the best buffered in-region version, if any. (Any in-region
 // export that was skipped or freed is provably dominated by a buffered one —

@@ -41,6 +41,15 @@ type Options struct {
 	BufferMaxBytes int64
 	// Timeout bounds blocking waits; 0 means DefaultTimeout.
 	Timeout time.Duration
+	// Heartbeat enables peer-failure detection between representatives: reps
+	// beacon every Heartbeat/2 and declare a previously-seen peer dead after
+	// silence beyond 1.5x the interval, so failures surface within 2x
+	// Heartbeat. A declared-dead peer fails the program with an error matching
+	// ErrPeerDown (errors.Is), unblocking Export/Import promptly, evicting
+	// export buffers held for the dead peer, and announcing the failure to the
+	// remaining peers. 0 disables detection (the default): the blanket Timeout
+	// is then the only guard against a vanished peer.
+	Heartbeat time.Duration
 }
 
 // Framework hosts one coupled run — either every program of the

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/decomp"
+	"repro/internal/testutil"
 	"repro/internal/transport"
 )
 
@@ -58,6 +59,7 @@ func joinProgram(t *testing.T, router string, name string, layout decomp.Layout,
 // binary per component. The importer starts late to exercise the handshake
 // retry.
 func TestDistributedCoupling(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	router, err := transport.StartTCPRouter("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/config"
 	"repro/internal/decomp"
+	"repro/internal/transport"
 )
 
 // TestFiniteBufferPropagates: with Options.BufferMaxBytes too small for the
@@ -124,6 +125,122 @@ func TestImportWrongSizeFails(t *testing.T) {
 	pe := f.MustProgram("E").Process(0)
 	if err := pe.Export("d", 1, make([]float64, 3)); err == nil {
 		t.Error("wrong-size export accepted")
+	}
+}
+
+// TestImportTimeoutTyped: an Import that times out waiting for the exporter
+// reports a transport.ErrTimeout-matching error naming the peer rep, so
+// callers can distinguish "peer too slow / gone" from protocol violations.
+func TestImportTimeoutTyped(t *testing.T) {
+	f := buildCoupling(t, Options{Timeout: 300 * time.Millisecond}, 1, 1, 4, "REGL 1")
+	p := f.MustProgram("I").Process(0)
+	dst := make([]float64, 16)
+	_, err := p.Import("d", 10, dst) // nothing exported: the answer never comes
+	if !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("err = %v, want errors.Is(err, transport.ErrTimeout)", err)
+	}
+	if !strings.Contains(err.Error(), "E:rep") {
+		t.Errorf("timeout error does not name the peer rep: %v", err)
+	}
+}
+
+// TestPeerDownErrorIs: every PeerDownError matches the ErrPeerDown sentinel
+// and renders its cause.
+func TestPeerDownErrorIs(t *testing.T) {
+	silent := &PeerDownError{Peer: "E", Observer: "I", Silence: 1500 * time.Millisecond}
+	if !errors.Is(silent, ErrPeerDown) {
+		t.Error("silence-declared PeerDownError does not match ErrPeerDown")
+	}
+	if !strings.Contains(silent.Error(), "E") || !strings.Contains(silent.Error(), "1.5s") {
+		t.Errorf("silent error text: %v", silent)
+	}
+	announced := &PeerDownError{Peer: "E", Observer: "I", Cause: "boom"}
+	if !errors.Is(announced, ErrPeerDown) || !strings.Contains(announced.Error(), "boom") {
+		t.Errorf("announced error text: %v", announced)
+	}
+	if errors.Is(errors.New("other"), ErrPeerDown) {
+		t.Error("unrelated error matches ErrPeerDown")
+	}
+}
+
+// TestFailureDetector: leases expire only for peers heard from at least once,
+// after 1.5x the interval, and each peer is declared once.
+func TestFailureDetector(t *testing.T) {
+	fd := newFailureDetector(40 * time.Millisecond)
+	fd.touch("E")
+	if exp := fd.expired(); len(exp) != 0 {
+		t.Fatalf("fresh lease expired: %v", exp)
+	}
+	time.Sleep(70 * time.Millisecond) // > 1.5 x 40ms
+	exp := fd.expired()
+	if _, ok := exp["E"]; !ok || len(exp) != 1 {
+		t.Fatalf("expired = %v, want E", exp)
+	}
+	if exp := fd.expired(); len(exp) != 0 {
+		t.Fatalf("peer declared twice: %v", exp)
+	}
+	// A peer never heard from is not judged.
+	if exp := fd.expired(); len(exp) != 0 {
+		t.Fatalf("unseen peer declared: %v", exp)
+	}
+}
+
+// TestFailureAnnounceEvictsBuffers: with heartbeats on, a program that fails
+// announces it; the peer program fails with ErrPeerDown and evicts the export
+// buffers it held for the dead importer.
+func TestFailureAnnounceEvictsBuffers(t *testing.T) {
+	f := buildCoupling(t, Options{
+		Timeout:   5 * time.Second,
+		Heartbeat: 50 * time.Millisecond,
+	}, 1, 2, 4, "REGL 1")
+	progE, progI := f.MustProgram("E"), f.MustProgram("I")
+	pe := progE.Process(0)
+	data := make([]float64, 16)
+	for k := 1; k <= 3; k++ {
+		if err := pe.Export("d", float64(k), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	held, err := pe.BufferedBytes("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held == 0 {
+		t.Fatal("no buffered versions to evict")
+	}
+	// Trip a Property-1 violation on the importer: it fails and announces.
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			dst := make([]float64, 8)
+			progI.Process(r).Import("d", float64(10+r), dst)
+		}(r)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := progE.err(); errors.Is(err, ErrPeerDown) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("exporter never learned of the peer failure (err = %v)", progE.err())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for {
+		held, err := pe.BufferedBytes("d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if held == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead importer's buffers not evicted: %d bytes held", held)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -660,7 +660,8 @@ func (p *Process) Import(region string, ts float64, dst []float64) (ImportResult
 	case <-p.abort:
 		return ImportResult{}, p.abortErr()
 	case <-timer.C:
-		return ImportResult{}, fmt.Errorf("core: %s: import %q@%g timed out waiting for answer", p.addr(), region, ts)
+		return ImportResult{}, fmt.Errorf("core: %s: import %q@%g: no answer from %s within %v: %w",
+			p.addr(), region, ts, transport.Rep(st.cc.Export.Program), timeout, transport.ErrTimeout)
 	}
 	if ans.ReqID != reqID || ans.ReqTS != ts {
 		err := fmt.Errorf("core: %s: answer mismatch: got req %d@%g, want %d@%g (collective import order violated?)",
@@ -702,11 +703,27 @@ func (p *Process) Import(region string, ts float64, dst []float64) (ImportResult
 		case <-p.abort:
 			return ImportResult{}, p.abortErr()
 		case <-timer.C:
-			return ImportResult{}, fmt.Errorf("core: %s: import %q@%g timed out with %d of %d pieces",
-				p.addr(), region, ts, got, need)
+			return ImportResult{}, fmt.Errorf("core: %s: import %q@%g: %d of %d data pieces from %s within %v: %w",
+				p.addr(), region, ts, got, need, st.cc.Export.Program, timeout, transport.ErrTimeout)
 		}
 	}
 	return ImportResult{Matched: true, MatchTS: ans.MatchTS}, nil
+}
+
+// evictPeer frees the buffered export versions of every connection whose
+// importer is the dead program. Those versions exist only to answer that
+// importer's future requests, which will never come; a long-running exporter
+// would otherwise hold (or keep growing) the buffers until Close.
+func (p *Process) evictPeer(peer string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, st := range p.exps {
+		for _, ec := range st.conns {
+			if ec.cc.Import.Program == peer {
+				ec.mgr.Evict()
+			}
+		}
+	}
 }
 
 func (p *Process) abortErr() error {

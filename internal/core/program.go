@@ -93,7 +93,9 @@ func (p *Program) start() {
 	}
 }
 
-// fail records the program's first error and aborts its processes.
+// fail records the program's first error and aborts its processes. With
+// heartbeats enabled, the first failure is also announced to every peer rep
+// so their detectors fire immediately instead of waiting out the lease.
 func (p *Program) fail(err error) {
 	if err == nil {
 		return
@@ -108,6 +110,20 @@ func (p *Program) fail(err error) {
 		for _, proc := range p.procs {
 			proc.abortWith(err)
 		}
+		if p.fw.opts.Heartbeat > 0 {
+			p.rep.announceFailure(p.fw.peerPrograms(p.name), err)
+		}
+	}
+}
+
+// peerDown records that a coupled peer program died: the program fails with
+// err (unblocking Export/Import calls, which return it), and every export
+// buffer held only for the dead peer's connections is released — no request
+// will ever consume those versions.
+func (p *Program) peerDown(err *PeerDownError) {
+	p.fail(err)
+	for _, proc := range p.procs {
+		proc.evictPeer(err.Peer)
 	}
 }
 

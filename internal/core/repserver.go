@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/config"
 	"repro/internal/decomp"
@@ -33,6 +34,11 @@ type repRunner struct {
 	// layoutReplied records connections whose peer rep already got our
 	// layout as a reply (the mutual half of the distributed handshake).
 	layoutReplied map[string]bool
+
+	// Failure detection (active when Options.Heartbeat > 0).
+	fd     *failureDetector
+	hbStop chan struct{}
+	hbOnce sync.Once
 }
 
 // importSeq tracks the collective import-call sequence of one region.
@@ -52,6 +58,8 @@ func newRepRunner(p *Program, d *transport.Dispatcher) *repRunner {
 		impConns:      make(map[string]config.Connection),
 		impSeq:        make(map[string]*importSeq),
 		layoutReplied: make(map[string]bool),
+		fd:            newFailureDetector(p.fw.opts.Heartbeat),
+		hbStop:        make(chan struct{}),
 	}
 }
 
@@ -71,10 +79,16 @@ func (r *repRunner) start() {
 			}
 		}
 	}
+	if hb := r.prog.fw.opts.Heartbeat; hb > 0 {
+		go r.heartbeatLoop(hb, r.prog.fw.peerPrograms(r.prog.name))
+	}
 	go r.run()
 }
 
-func (r *repRunner) close() { r.d.Close() }
+func (r *repRunner) close() {
+	r.hbOnce.Do(func() { close(r.hbStop) })
+	r.d.Close()
+}
 
 // sendLayout ships a layout announcement to a peer rep (invoked by
 // Framework.Start on this rep's behalf).
@@ -93,8 +107,14 @@ func (r *repRunner) run() {
 	reqs := r.d.Chan(transport.KindRequest)
 	answers := r.d.Chan(transport.KindAnswer)
 	layouts := r.d.Chan(transport.KindLayout)
+	ctl := r.d.Chan(transport.KindControl)
 	for {
 		select {
+		case m, ok := <-ctl:
+			if !ok {
+				return
+			}
+			r.handleControl(m)
 		case m, ok := <-calls:
 			if !ok {
 				return
@@ -146,6 +166,7 @@ func (r *repRunner) toProcs(tag string, payload []byte) {
 // (distributed mode) still learns our layout, because receiving its
 // announcement proves it is reachable now.
 func (r *repRunner) handleLayout(m transport.Message) {
+	r.touchPeer(m)
 	r.toProcs("layout", m.Payload)
 	var lm layoutMsg
 	if err := wire.Unmarshal(m.Payload, &lm); err != nil {
@@ -241,6 +262,7 @@ func (r *repRunner) handleImportCall(m transport.Message) {
 // handleRequest (exporter side) registers an aggregator for the request and
 // forwards it to all processes — the rep's steps (1) of Section 4.
 func (r *repRunner) handleRequest(m transport.Message) {
+	r.touchPeer(m)
 	var rm requestMsg
 	if err := wire.Unmarshal(m.Payload, &rm); err != nil {
 		r.prog.fail(err)
@@ -325,6 +347,7 @@ func (r *repRunner) handleResponse(m transport.Message) {
 // handleAnswer (importer side) fans the exporter rep's final answer out to
 // the program's processes.
 func (r *repRunner) handleAnswer(m transport.Message) {
+	r.touchPeer(m)
 	var am answerMsg
 	if err := wire.Unmarshal(m.Payload, &am); err != nil {
 		r.prog.fail(err)

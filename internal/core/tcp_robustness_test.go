@@ -1,0 +1,337 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/decomp"
+	"repro/internal/testutil"
+	"repro/internal/transport"
+)
+
+// joinWith is joinProgram with caller-controlled Options (Network is set
+// here) and a hook exposing the framework, for tests that kill or inspect
+// one side mid-run.
+func joinWith(router string, name string, layout decomp.Layout, opts Options,
+	wrap func(transport.Network) transport.Network,
+	started func(fw *Framework), app func(prog *Program) error) error {
+	cfg, err := config.ParseString(distributedCfg)
+	if err != nil {
+		return err
+	}
+	var net transport.Network = transport.NewTCPNetwork(router)
+	if wrap != nil {
+		net = wrap(net)
+	}
+	opts.Network = net
+	fw, err := Join(cfg, name, opts)
+	if err != nil {
+		net.Close()
+		return err
+	}
+	defer fw.Close()
+	prog, err := fw.Local()
+	if err != nil {
+		return err
+	}
+	if err := prog.DefineRegion("d", layout); err != nil {
+		return err
+	}
+	if err := fw.Start(); err != nil {
+		return err
+	}
+	if started != nil {
+		started(fw)
+	}
+	return app(prog)
+}
+
+// TestCloseReleasesGoroutinesMem: a full coupled run on the in-memory
+// network leaves no goroutines behind after Framework.Close (the TCP
+// equivalent is asserted by the leak checks on the distributed tests).
+func TestCloseReleasesGoroutinesMem(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	f := buildCoupling(t, Options{Timeout: 10 * time.Second, Heartbeat: 100 * time.Millisecond}, 2, 2, 8, "REGL 1")
+	progE, progI := f.MustProgram("E"), f.MustProgram("I")
+	done := make(chan error, 4)
+	for r := 0; r < 2; r++ {
+		go func(r int) {
+			p := progE.Process(r)
+			block, _ := p.Block("d")
+			for k := 1; k <= 10; k++ {
+				if err := p.Export("d", float64(k)+0.5, fillBlock(block, float64(k)+0.5)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- p.FinishRegion("d")
+		}(r)
+		go func(r int) {
+			p := progI.Process(r)
+			block, _ := p.Block("d")
+			dst := make([]float64, block.Area())
+			_, err := p.Import("d", 5, dst)
+			done <- err
+		}(r)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// TestTCPPeerDownUnblocksImport kills the exporter framework while the
+// importer's collective Import is blocked waiting for an answer: with
+// heartbeats on, the blocked calls must return an ErrPeerDown-matching error
+// within ~2x the heartbeat interval instead of hanging until the blanket
+// timeout.
+func TestTCPPeerDownUnblocksImport(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	router, err := transport.StartTCPRouter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	const hb = 250 * time.Millisecond
+	const size = 8
+	le, _ := decomp.NewRowBlock(size, size, 2)
+	li, _ := decomp.NewColBlock(size, size, 2)
+	opts := Options{Timeout: 60 * time.Second, Heartbeat: hb}
+
+	exporterUp := make(chan *Framework, 1)
+	exporterKilled := make(chan struct{})
+	exporterDone := make(chan error, 1)
+	go func() {
+		exporterDone <- joinWith(router.ListenAddr(), "E", le, opts, nil,
+			func(fw *Framework) { exporterUp <- fw },
+			func(prog *Program) error {
+				// Export nothing: the importer's request stays PENDING. Hold
+				// the framework open until the test kills it.
+				select {
+				case <-exporterKilled:
+				case <-time.After(30 * time.Second):
+				}
+				return nil
+			})
+	}()
+
+	importerDone := make(chan error, 1)
+	var killed time.Time
+	var killMu sync.Mutex
+	go func() {
+		importerDone <- joinWith(router.ListenAddr(), "I", li, opts, nil, nil,
+			func(prog *Program) error {
+				// Kill the exporter once both sides are up and the imports are
+				// in flight.
+				go func() {
+					fw := <-exporterUp
+					time.Sleep(200 * time.Millisecond)
+					killMu.Lock()
+					killed = time.Now()
+					killMu.Unlock()
+					fw.Close()
+					close(exporterKilled)
+				}()
+				var wg sync.WaitGroup
+				errs := make([]error, prog.Procs())
+				for r := 0; r < prog.Procs(); r++ {
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						p := prog.Process(r)
+						block, _ := p.Block("d")
+						dst := make([]float64, block.Area())
+						_, errs[r] = p.Import("d", 10, dst)
+					}(r)
+				}
+				wg.Wait()
+				for r, err := range errs {
+					if !errors.Is(err, ErrPeerDown) {
+						return fmt.Errorf("rank %d: err = %v, want ErrPeerDown", r, err)
+					}
+				}
+				return nil
+			})
+	}()
+
+	select {
+	case err := <-importerDone:
+		killMu.Lock()
+		elapsed := time.Since(killed)
+		killMu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The acceptance bound is 2x the heartbeat interval; allow scheduling
+		// slack on loaded CI machines.
+		if limit := 2*hb + 1500*time.Millisecond; elapsed > limit {
+			t.Errorf("peer death detected after %v, want <= %v", elapsed, limit)
+		}
+		t.Logf("blocked imports failed %v after the peer died", elapsed)
+	case <-time.After(30 * time.Second):
+		t.Fatal("importer hung after the exporter died")
+	}
+	if err := <-exporterDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPCouplingSurvivesReset runs the full distributed coupling over the
+// reliable layer on a reconnecting TCP network and injects a connection reset
+// mid-run: the reliable layer must replay what the dead socket swallowed —
+// exactly once, or the reps' duplicate detection fails the run — and the
+// coupling must complete with correct match results.
+func TestTCPCouplingSurvivesReset(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	router, err := transport.StartTCPRouter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	const size = 8
+	const exports = 30
+	const matchEvery = 10
+	le, _ := decomp.NewRowBlock(size, size, 2)
+	li, _ := decomp.NewColBlock(size, size, 2)
+	opts := Options{Timeout: 60 * time.Second, Heartbeat: time.Second}
+
+	errs := make(chan error, 2)
+	go func() {
+		errs <- joinWith(router.ListenAddr(), "E", le, opts,
+			func(n transport.Network) transport.Network {
+				tcp := n.(*transport.TCPNetwork)
+				tcp.MaxRetries = 20
+				tcp.RetryBase = 5 * time.Millisecond
+				go func() {
+					// One injected reset mid-run, after traffic is flowing.
+					time.Sleep(250 * time.Millisecond)
+					tcp.ResetConnections()
+				}()
+				return transport.NewReliableNetwork(tcp, transport.ReliableConfig{
+					ResendInterval: 15 * time.Millisecond,
+				})
+			}, nil,
+			func(prog *Program) error {
+				var wg sync.WaitGroup
+				perr := make([]error, prog.Procs())
+				for r := 0; r < prog.Procs(); r++ {
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						p := prog.Process(r)
+						block, _ := p.Block("d")
+						for k := 1; k <= exports; k++ {
+							ts := float64(k) + 0.6
+							if err := p.Export("d", ts, fillBlock(block, ts)); err != nil {
+								perr[r] = err
+								return
+							}
+							time.Sleep(10 * time.Millisecond) // spread the stream across the reset
+						}
+						perr[r] = p.FinishRegion("d")
+					}(r)
+				}
+				wg.Wait()
+				for _, e := range perr {
+					if e != nil {
+						return e
+					}
+				}
+				// Stay alive until every importer request was served, then let
+				// the in-flight data pieces drain before tearing down (shutdown
+				// coordination is application-level, as in TestDistributedCoupling).
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					served := true
+					for r := 0; r < prog.Procs(); r++ {
+						stats, err := prog.Process(r).ExportStats("d")
+						if err != nil {
+							return err
+						}
+						if stats["I.d"].Sends < exports/matchEvery {
+							served = false
+						}
+					}
+					if served {
+						break
+					}
+					if time.Now().After(deadline) {
+						return fmt.Errorf("importer never collected all matches")
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				time.Sleep(300 * time.Millisecond) // let reliable-layer resends deliver the tail
+				return prog.fw.Err()
+			})
+	}()
+	go func() {
+		errs <- joinWith(router.ListenAddr(), "I", li, opts,
+			func(n transport.Network) transport.Network {
+				tcp := n.(*transport.TCPNetwork)
+				tcp.MaxRetries = 20
+				tcp.RetryBase = 5 * time.Millisecond
+				return transport.NewReliableNetwork(tcp, transport.ReliableConfig{
+					ResendInterval: 15 * time.Millisecond,
+				})
+			}, nil,
+			func(prog *Program) error {
+				var wg sync.WaitGroup
+				perr := make([]error, prog.Procs())
+				for r := 0; r < prog.Procs(); r++ {
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						p := prog.Process(r)
+						block, _ := p.Block("d")
+						dst := make([]float64, block.Area())
+						for j := 1; j <= exports/matchEvery; j++ {
+							reqTS := float64(j * matchEvery)
+							res, err := p.Import("d", reqTS, dst)
+							if err != nil {
+								perr[r] = err
+								return
+							}
+							wantTS := float64(j*matchEvery-1) + 0.6
+							if !res.Matched || res.MatchTS != wantTS {
+								perr[r] = fmt.Errorf("import @%g resolved %+v, want match @%g", reqTS, res, wantTS)
+								return
+							}
+							g := decomp.Grid{Block: block, Data: dst}
+							if got, want := g.At(block.R0, block.C0), cell(wantTS, block.R0, block.C0); got != want {
+								perr[r] = fmt.Errorf("data corrupt after reset: got %v, want %v", got, want)
+								return
+							}
+						}
+					}(r)
+				}
+				wg.Wait()
+				for _, e := range perr {
+					if e != nil {
+						return e
+					}
+				}
+				return prog.fw.Err()
+			})
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("coupling hung after the injected connection reset")
+		}
+	}
+}

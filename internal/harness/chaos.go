@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/match"
+	"repro/internal/transport"
+)
+
+// ChaosConfig parameterizes one chaos run: a Figure-4-style F->U coupling
+// driven over a deterministically faulty network (transport.FaultNetwork
+// under transport.ReliableNetwork), with rep heartbeats on. The run must
+// complete with exact match results despite drops, delays and connection
+// resets — or fail with a clean, typed error; it must never hang.
+type ChaosConfig struct {
+	GridN         int
+	ExporterProcs int
+	ImporterProcs int
+	Exports       int
+	MatchEvery    int // one import request per MatchEvery exports
+	Tolerance     float64
+
+	// Fault is the injected misbehavior (Seed selects the deterministic
+	// pattern; see transport.FaultConfig).
+	Fault transport.FaultConfig
+	// ResendInterval drives the reliable layer's retransmits.
+	ResendInterval time.Duration
+	// Heartbeat enables rep failure detection during the run; the run
+	// asserts it does NOT false-positive under the injected faults.
+	Heartbeat time.Duration
+	// Timeout bounds the whole run (the no-hang assertion).
+	Timeout time.Duration
+}
+
+// DefaultChaos returns a laptop-sized configuration for one fault seed.
+func DefaultChaos(seed int64) ChaosConfig {
+	return ChaosConfig{
+		GridN:         16,
+		ExporterProcs: 2,
+		ImporterProcs: 2,
+		Exports:       60,
+		MatchEvery:    10,
+		Tolerance:     2.5,
+		Fault: transport.FaultConfig{
+			Seed:       seed,
+			Drop:       0.2,
+			DelayProb:  0.2,
+			MaxDelay:   2 * time.Millisecond,
+			ResetEvery: 97,
+		},
+		ResendInterval: 10 * time.Millisecond,
+		Heartbeat:      250 * time.Millisecond,
+		Timeout:        60 * time.Second,
+	}
+}
+
+// ChaosResult reports one completed chaos run.
+type ChaosResult struct {
+	// Matched counts MATCH answers observed by importer rank 0 (the run
+	// demands every request match, so Matched == Exports/MatchEvery).
+	Matched int
+	// Faults is what the fault layer actually injected.
+	Faults transport.FaultStats
+	// Elapsed is the wall-clock duration of the coupled run.
+	Elapsed time.Duration
+}
+
+// chaosCell is the ground-truth value of global cell (r,c) at timestamp ts,
+// so the importer can verify redistributed data end to end.
+func chaosCell(ts float64, r, c int) float64 { return ts*1e6 + float64(r*1000+c) }
+
+// RunChaos executes one seed of the chaos matrix and verifies exact-once
+// protocol behavior: every import request must MATCH its deterministic
+// REGL candidate and deliver bit-correct redistributed data.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	if cfg.Exports%cfg.MatchEvery != 0 {
+		return nil, fmt.Errorf("harness: chaos exports %d not a multiple of match-every %d", cfg.Exports, cfg.MatchEvery)
+	}
+	coupling := &config.Config{
+		Programs: []config.Program{
+			{Name: "F", Cluster: "local", Binary: "builtin", Procs: cfg.ExporterProcs},
+			{Name: "U", Cluster: "local", Binary: "builtin", Procs: cfg.ImporterProcs},
+		},
+		Connections: []config.Connection{{
+			Export:    config.Endpoint{Program: "F", Region: "f"},
+			Import:    config.Endpoint{Program: "U", Region: "f"},
+			Policy:    match.REGL,
+			Tolerance: cfg.Tolerance,
+		}},
+	}
+	faulty := transport.NewFaultNetwork(transport.NewMemNetwork(), cfg.Fault)
+	net := transport.NewReliableNetwork(faulty, transport.ReliableConfig{
+		ResendInterval: cfg.ResendInterval,
+	})
+	fw, err := core.New(coupling, core.Options{
+		Network:   net,
+		BuddyHelp: true,
+		Timeout:   cfg.Timeout,
+		Heartbeat: cfg.Heartbeat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fw.Close()
+
+	expLayout, err := decomp.NewRowBlock(cfg.GridN, cfg.GridN, cfg.ExporterProcs)
+	if err != nil {
+		return nil, err
+	}
+	impLayout, err := decomp.NewColBlock(cfg.GridN, cfg.GridN, cfg.ImporterProcs)
+	if err != nil {
+		return nil, err
+	}
+	progF, progU := fw.MustProgram("F"), fw.MustProgram("U")
+	if err := progF.DefineRegion("f", expLayout); err != nil {
+		return nil, err
+	}
+	if err := progU.DefineRegion("f", impLayout); err != nil {
+		return nil, err
+	}
+	if err := fw.Start(); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	requests := cfg.Exports / cfg.MatchEvery
+	matched := make([]int, cfg.ImporterProcs)
+	total := cfg.ExporterProcs + cfg.ImporterProcs
+	errs := make(chan error, total)
+
+	// Program F exports at timestamps k+0.6, then declares the stream done so
+	// trailing requests resolve even if they arrive after the last export.
+	for r := 0; r < cfg.ExporterProcs; r++ {
+		go func(r int) {
+			p := progF.Process(r)
+			block, err := p.Block("f")
+			if err != nil {
+				errs <- err
+				return
+			}
+			g := decomp.NewGrid(block)
+			for k := 1; k <= cfg.Exports; k++ {
+				ts := float64(k) + 0.6
+				g.Fill(func(r, c int) float64 { return chaosCell(ts, r, c) })
+				if err := p.Export("f", ts, g.Data); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- p.FinishRegion("f")
+		}(r)
+	}
+
+	// Program U imports at timestamps MatchEvery, 2*MatchEvery, ...; REGL
+	// with tolerance >= 1 deterministically matches export j*MatchEvery-0.4.
+	for r := 0; r < cfg.ImporterProcs; r++ {
+		go func(r int) {
+			p := progU.Process(r)
+			block, err := p.Block("f")
+			if err != nil {
+				errs <- err
+				return
+			}
+			dst := make([]float64, block.Area())
+			for j := 1; j <= requests; j++ {
+				reqTS := float64(j * cfg.MatchEvery)
+				res, err := p.Import("f", reqTS, dst)
+				if err != nil {
+					errs <- err
+					return
+				}
+				wantTS := float64(j*cfg.MatchEvery-1) + 0.6
+				if !res.Matched || res.MatchTS != wantTS {
+					errs <- fmt.Errorf("harness: chaos import @%g resolved %+v, want match @%g", reqTS, res, wantTS)
+					return
+				}
+				g := decomp.Grid{Block: block, Data: dst}
+				for rr := block.R0; rr < block.R1; rr += 3 {
+					for cc := block.C0; cc < block.C1; cc += 3 {
+						if got, want := g.At(rr, cc), chaosCell(wantTS, rr, cc); got != want {
+							errs <- fmt.Errorf("harness: chaos data corrupt at (%d,%d)@%g: got %v, want %v",
+								rr, cc, wantTS, got, want)
+							return
+						}
+					}
+				}
+				matched[r]++
+			}
+			errs <- nil
+		}(r)
+	}
+
+	deadline := time.After(cfg.Timeout)
+	var firstErr error
+	for i := 0; i < total; i++ {
+		select {
+		case err := <-errs:
+			if err != nil && firstErr == nil {
+				firstErr = err
+				fw.Close() // abort the remaining processes promptly
+			}
+		case <-deadline:
+			return nil, fmt.Errorf("harness: chaos run hung (seed %d, fault stats %+v)",
+				cfg.Fault.Seed, faulty.Stats())
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("%w (fault stats %+v)", firstErr, faulty.Stats())
+	}
+	if err := fw.Err(); err != nil {
+		return nil, err
+	}
+	for r, m := range matched {
+		if m != requests {
+			return nil, fmt.Errorf("harness: chaos importer rank %d matched %d of %d requests", r, m, requests)
+		}
+	}
+	return &ChaosResult{Matched: matched[0], Faults: faulty.Stats(), Elapsed: time.Since(start)}, nil
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestChaos drives the coupled run over a deterministically faulty network
+// for a fixed seed matrix: every seed must complete with exact match results
+// and bit-correct data, no hangs, and no leaked goroutines. CI runs this
+// under -race with -count=3.
+func TestChaos(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 5, 8} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			defer testutil.CheckGoroutines(t)()
+			cfg := DefaultChaos(seed)
+			res, err := RunChaos(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := cfg.Exports / cfg.MatchEvery; res.Matched != want {
+				t.Errorf("matched %d of %d requests", res.Matched, want)
+			}
+			if res.Faults.Dropped == 0 && res.Faults.Delayed == 0 {
+				t.Errorf("fault layer injected nothing: %+v", res.Faults)
+			}
+			t.Logf("seed %d: %d matches in %v over %+v", seed, res.Matched, res.Elapsed, res.Faults)
+		})
+	}
+}
+
+// TestChaosHeavyLoss cranks the drop rate up: the run gets slower but must
+// still complete exactly.
+func TestChaosHeavyLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy-loss chaos run in -short mode")
+	}
+	defer testutil.CheckGoroutines(t)()
+	cfg := DefaultChaos(13)
+	cfg.Fault.Drop = 0.45
+	cfg.Exports = 30
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Dropped == 0 {
+		t.Error("no drops at 45% loss")
+	}
+}

@@ -1,0 +1,62 @@
+// Package testutil holds helpers shared by the repository's test suites.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the goroutine count and returns a verify function
+// that fails the test if, after the code under test tore everything down, the
+// count has not returned to (near) the snapshot within a grace period.
+//
+// Typical use:
+//
+//	defer testutil.CheckGoroutines(t)()
+//
+// The comparison polls because teardown is asynchronous: Close returns before
+// every reader goroutine has observed its channel close. A small slack (2) is
+// tolerated for runtime-internal goroutines (finalizers, timer scavenging)
+// that may start independently of the code under test.
+func CheckGoroutines(t testing.TB) (verify func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		const slack = 2
+		deadline := time.Now().Add(5 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d before, %d after teardown\n%s",
+			before, after, condenseStacks(string(buf)))
+	}
+}
+
+// condenseStacks keeps only the header line and top frame of each goroutine
+// stack, enough to identify leakers without pages of output.
+func condenseStacks(dump string) string {
+	var b strings.Builder
+	for _, g := range strings.Split(dump, "\n\n") {
+		lines := strings.Split(g, "\n")
+		n := len(lines)
+		if n > 3 {
+			n = 3
+		}
+		fmt.Fprintln(&b, strings.Join(lines[:n], "\n"))
+	}
+	return b.String()
+}

@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// sendSeq sends k tagged messages a -> b. It reports failures with Errorf so
+// it is safe to run from a goroutine; the receiving side's timeout converts a
+// stalled stream into a test failure.
+func sendSeq(t *testing.T, a Endpoint, dst Addr, k int) {
+	t.Helper()
+	for i := 0; i < k; i++ {
+		if err := a.Send(Message{Kind: KindPoint, Dst: dst, Tag: fmt.Sprint(i)}); err != nil {
+			t.Errorf("send %d: %v", i, err)
+			return
+		}
+	}
+}
+
+// TestFaultDropsDeterministic: the same seed over the same send sequence
+// loses the same messages.
+func TestFaultDropsDeterministic(t *testing.T) {
+	run := func(seed int64) []string {
+		n := NewFaultNetwork(NewMemNetwork(), FaultConfig{Seed: seed, Drop: 0.4})
+		defer n.Close()
+		a, _ := n.Register(Proc("P", 0))
+		b, _ := n.Register(Proc("P", 1))
+		sendSeq(t, a, b.Addr(), 100)
+		var got []string
+		for {
+			m, err := b.RecvTimeout(100 * time.Millisecond)
+			if err != nil {
+				break
+			}
+			got = append(got, m.Tag)
+		}
+		return got
+	}
+	first := run(7)
+	second := run(7)
+	if len(first) == 0 || len(first) == 100 {
+		t.Fatalf("drop rate 0.4 delivered %d of 100", len(first))
+	}
+	if len(first) != len(second) {
+		t.Fatalf("same seed delivered %d vs %d messages", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("same seed diverged at %d: %q vs %q", i, first[i], second[i])
+		}
+	}
+	other := run(8)
+	same := len(other) == len(first)
+	if same {
+		for i := range first {
+			if first[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault patterns")
+	}
+}
+
+// TestFaultPreservesFIFO: delivered messages keep their send order even when
+// delays are injected.
+func TestFaultPreservesFIFO(t *testing.T) {
+	n := NewFaultNetwork(NewMemNetwork(), FaultConfig{
+		Seed: 3, DelayProb: 0.5, MaxDelay: 2 * time.Millisecond,
+	})
+	defer n.Close()
+	a, _ := n.Register(Proc("P", 0))
+	b, _ := n.Register(Proc("P", 1))
+	const k = 200
+	go sendSeq(t, a, b.Addr(), k)
+	for i := 0; i < k; i++ {
+		m, err := b.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if m.Tag != fmt.Sprint(i) {
+			t.Fatalf("out of order at %d: %q", i, m.Tag)
+		}
+	}
+	st := n.Stats()
+	if st.Delayed == 0 {
+		t.Error("no delays injected at DelayProb 0.5")
+	}
+	if st.Dropped != 0 {
+		t.Errorf("dropped %d messages with Drop=0", st.Dropped)
+	}
+}
+
+// TestFaultResetBursts: every ResetEvery-th message triggers a reset that
+// drops a burst from the sending endpoint.
+func TestFaultResetBursts(t *testing.T) {
+	n := NewFaultNetwork(NewMemNetwork(), FaultConfig{Seed: 1, ResetEvery: 10, ResetLen: 3})
+	defer n.Close()
+	a, _ := n.Register(Proc("P", 0))
+	b, _ := n.Register(Proc("P", 1))
+	sendSeq(t, a, b.Addr(), 100)
+	delivered := 0
+	for {
+		if _, err := b.RecvTimeout(100 * time.Millisecond); err != nil {
+			break
+		}
+		delivered++
+	}
+	// A reset fires every 10 *surviving* messages and consumes 3 (itself plus
+	// a burst of 2 that do not advance the counter): 100 sends = 8 full
+	// 10+2 cycles plus a trailing reset, 8 resets, 24 lost.
+	st := n.Stats()
+	if st.Resets != 8 {
+		t.Errorf("resets = %d, want 8", st.Resets)
+	}
+	if want := 100 - 8*3; delivered != want {
+		t.Errorf("delivered %d, want %d (8 resets x 3 lost)", delivered, want)
+	}
+}
+
+// TestReliableRecoversDrops: the reliable layer over a lossy network delivers
+// every message exactly once, in order.
+func TestReliableRecoversDrops(t *testing.T) {
+	fn := NewFaultNetwork(NewMemNetwork(), FaultConfig{Seed: 11, Drop: 0.3, ResetEvery: 41})
+	n := NewReliableNetwork(fn, ReliableConfig{ResendInterval: 5 * time.Millisecond})
+	defer n.Close()
+	a, _ := n.Register(Proc("P", 0))
+	b, _ := n.Register(Proc("P", 1))
+	const k = 300
+	go sendSeq(t, a, b.Addr(), k)
+	for i := 0; i < k; i++ {
+		m, err := b.RecvTimeout(10 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v (fault stats %+v)", i, err, fn.Stats())
+		}
+		if m.Tag != fmt.Sprint(i) {
+			t.Fatalf("delivery %d carries tag %q (reorder or duplicate)", i, m.Tag)
+		}
+	}
+	// No duplicates behind: the stream must now be silent.
+	if m, err := b.RecvTimeout(50 * time.Millisecond); err == nil {
+		t.Fatalf("duplicate delivery after the stream: %+v", m)
+	}
+	if st := fn.Stats(); st.Dropped == 0 {
+		t.Error("fault layer dropped nothing; test exercised no recovery")
+	}
+}
+
+// TestReliableAcksShrinkBuffer: acknowledged messages leave the resend
+// buffer.
+func TestReliableAcksShrinkBuffer(t *testing.T) {
+	n := NewReliableNetwork(NewMemNetwork(), ReliableConfig{ResendInterval: 5 * time.Millisecond})
+	defer n.Close()
+	a, _ := n.Register(Proc("P", 0))
+	b, _ := n.Register(Proc("P", 1))
+	sendSeq(t, a, b.Addr(), 50)
+	for i := 0; i < 50; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re := a.(*reliableEndpoint)
+	deadline := time.Now().Add(5 * time.Second)
+	for re.Unacked() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("resend buffer still holds %d messages after all were delivered", re.Unacked())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestReliableMaxUnacked: a peer that never acks turns into a visible error
+// instead of unbounded buffering.
+func TestReliableMaxUnacked(t *testing.T) {
+	n := NewReliableNetwork(NewMemNetwork(), ReliableConfig{
+		ResendInterval: time.Hour, MaxUnacked: 8,
+	})
+	defer n.Close()
+	a, _ := n.Register(Proc("P", 0))
+	// Destination never registered: nothing is ever acked.
+	dst := Proc("P", 9)
+	var got error
+	for i := 0; i < 20; i++ {
+		if got = a.Send(Message{Kind: KindPoint, Dst: dst}); got != nil {
+			break
+		}
+	}
+	if !errors.Is(got, ErrResendBufferFull) {
+		t.Fatalf("err = %v, want ErrResendBufferFull", got)
+	}
+}
+
+// TestReliableBidirectional: both directions carry sequenced traffic plus
+// acks without interference.
+func TestReliableBidirectional(t *testing.T) {
+	fn := NewFaultNetwork(NewMemNetwork(), FaultConfig{Seed: 5, Drop: 0.2})
+	n := NewReliableNetwork(fn, ReliableConfig{ResendInterval: 5 * time.Millisecond})
+	defer n.Close()
+	a, _ := n.Register(Proc("P", 0))
+	b, _ := n.Register(Proc("P", 1))
+	const k = 100
+	go sendSeq(t, a, b.Addr(), k)
+	go sendSeq(t, b, a.Addr(), k)
+	check := func(ep Endpoint) error {
+		for i := 0; i < k; i++ {
+			m, err := ep.RecvTimeout(10 * time.Second)
+			if err != nil {
+				return fmt.Errorf("recv %d: %w", i, err)
+			}
+			if m.Tag != fmt.Sprint(i) {
+				return fmt.Errorf("delivery %d carries tag %q", i, m.Tag)
+			}
+		}
+		return nil
+	}
+	errc := make(chan error, 2)
+	go func() { errc <- check(a) }()
+	go func() { errc <- check(b) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -124,7 +124,9 @@ func (e *memEndpoint) Send(msg Message) error {
 	default:
 	}
 	msg.Src = e.addr
-	msg.Seq = e.net.nextSeq(seqKey{src: e.addr, dst: msg.Dst})
+	if msg.Seq == 0 {
+		msg.Seq = e.net.nextSeq(seqKey{src: e.addr, dst: msg.Dst})
+	}
 	return e.net.deliver(msg)
 }
 

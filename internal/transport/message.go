@@ -80,6 +80,10 @@ const (
 	// KindPoint carries application-level point-to-point payloads (e.g. halo
 	// exchange inside a simulation component).
 	KindPoint
+	// KindAck is a cumulative delivery acknowledgement of the reliable
+	// transport layer (ReliableNetwork). Acks are consumed inside the
+	// transport and never surface to Recv callers.
+	KindAck
 )
 
 var kindNames = [...]string{
@@ -94,6 +98,7 @@ var kindNames = [...]string{
 	KindData:       "data",
 	KindLayout:     "layout",
 	KindPoint:      "point",
+	KindAck:        "ack",
 }
 
 // String returns the lower-case name of the kind.
@@ -115,7 +120,10 @@ type Message struct {
 	// sequence, request id). Interpretation is up to the layer owning Kind.
 	Tag string
 	// Seq is a per-(sender,receiver) sequence number stamped by Endpoint.Send
-	// so receivers (and tests) can assert FIFO delivery.
+	// so receivers (and tests) can assert FIFO delivery. A Send that arrives
+	// with Seq already nonzero keeps it: the reliable-delivery layer stamps
+	// its own sequence numbers above the base transports and relies on them
+	// surviving the trip for ack/resend bookkeeping.
 	Seq     uint64
 	Payload []byte
 }

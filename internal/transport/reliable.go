@@ -1,0 +1,304 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultResendInterval is the retransmission period of a ReliableNetwork
+// when the configuration leaves it zero.
+const DefaultResendInterval = 25 * time.Millisecond
+
+// ReliableConfig tunes a ReliableNetwork.
+type ReliableConfig struct {
+	// ResendInterval is how often unacknowledged messages are retransmitted
+	// (0 means DefaultResendInterval).
+	ResendInterval time.Duration
+	// MaxUnacked, when positive, bounds the per-peer resend buffer; Send
+	// fails with ErrResendBufferFull once a peer has that many outstanding
+	// messages. It turns a permanently dead peer into a visible error instead
+	// of unbounded memory growth (the framework's failure detector normally
+	// fires long before the bound is hit).
+	MaxUnacked int
+}
+
+// ErrResendBufferFull is returned by Send when ReliableConfig.MaxUnacked
+// messages to one peer are awaiting acknowledgement.
+var ErrResendBufferFull = errors.New("transport: reliable resend buffer full (peer not acking)")
+
+// ReliableNetwork layers exactly-once, in-order delivery on top of any
+// Network: senders stamp a per-(src,dst) sequence number (reusing
+// Message.Seq), keep every message in a resend buffer until the receiver's
+// cumulative ack covers it, and retransmit on a timer; receivers deliver
+// strictly in sequence order and drop duplicates. Over a FaultNetwork this
+// recovers injected drops and resets; over a TCPNetwork with reconnection
+// enabled it replays the messages a reset connection lost, so a link flap
+// costs latency instead of correctness.
+type ReliableNetwork struct {
+	inner Network
+	cfg   ReliableConfig
+
+	mu     sync.Mutex
+	eps    []*reliableEndpoint
+	closed bool
+}
+
+// NewReliableNetwork wraps inner in the reliable-delivery layer.
+func NewReliableNetwork(inner Network, cfg ReliableConfig) *ReliableNetwork {
+	if cfg.ResendInterval <= 0 {
+		cfg.ResendInterval = DefaultResendInterval
+	}
+	return &ReliableNetwork{inner: inner, cfg: cfg}
+}
+
+// Register implements Network.
+func (n *ReliableNetwork) Register(addr Addr) (Endpoint, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	n.mu.Unlock()
+	ep, err := n.inner.Register(addr)
+	if err != nil {
+		return nil, err
+	}
+	re := &reliableEndpoint{
+		net:       n,
+		inner:     ep,
+		box:       make(chan Message, DefaultMailboxDepth),
+		done:      make(chan struct{}),
+		nextSeq:   make(map[Addr]uint64),
+		unacked:   make(map[Addr][]Message),
+		delivered: make(map[Addr]uint64),
+	}
+	go re.recvLoop()
+	go re.resendLoop()
+	n.mu.Lock()
+	n.eps = append(n.eps, re)
+	n.mu.Unlock()
+	return re, nil
+}
+
+// Close implements Network.
+func (n *ReliableNetwork) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	eps := n.eps
+	n.eps = nil
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return n.inner.Close()
+}
+
+// reliableEndpoint is one address's attachment to a ReliableNetwork.
+type reliableEndpoint struct {
+	net   *ReliableNetwork
+	inner Endpoint
+
+	box      chan Message
+	done     chan struct{}
+	closeOne sync.Once
+
+	// Sender side: next sequence number and resend buffer per destination.
+	smu     sync.Mutex
+	nextSeq map[Addr]uint64
+	unacked map[Addr][]Message // ascending Seq
+
+	// Receiver side: highest in-order sequence delivered per source.
+	rmu       sync.Mutex
+	delivered map[Addr]uint64
+
+	errMu  sync.Mutex
+	recErr error
+}
+
+func (e *reliableEndpoint) Addr() Addr { return e.inner.Addr() }
+
+// Send stamps the pair sequence number, records the message for
+// retransmission, and attempts immediate delivery. Transient transport
+// errors (an unregistered peer, a connection mid-reconnect) are absorbed:
+// the resend loop retries until the receiver acks or the endpoint closes.
+func (e *reliableEndpoint) Send(msg Message) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	msg.Src = e.inner.Addr()
+	e.smu.Lock()
+	if max := e.net.cfg.MaxUnacked; max > 0 && len(e.unacked[msg.Dst]) >= max {
+		e.smu.Unlock()
+		return fmt.Errorf("transport: %d messages to %s unacked: %w",
+			e.net.cfg.MaxUnacked, msg.Dst, ErrResendBufferFull)
+	}
+	e.nextSeq[msg.Dst]++
+	msg.Seq = e.nextSeq[msg.Dst]
+	e.unacked[msg.Dst] = append(e.unacked[msg.Dst], msg)
+	e.smu.Unlock()
+	if err := e.inner.Send(msg); err != nil && errors.Is(err, ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// recvLoop pumps the inner endpoint: acks shrink the resend buffer, data
+// messages are delivered exactly once in sequence order (gaps wait for
+// retransmission, duplicates are re-acked and dropped).
+func (e *reliableEndpoint) recvLoop() {
+	for {
+		m, err := e.inner.Recv()
+		if err != nil {
+			e.errMu.Lock()
+			if e.recErr == nil && !errors.Is(err, ErrClosed) {
+				e.recErr = err
+			}
+			e.errMu.Unlock()
+			e.Close()
+			return
+		}
+		if m.Kind == KindAck {
+			e.handleAck(m)
+			continue
+		}
+		if m.Seq == 0 {
+			// Unsequenced traffic from a sender outside the reliable layer:
+			// pass through untouched.
+			if !e.deliver(m) {
+				return
+			}
+			continue
+		}
+		e.rmu.Lock()
+		last := e.delivered[m.Src]
+		switch {
+		case m.Seq == last+1:
+			e.delivered[m.Src] = m.Seq
+			e.rmu.Unlock()
+			e.sendAck(m.Src, m.Seq)
+			if !e.deliver(m) {
+				return
+			}
+		case m.Seq <= last:
+			// Duplicate (a retransmit that raced our ack): re-ack so the
+			// sender can clear its buffer, and drop.
+			e.rmu.Unlock()
+			e.sendAck(m.Src, last)
+		default:
+			// Gap: an earlier message of this pair is still missing. Drop;
+			// the sender retransmits in order, so the stream resumes from
+			// the first hole without reordering.
+			e.rmu.Unlock()
+		}
+	}
+}
+
+func (e *reliableEndpoint) deliver(m Message) bool {
+	select {
+	case e.box <- m:
+		return true
+	case <-e.done:
+		return false
+	}
+}
+
+// sendAck reports the highest in-order sequence received from dst, carried
+// in the Seq field itself (cumulative, idempotent, safe to lose).
+func (e *reliableEndpoint) sendAck(dst Addr, seq uint64) {
+	_ = e.inner.Send(Message{Kind: KindAck, Dst: dst, Tag: "ack", Seq: seq})
+}
+
+// handleAck drops every buffered message the cumulative ack covers.
+func (e *reliableEndpoint) handleAck(m Message) {
+	e.smu.Lock()
+	q := e.unacked[m.Src]
+	i := 0
+	for i < len(q) && q[i].Seq <= m.Seq {
+		i++
+	}
+	if i > 0 {
+		e.unacked[m.Src] = append(q[:0:0], q[i:]...)
+	}
+	e.smu.Unlock()
+}
+
+// resendLoop retransmits every unacknowledged message each interval, oldest
+// first, preserving per-pair order. Receiver-side dedup makes spurious
+// retransmits harmless.
+func (e *reliableEndpoint) resendLoop() {
+	t := time.NewTicker(e.net.cfg.ResendInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-e.done:
+			return
+		}
+		e.smu.Lock()
+		var pending []Message
+		for _, q := range e.unacked {
+			pending = append(pending, q...)
+		}
+		e.smu.Unlock()
+		for _, m := range pending {
+			_ = e.inner.Send(m) // transient failures retry next tick
+		}
+	}
+}
+
+func (e *reliableEndpoint) Recv() (Message, error) {
+	select {
+	case m := <-e.box:
+		return m, nil
+	case <-e.done:
+		select {
+		case m := <-e.box:
+			return m, nil
+		default:
+			return Message{}, e.closeErr()
+		}
+	}
+}
+
+func (e *reliableEndpoint) RecvTimeout(d time.Duration) (Message, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case m := <-e.box:
+		return m, nil
+	case <-e.done:
+		return Message{}, e.closeErr()
+	case <-t.C:
+		return Message{}, ErrTimeout
+	}
+}
+
+func (e *reliableEndpoint) closeErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	if e.recErr != nil {
+		return e.recErr
+	}
+	return ErrClosed
+}
+
+// Unacked returns the number of messages awaiting acknowledgement across all
+// peers (tests and diagnostics).
+func (e *reliableEndpoint) Unacked() int {
+	e.smu.Lock()
+	defer e.smu.Unlock()
+	n := 0
+	for _, q := range e.unacked {
+		n += len(q)
+	}
+	return n
+}
+
+func (e *reliableEndpoint) Close() error {
+	e.closeOne.Do(func() { close(e.done) })
+	return e.inner.Close()
+}

@@ -5,7 +5,14 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+)
+
+// Reconnect backoff defaults (see TCPNetwork.MaxRetries).
+const (
+	DefaultRetryBase = 50 * time.Millisecond
+	DefaultRetryCap  = 2 * time.Second
 )
 
 // TCPRouter is the hub of a star-topology TCP network. Every endpoint dials
@@ -83,7 +90,8 @@ func (r *TCPRouter) acceptLoop() {
 }
 
 // serveConn reads the hello (a Message whose Src is the endpoint's claimed
-// address), registers the connection, then forwards every further message.
+// address; a nonzero Seq marks a reconnect epoch), registers the connection,
+// then forwards every further message.
 func (r *TCPRouter) serveConn(conn net.Conn) {
 	defer r.wg.Done()
 	dec := gob.NewDecoder(conn)
@@ -101,12 +109,19 @@ func (r *TCPRouter) serveConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	if _, dup := r.conns[addr]; dup {
-		r.mu.Unlock()
-		// Duplicate registration: refuse by closing; the dialer's Recv will
-		// fail and Register report it.
-		conn.Close()
-		return
+	if old, dup := r.conns[addr]; dup {
+		if hello.Seq == 0 {
+			r.mu.Unlock()
+			// Duplicate registration: refuse by closing; the dialer's Recv
+			// will fail and Register report it.
+			conn.Close()
+			return
+		}
+		// Reconnect epoch: the endpoint lost its connection and dialed back
+		// before we noticed the old socket die. The new connection takes
+		// over; closing the old one unblocks its serveConn.
+		delete(r.conns, addr)
+		old.conn.Close()
 	}
 	r.conns[addr] = rc
 	r.mu.Unlock()
@@ -134,7 +149,9 @@ func (r *TCPRouter) serveConn(conn net.Conn) {
 func (r *TCPRouter) forward(m Message) {
 	r.mu.Lock()
 	dst, ok := r.conns[m.Dst]
-	if ok {
+	if ok && m.Seq == 0 {
+		// Stamp the pair sequence only for unsequenced traffic; the reliable
+		// layer's own numbering (nonzero Seq) must survive the trip.
 		r.seq[seqKey{src: m.Src, dst: m.Dst}]++
 		m.Seq = r.seq[seqKey{src: m.Src, dst: m.Dst}]
 	}
@@ -155,8 +172,21 @@ func (c *routerConn) send(m Message) {
 
 // TCPNetwork is the client side of a router-based network. Register dials the
 // router once per address.
+//
+// The reconnect fields must be set before Register; they apply to every
+// endpoint subsequently registered through this network object.
 type TCPNetwork struct {
 	routerAddr string
+
+	// MaxRetries is the number of reconnect attempts an endpoint makes after
+	// losing its router connection, with exponential backoff from RetryBase
+	// capped at RetryCap. Zero (the default) disables reconnection: a lost
+	// connection closes the endpoint and Recv reports the underlying error.
+	// Reconnection replays nothing by itself — pair it with ReliableNetwork
+	// to recover the messages the dead connection swallowed.
+	MaxRetries int
+	RetryBase  time.Duration
+	RetryCap   time.Duration
 
 	mu     sync.Mutex
 	eps    []*tcpEndpoint
@@ -167,6 +197,20 @@ type TCPNetwork struct {
 // routerAddr.
 func NewTCPNetwork(routerAddr string) *TCPNetwork {
 	return &TCPNetwork{routerAddr: routerAddr}
+}
+
+func (n *TCPNetwork) retryBase() time.Duration {
+	if n.RetryBase > 0 {
+		return n.RetryBase
+	}
+	return DefaultRetryBase
+}
+
+func (n *TCPNetwork) retryCap() time.Duration {
+	if n.RetryCap > 0 {
+		return n.RetryCap
+	}
+	return DefaultRetryCap
 }
 
 // Register dials the router and claims addr.
@@ -183,6 +227,7 @@ func (n *TCPNetwork) Register(addr Addr) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: dial router: %w", err)
 	}
 	ep := &tcpEndpoint{
+		net:  n,
 		addr: addr,
 		conn: conn,
 		enc:  gob.NewEncoder(conn),
@@ -221,23 +266,56 @@ func (n *TCPNetwork) Close() error {
 	return nil
 }
 
+// ResetConnections abruptly closes the router socket of every endpoint
+// without closing the endpoints themselves — the fault-injection hook the
+// chaos tests use to simulate a link flap or router-side RST. Endpoints with
+// reconnection enabled (MaxRetries > 0) dial back and resume; others fail
+// with the connection error on their next Recv.
+func (n *TCPNetwork) ResetConnections() {
+	n.mu.Lock()
+	eps := make([]*tcpEndpoint, len(n.eps))
+	copy(eps, n.eps)
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.resetConn()
+	}
+}
+
 type tcpEndpoint struct {
+	net  *TCPNetwork
 	addr Addr
+
+	emu  sync.Mutex // guards conn/enc (writes and reconnect swaps)
 	conn net.Conn
 	enc  *gob.Encoder
-	emu  sync.Mutex
-	dec  *gob.Decoder
+
+	dec *gob.Decoder // owned by readLoop
+
+	epoch uint64 // reconnect counter, carried in the re-hello's Seq
 
 	box      chan Message
 	done     chan struct{}
 	closeOne sync.Once
+
+	errMu  sync.Mutex
+	recErr error
 }
 
+// readLoop receives until the connection dies; a non-deliberate death either
+// reconnects (when the network enables it) or records the error so Recv can
+// report why the endpoint stopped, instead of masquerading as a clean Close.
 func (e *tcpEndpoint) readLoop() {
 	for {
 		var m Message
 		if err := e.dec.Decode(&m); err != nil {
-			e.Close()
+			select {
+			case <-e.done: // deliberate Close
+				return
+			default:
+			}
+			if e.reconnect(err) {
+				continue
+			}
 			return
 		}
 		select {
@@ -246,6 +324,84 @@ func (e *tcpEndpoint) readLoop() {
 			return
 		}
 	}
+}
+
+// reconnect dials the router again with capped exponential backoff. On
+// success it swaps the connection under the write lock (in-flight Sends see
+// either socket, never a torn one) and the read loop resumes. On exhaustion
+// it records the root cause and closes the endpoint.
+func (e *tcpEndpoint) reconnect(cause error) bool {
+	max := e.net.MaxRetries
+	if max <= 0 {
+		e.fail(fmt.Errorf("transport: tcp %s: connection lost: %w", e.addr, cause))
+		return false
+	}
+	backoff := e.net.retryBase()
+	for attempt := 1; attempt <= max; attempt++ {
+		select {
+		case <-e.done:
+			return false
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > e.net.retryCap() {
+			backoff = e.net.retryCap()
+		}
+		conn, err := net.Dial("tcp", e.net.routerAddr)
+		if err != nil {
+			continue
+		}
+		enc := gob.NewEncoder(conn)
+		dec := gob.NewDecoder(conn)
+		epoch := atomic.AddUint64(&e.epoch, 1)
+		if err := enc.Encode(Message{Kind: KindControl, Tag: "hello", Src: e.addr, Seq: epoch}); err != nil {
+			conn.Close()
+			continue
+		}
+		var ack Message
+		if err := dec.Decode(&ack); err != nil {
+			conn.Close()
+			continue
+		}
+		e.emu.Lock()
+		old := e.conn
+		e.conn, e.enc = conn, enc
+		e.emu.Unlock()
+		e.dec = dec
+		old.Close()
+		return true
+	}
+	e.fail(fmt.Errorf("transport: tcp %s: connection lost, %d reconnect attempts failed: %w",
+		e.addr, max, cause))
+	return false
+}
+
+// fail records the endpoint's terminal error and closes it.
+func (e *tcpEndpoint) fail(err error) {
+	e.errMu.Lock()
+	if e.recErr == nil {
+		e.recErr = err
+	}
+	e.errMu.Unlock()
+	e.Close()
+}
+
+// closeErr distinguishes a connection failure from a deliberate Close.
+func (e *tcpEndpoint) closeErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	if e.recErr != nil {
+		return e.recErr
+	}
+	return ErrClosed
+}
+
+// resetConn closes the current socket without closing the endpoint
+// (fault injection; see TCPNetwork.ResetConnections).
+func (e *tcpEndpoint) resetConn() {
+	e.emu.Lock()
+	conn := e.conn
+	e.emu.Unlock()
+	conn.Close()
 }
 
 func (e *tcpEndpoint) Addr() Addr { return e.addr }
@@ -274,7 +430,7 @@ func (e *tcpEndpoint) Recv() (Message, error) {
 		case m := <-e.box:
 			return m, nil
 		default:
-			return Message{}, ErrClosed
+			return Message{}, e.closeErr()
 		}
 	}
 }
@@ -286,7 +442,7 @@ func (e *tcpEndpoint) RecvTimeout(d time.Duration) (Message, error) {
 	case m := <-e.box:
 		return m, nil
 	case <-e.done:
-		return Message{}, ErrClosed
+		return Message{}, e.closeErr()
 	case <-t.C:
 		return Message{}, ErrTimeout
 	}
@@ -295,7 +451,10 @@ func (e *tcpEndpoint) RecvTimeout(d time.Duration) (Message, error) {
 func (e *tcpEndpoint) Close() error {
 	e.closeOne.Do(func() {
 		close(e.done)
-		e.conn.Close()
+		e.emu.Lock()
+		conn := e.conn
+		e.emu.Unlock()
+		conn.Close()
 	})
 	return nil
 }
