@@ -222,6 +222,28 @@ func BenchmarkBufferOfferSkip(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreSteadyState measures the pooled export hot path at steady
+// state: after warm-up every buffered copy reuses a pool slice and a
+// recycled Entry, so the timed path must report 0 allocs/op (the body
+// fails the benchmark on any pool miss). Shared with couplebench -bench,
+// which records the result in BENCH_PR2.json.
+func BenchmarkStoreSteadyState(b *testing.B) {
+	harness.StoreSteadyStateBench(b, 512*512)
+}
+
+// BenchmarkFrameRoundTrip measures the zero-copy binary wire codec of the
+// TCP transport (encode into a reused buffer, decode with a warm interner).
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	harness.FrameRoundTripBench(b)
+}
+
+// BenchmarkRepRoundTripCoalesced measures a rep-to-rep request/answer round
+// trip through the coalescing transport with a window of outstanding
+// requests (batches fill by count, as in the protocol's fan-out stages).
+func BenchmarkRepRoundTripCoalesced(b *testing.B) {
+	harness.RepRoundTripBench(b)
+}
+
 // BenchmarkTransportMem measures in-memory message round trips.
 func BenchmarkTransportMem(b *testing.B) {
 	net := transport.NewMemNetwork()
@@ -485,6 +507,7 @@ func BenchmarkWireFloat64s(b *testing.B) {
 // BenchmarkRepAggregation measures the rep's response aggregation for a
 // 32-process program (31 PENDING responses plus one decisive MATCH).
 func BenchmarkRepAggregation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := rep.NewRequest(20, 32)
 		for rank := 0; rank < 31; rank++ {

@@ -46,8 +46,17 @@ func main() {
 		syncImp = flag.Bool("sync", false, "synchronize importer processes each iteration (models a real solver's halo exchange)")
 		ratio   = flag.String("ratio", "", "comma-separated tolerances for the tolerance-ratio sweep (buddy on/off saving curve)")
 		latsw   = flag.String("latsweep", "", "comma-separated one-way network latencies (e.g. 0,100us,1ms) for the latency ablation")
+		bench   = flag.String("bench", "", "run the allocation/framing benchmark suite and write the JSON report to this file (e.g. BENCH_PR2.json)")
 	)
 	flag.Parse()
+
+	if *bench != "" {
+		if err := runBench(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, "couplebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(*figure, *gridN, *exports, *every, *tol, *buddy, *runs, *fast, *slow, *uwork, *csvPath, *svgPath, *tub, *onset, *syncImp, *ratio, *latsw); err != nil {
 		fmt.Fprintln(os.Stderr, "couplebench:", err)

@@ -46,6 +46,10 @@ type Entry struct {
 	Data     []float64
 	CopyTime time.Duration
 	Sent     bool
+	// pendingTransfers counts SendItems handed out whose consumers have not
+	// yet called TransferDone: while nonzero, Data is aliased outside the
+	// manager and must not be recycled into the pool when the entry is freed.
+	pendingTransfers int
 }
 
 // request tracks one import request's lifecycle inside the manager.
@@ -94,6 +98,10 @@ type Config struct {
 	// Release is called whenever the manager frees an entry obtained from
 	// Snapshot (the refcounting hook paired with it).
 	Release func(ts float64)
+	// Pool, when non-nil, supplies the buffer recycling pool. The framework
+	// passes one pool per process so every connection's manager shares the
+	// same free buffers; nil gives the manager a private pool.
+	Pool *Pool
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -105,10 +113,17 @@ type Manager struct {
 
 	entries map[float64]*Entry
 	bytes   int64
-	// freelist recycles released data slices (all exports of a connection
-	// have the same block size), keeping steady-state buffering free of
-	// allocation and GC churn — the memcpy alone is what Figure 4 measures.
-	freelist [][]float64
+	// pool recycles released data slices in power-of-two size classes,
+	// keeping steady-state buffering free of allocation and GC churn — the
+	// memcpy alone is what Figure 4 measures. (It replaces an ad-hoc
+	// freelist that dropped every popped candidate whose length mismatched,
+	// so reuse stopped after any region-size change.)
+	pool *Pool
+	// entryFree recycles Entry structs so the buffered-export hot path does
+	// zero heap allocation at steady state.
+	entryFree []*Entry
+	// sweepScratch is reused by sweep for the removed-timestamp list.
+	sweepScratch []float64
 
 	requests []*request
 	// newestLo/newestHi cache the newest request's acceptable region; the
@@ -138,6 +153,10 @@ type Stats struct {
 	// CopyTime totals time spent copying; UnnecessaryTime is the subset
 	// spent on objects later freed unsent (the paper's T_ub).
 	CopyTime, UnnecessaryTime time.Duration
+	// Pool snapshots the buffer pool's hit/miss counters. When the
+	// framework shares one pool among a process's managers, every manager
+	// reports the same (process-wide) pool counters.
+	Pool PoolStats
 	// PerRequest holds one record per import request, in arrival order.
 	PerRequest []RequestStats
 }
@@ -200,15 +219,24 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = NewPool(0)
+	}
 	return &Manager{
 		cfg:      cfg,
 		matcher:  matcher,
+		pool:     pool,
 		entries:  make(map[float64]*Entry),
 		newestLo: math.Inf(-1),
 		newestHi: math.Inf(-1),
 		newestX:  math.Inf(-1),
 	}, nil
 }
+
+// Pool returns the manager's buffer pool (shared across a process's
+// managers when Config.Pool was set).
+func (m *Manager) Pool() *Pool { return m.pool }
 
 // Policy returns the connection's match policy.
 func (m *Manager) Policy() match.Policy { return m.cfg.Policy }
@@ -240,6 +268,7 @@ func (m *Manager) Buffered(ts float64) bool {
 // Stats returns a snapshot of the accumulated statistics.
 func (m *Manager) Stats() Stats {
 	out := m.stats
+	out.Pool = m.pool.Stats()
 	out.PerRequest = make([]RequestStats, len(m.requests))
 	for i, r := range m.requests {
 		out.PerRequest[i] = RequestStats{
@@ -309,6 +338,20 @@ func (m *Manager) Evict() int {
 		n++
 	}
 	return n
+}
+
+// TransferDone tells the manager that one SendItem for the version at ts
+// has been fully consumed (its data copied to the wire), releasing that
+// alias of the buffered slice. Once every hand-out of an entry is done, the
+// buffer re-enters the pool when the entry is freed, which keeps the
+// steady-state export path allocation-free even when every version is
+// matched and transferred. Callers must invoke it exactly once per
+// SendItem; a ts whose entry is already gone is ignored (the entry was
+// evicted mid-transfer and its buffer left to the garbage collector).
+func (m *Manager) TransferDone(ts float64) {
+	if e, ok := m.entries[ts]; ok && e.pendingTransfers > 0 {
+		e.pendingTransfers--
+	}
 }
 
 // closedDecision resolves a request knowing no further exports will come:
@@ -479,6 +522,7 @@ func (m *Manager) decide(r *request, result match.Result, matchTS float64, viaBu
 func (m *Manager) markSend(r *request, e *Entry) SendItem {
 	r.dataSent = true
 	e.Sent = true
+	e.pendingTransfers++
 	m.stats.Sends++
 	m.cfg.Log.Add(trace.Event{Op: trace.OpSend, TS: e.TS})
 	return SendItem{ReqIndex: r.index, ReqTS: r.x, MatchTS: e.TS, Data: e.Data, CopyTime: e.CopyTime}
@@ -645,7 +689,7 @@ func (m *Manager) retain(e *Entry) bool {
 // sweep frees every no-longer-retained entry, coalescing the removals into
 // one paper-style trace line.
 func (m *Manager) sweep() {
-	var removed []float64
+	removed := m.sweepScratch[:0]
 	for ts, e := range m.entries {
 		if m.retain(e) {
 			continue
@@ -653,6 +697,7 @@ func (m *Manager) sweep() {
 		removed = append(removed, ts)
 		m.free(e)
 	}
+	m.sweepScratch = removed[:0]
 	if len(removed) == 0 {
 		return
 	}
@@ -667,20 +712,32 @@ func (m *Manager) free(e *Entry) {
 	m.stats.Removes++
 	if m.cfg.Release != nil {
 		m.cfg.Release(e.TS)
-	} else if !e.Sent && len(m.freelist) < 64 {
-		// Sent entries' data may still be referenced by an in-flight
-		// transfer (SendItem aliases it); only never-sent buffers are
-		// recycled.
-		m.freelist = append(m.freelist, e.Data)
+	} else if e.pendingTransfers == 0 {
+		// Recyclable: either never sent, or every consumer of a SendItem
+		// aliasing this buffer has called TransferDone. An entry freed with
+		// transfers still pending (Evict of a dead importer) goes to the
+		// garbage collector instead — the in-flight transfer may still read
+		// the slice.
+		m.pool.Put(e.Data)
 	}
-	if e.Sent {
+	unsent := !e.Sent
+	copyTime := e.CopyTime
+	ts := e.TS
+	// The Entry struct itself is never retained past free (SendItem copies
+	// the fields it needs), so it is always recyclable; drop the data
+	// reference so the slice can be collected when it wasn't pooled.
+	e.Data = nil
+	if len(m.entryFree) < 256 {
+		m.entryFree = append(m.entryFree, e)
+	}
+	if !unsent {
 		return
 	}
 	// Buffered but never transferred: the paper's unnecessary buffering.
 	m.stats.UnnecessaryCopies++
-	m.stats.UnnecessaryTime += e.CopyTime
-	if r := m.regionOf(e.TS); r != nil {
-		r.unnecessary += e.CopyTime
+	m.stats.UnnecessaryTime += copyTime
+	if r := m.regionOf(ts); r != nil {
+		r.unnecessary += copyTime
 		r.unnecessaryCopies++
 	}
 }
@@ -714,27 +771,30 @@ func (m *Manager) store(ts float64, data []float64) (*Entry, error) {
 		buf = m.cfg.Snapshot(ts, data)
 		elapsed = m.cfg.Now().Sub(start)
 	} else {
-		for len(m.freelist) > 0 && buf == nil {
-			cand := m.freelist[len(m.freelist)-1]
-			m.freelist = m.freelist[:len(m.freelist)-1]
-			if len(cand) == len(data) {
-				buf = cand
-			}
-		}
+		buf = m.pool.Get(len(data))
 		start := m.cfg.Now()
-		if buf == nil {
-			buf = make([]float64, len(data))
-		}
 		copy(buf, data)
 		elapsed = m.cfg.Now().Sub(start)
 	}
-	e := &Entry{TS: ts, Data: buf, CopyTime: elapsed}
+	e := m.newEntry()
+	e.TS, e.Data, e.CopyTime, e.Sent, e.pendingTransfers = ts, buf, elapsed, false, 0
 	m.entries[ts] = e
 	m.bytes += sz
 	m.stats.Copies++
 	m.stats.BytesCopied += sz
 	m.stats.CopyTime += elapsed
 	return e, nil
+}
+
+// newEntry reuses a recycled Entry struct when one is free.
+func (m *Manager) newEntry() *Entry {
+	if n := len(m.entryFree); n > 0 {
+		e := m.entryFree[n-1]
+		m.entryFree[n-1] = nil
+		m.entryFree = m.entryFree[:n-1]
+		return e
+	}
+	return &Entry{}
 }
 
 func replyEvent(x float64, d match.Decision) trace.Event {

@@ -39,6 +39,12 @@ type Options struct {
 	Trace bool
 	// BufferMaxBytes bounds each per-connection export buffer (0 = unbounded).
 	BufferMaxBytes int64
+	// Coalesce, when non-nil, wraps the transport in a CoalescingNetwork so
+	// same-destination control messages share frames (see
+	// transport.CoalesceConfig; a Disabled config still counts frames, which
+	// is how baseline runs measure their frame traffic). FrameStats exposes
+	// the layer's counters.
+	Coalesce *transport.CoalesceConfig
 	// Timeout bounds blocking waits; 0 means DefaultTimeout.
 	Timeout time.Duration
 	// Heartbeat enables peer-failure detection between representatives: reps
@@ -66,6 +72,9 @@ type Framework struct {
 	local    string
 	programs map[string]*Program
 
+	// coalesce is the coalescing layer when Options.Coalesce enabled one.
+	coalesce *transport.CoalescingNetwork
+
 	mu      sync.Mutex
 	started bool
 	closed  bool
@@ -78,6 +87,11 @@ func New(cfg *config.Config, opts Options) (*Framework, error) {
 	if opts.Network == nil {
 		opts.Network = transport.NewMemNetwork()
 	}
+	var coalesce *transport.CoalescingNetwork
+	if opts.Coalesce != nil {
+		coalesce = transport.NewCoalescingNetwork(opts.Network, *opts.Coalesce)
+		opts.Network = coalesce
+	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = DefaultTimeout
 	}
@@ -86,6 +100,7 @@ func New(cfg *config.Config, opts Options) (*Framework, error) {
 		opts:     opts,
 		net:      opts.Network,
 		programs: make(map[string]*Program),
+		coalesce: coalesce,
 	}
 	for _, pc := range cfg.Programs {
 		p, err := newProgram(f, pc)
@@ -112,6 +127,11 @@ func Join(cfg *config.Config, program string, opts Options) (*Framework, error) 
 	if !ok {
 		return nil, fmt.Errorf("core: configuration has no program %q", program)
 	}
+	var coalesce *transport.CoalescingNetwork
+	if opts.Coalesce != nil {
+		coalesce = transport.NewCoalescingNetwork(opts.Network, *opts.Coalesce)
+		opts.Network = coalesce
+	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = DefaultTimeout
 	}
@@ -121,6 +141,7 @@ func Join(cfg *config.Config, program string, opts Options) (*Framework, error) 
 		net:      opts.Network,
 		local:    program,
 		programs: make(map[string]*Program),
+		coalesce: coalesce,
 	}
 	p, err := newProgram(f, pc)
 	if err != nil {
@@ -289,6 +310,15 @@ func (f *Framework) regionDef(ep config.Endpoint) (regionDef, error) {
 			ep.Program, ep.Region)
 	}
 	return def, nil
+}
+
+// FrameStats returns the coalescing layer's frame counters; ok is false
+// when Options.Coalesce did not enable the layer.
+func (f *Framework) FrameStats() (stats transport.FrameStats, ok bool) {
+	if f.coalesce == nil {
+		return transport.FrameStats{}, false
+	}
+	return f.coalesce.Stats(), true
 }
 
 // Err returns the first violation or internal error any program hit, or nil.

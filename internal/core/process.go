@@ -230,6 +230,14 @@ func (p *Process) start() {
 			expConns[conn.Export.Region] = append(expConns[conn.Export.Region], conn)
 		}
 	}
+	// One buffer pool per process: every connection's manager recycles from
+	// the same power-of-two size classes, so a freed buffer of one
+	// connection serves the next export of any other (all access is under
+	// p.mu, matching the pool's single-owner contract).
+	var pool *buffer.Pool
+	if len(expConns) > 0 {
+		pool = buffer.NewPool(0)
+	}
 	for region, conns := range expConns {
 		def := p.prog.regions[region]
 		reg := &exportRegion{def: def, block: def.layout.Block(p.rank)}
@@ -244,6 +252,7 @@ func (p *Process) start() {
 				Tol:      conn.Tolerance,
 				Log:      p.log,
 				MaxBytes: fw.opts.BufferMaxBytes,
+				Pool:     pool,
 			}
 			if reg.store != nil {
 				mcfg.Snapshot = reg.store.snapshot
@@ -495,7 +504,10 @@ func (p *Process) sendResponse(ec *exportConn, reqID int, reqTS float64, result 
 }
 
 // sendMatches transfers matched data objects to the importer processes along
-// this rank's share of the redistribution plan.
+// this rank's share of the redistribution plan. Pack copies each outgoing
+// piece out of the buffered slice, so after the loop the SendItems hold the
+// last aliases of the buffers and TransferDone can hand them back to the
+// manager for recycling.
 func (p *Process) sendMatches(ec *exportConn, sends []buffer.SendItem) {
 	for _, s := range sends {
 		g := decomp.Grid{Block: ec.block, Data: s.Data}
@@ -518,6 +530,11 @@ func (p *Process) sendMatches(ec *exportConn, sends []buffer.SendItem) {
 			}
 		}
 	}
+	p.mu.Lock()
+	for _, s := range sends {
+		ec.mgr.TransferDone(s.MatchTS)
+	}
+	p.mu.Unlock()
 }
 
 // Export is the collective export operation: it offers a new version of the

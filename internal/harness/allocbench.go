@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/match"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// This file holds the bodies of the allocation benchmarks, shared between
+// the repository's bench_test.go (go test -bench) and couplebench's -bench
+// mode, which runs them through testing.Benchmark and writes the numbers to
+// a JSON report. Keeping one body for both means the checked-in report and
+// the benchmark a developer runs by hand can never drift apart.
+
+// StoreSteadyStateBench drives one connection's export pipeline at steady
+// state: every iteration offers a blockN-float64 version that the manager
+// must buffer, and the request horizon advances in lock-step so exactly one
+// buffered entry is freed per cycle. After warm-up every copy target comes
+// from the buffer pool and every Entry from the manager's freelist, so the
+// timed path — the memcpy Figure 4 measures — performs zero heap
+// allocations. The request bookkeeping runs with the timer (and allocation
+// accounting) stopped: it models the importer side of the protocol, not the
+// export hot path.
+func StoreSteadyStateBench(b *testing.B, blockN int) {
+	data := make([]float64, blockN)
+	m, err := buffer.NewManager(buffer.Config{Policy: match.REGL, Tol: 2.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One cycle: export at ts+0.5, then a request at ts+0.3. The export
+	// already on file exceeds the region's upper bound, so the request
+	// decides immediately inside OnRequest — the next Offer has no pending
+	// request work to do.
+	ts := 0.0
+	cycle := func(timed bool) {
+		res, err := m.Offer(ts+0.5, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Buffered {
+			b.Fatal("expected buffering")
+		}
+		if timed {
+			b.StopTimer()
+		}
+		rr, err := m.OnRequest(ts + 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Consume the matched versions the way the framework does: the data
+		// goes to the wire, then TransferDone releases the alias so the
+		// buffer can recycle through the pool.
+		for _, s := range rr.Sends {
+			m.TransferDone(s.MatchTS)
+		}
+		ts++
+		if timed {
+			b.StartTimer()
+		}
+	}
+	// Warm-up: populate the pool and the entry freelist so the steady state
+	// starts recycling from iteration one.
+	for i := 0; i < 8; i++ {
+		cycle(false)
+	}
+	before := m.Stats().Pool
+	b.SetBytes(int64(8 * blockN))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle(true)
+	}
+	b.StopTimer()
+	after := m.Stats().Pool
+	if misses := after.Misses - before.Misses; misses > 0 {
+		b.Fatalf("steady state took %d pool misses over %d offers", misses, b.N)
+	}
+}
+
+// FrameRoundTripBench measures the binary wire codec of the TCP transport:
+// encode a control-plane message into a reused buffer, decode it back with
+// a warm string interner. Both directions are allocation-free — the decode
+// aliases the frame for the payload and interns the address strings.
+func FrameRoundTripBench(b *testing.B) {
+	in := wire.NewInterner()
+	m := transport.Message{
+		Kind:    transport.KindResponse,
+		Src:     transport.Proc("F", 3),
+		Dst:     transport.Rep("U"),
+		Tag:     "temp",
+		Seq:     7,
+		Payload: make([]byte, 96),
+	}
+	buf := transport.AppendFrame(nil, m)
+	if _, err := transport.DecodeFrame(buf, in); err != nil { // warm the interner
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = transport.AppendFrame(buf[:0], m)
+		got, err := transport.DecodeFrame(buf, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Seq != m.Seq {
+			b.Fatal("bad round trip")
+		}
+	}
+}
+
+// RepRoundTripBench measures a rep-to-rep control round trip through the
+// coalescing transport under load: a window of outstanding requests keeps
+// the batches filling by count rather than by flush deadline, the way the
+// protocol's fan-out stages do. One op is one completed request/answer
+// round trip; the per-op allocations amortize the batch buffers over the
+// messages that share them.
+func RepRoundTripBench(b *testing.B) {
+	inner := transport.NewMemNetwork()
+	n := transport.NewCoalescingNetwork(inner, transport.CoalesceConfig{
+		FlushInterval: 50 * time.Microsecond,
+	})
+	defer n.Close()
+	cli, err := n.Register(transport.Rep("F"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := n.Register(transport.Rep("U"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			m, err := srv.Recv()
+			if err != nil {
+				return
+			}
+			if m.Kind == transport.KindControl {
+				return
+			}
+			srv.Send(transport.Message{Kind: transport.KindAnswer, Dst: m.Src, Tag: m.Tag})
+		}
+	}()
+	payload := make([]byte, 64)
+	send := func() {
+		if err := cli.Send(transport.Message{
+			Kind:    transport.KindRequest,
+			Dst:     srv.Addr(),
+			Tag:     "bench",
+			Payload: payload,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const window = 32
+	for i := 0; i < window; i++ {
+		send()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Recv(); err != nil {
+			b.Fatal(err)
+		}
+		send()
+	}
+	b.StopTimer()
+	for i := 0; i < window; i++ {
+		if _, err := cli.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cli.Send(transport.Message{Kind: transport.KindControl, Dst: srv.Addr()})
+	<-done
+}

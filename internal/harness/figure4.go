@@ -54,8 +54,15 @@ type Figure4Config struct {
 	// the slow process's exports to save copies, so latency erodes the
 	// optimization's window.
 	NetLatency time.Duration
-	Runs       int
-	Trace      bool
+	// Coalesce batches same-destination control messages into shared
+	// transport frames (transport.CoalescingNetwork). CountFrames wraps the
+	// transport in the layer without batching, purely to count frames — the
+	// baseline an enabled run is compared against. Coalesce implies the
+	// counting.
+	Coalesce    bool
+	CountFrames bool
+	Runs        int
+	Trace       bool
 }
 
 // DefaultFigure4 returns the scaled paper configuration for an importer with
@@ -108,6 +115,15 @@ type Figure4Result struct {
 	// export (last run) — the quantity behind the paper's future-work
 	// concern about finite buffer space.
 	PeakBufferedBytes int64
+	// Frames holds the transport frame counters of the last run when the
+	// configuration asked for them (Coalesce or CountFrames).
+	Frames        transport.FrameStats
+	FramesCounted bool
+	// ImportChecksum sums every value program U imported (last run, ranks in
+	// order). The matched versions and their contents are deterministic for
+	// a given configuration, so two runs that match identically — coalesced
+	// or not — produce the same checksum.
+	ImportChecksum float64
 }
 
 // slowRank returns the rank playing p_s (the last exporter process; its
@@ -203,16 +219,26 @@ func RunFigure4(cfg Figure4Config) (*Figure4Result, error) {
 		ExporterProto:     last.expProto,
 		ImporterProto:     last.impProto,
 		PeakBufferedBytes: last.peakBuffered,
+		Frames:            last.frames,
+		FramesCounted:     last.framesCounted,
+		ImportChecksum:    last.importChecksum,
 	}, nil
 }
 
+// figure4TestNetwork, when non-nil, overrides the transport of
+// runFigure4Once — a hook for tests that instrument the traffic.
+var figure4TestNetwork transport.Network
+
 type runOutcome struct {
-	exportTimes  *metrics.Series
-	slowStats    buffer.Stats
-	matched      int
-	expProto     core.ProtocolStats
-	impProto     core.ProtocolStats
-	peakBuffered int64
+	exportTimes    *metrics.Series
+	slowStats      buffer.Stats
+	matched        int
+	expProto       core.ProtocolStats
+	impProto       core.ProtocolStats
+	peakBuffered   int64
+	frames         transport.FrameStats
+	framesCounted  bool
+	importChecksum float64
 }
 
 // runFigure4Once builds the F/U coupling and runs the workload.
@@ -237,6 +263,12 @@ func runFigure4Once(cfg Figure4Config) (*runOutcome, error) {
 	if cfg.NetLatency > 0 {
 		opts.Network = transport.NewLatencyNetwork(
 			transport.NewMemNetwork(), cfg.NetLatency, cfg.NetLatency/10)
+	}
+	if figure4TestNetwork != nil {
+		opts.Network = figure4TestNetwork
+	}
+	if cfg.Coalesce || cfg.CountFrames {
+		opts.Coalesce = &transport.CoalesceConfig{Disabled: !cfg.Coalesce}
 	}
 	fw, err := core.New(coupling, opts)
 	if err != nil {
@@ -268,6 +300,7 @@ func runFigure4Once(cfg Figure4Config) (*runOutcome, error) {
 	var peakBuffered int64
 	requests := cfg.Exports / cfg.MatchEvery
 	matched := make([]int, cfg.ImporterProcs)
+	sums := make([]float64, cfg.ImporterProcs)
 
 	total := cfg.ExporterProcs + cfg.ImporterProcs
 	errs := make(chan error, total)
@@ -331,6 +364,9 @@ func runFigure4Once(cfg Figure4Config) (*runOutcome, error) {
 				}
 				if res.Matched {
 					matched[r]++
+					for _, v := range dst {
+						sums[r] += v
+					}
 				}
 				work(uWork)
 				if cfg.SyncImporter {
@@ -372,12 +408,19 @@ func runFigure4Once(cfg Figure4Config) (*runOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &runOutcome{
+	out := &runOutcome{
 		exportTimes:  series,
 		slowStats:    stats["U.f"],
 		matched:      matched[0],
 		expProto:     progF.ProtocolStats(),
 		impProto:     progU.ProtocolStats(),
 		peakBuffered: peakBuffered,
-	}, nil
+	}
+	for _, s := range sums {
+		out.importChecksum += s
+	}
+	if fs, ok := fw.FrameStats(); ok {
+		out.frames, out.framesCounted = fs, true
+	}
+	return out, nil
 }

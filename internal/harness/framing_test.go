@@ -1,0 +1,64 @@
+package harness
+
+import "testing"
+
+// TestFramingComparison is the PR's framing acceptance gate: the coupled
+// run must send at least 3x fewer transport frames with coalescing enabled,
+// and the coalescing must be invisible to the coupling — identical MATCH
+// count and byte-identical imported data (equal checksums).
+func TestFramingComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("framing comparison runs two full couplings")
+	}
+	cfg := DefaultFramingConfig()
+	cfg.GridN = 16
+	cfg.Exports = 200
+	fc, err := RunFramingComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("framing: %s", fc)
+	t.Logf("baseline frames: %+v", fc.Baseline.Frames)
+	t.Logf("coalesced frames: %+v", fc.Coalesced.Frames)
+
+	if fc.Baseline.Frames.Batches != 0 {
+		t.Errorf("baseline run built %d batches; the Disabled layer must only count", fc.Baseline.Frames.Batches)
+	}
+	if fc.Baseline.Frames.Frames != fc.Baseline.Frames.Messages {
+		t.Errorf("baseline frames %d != messages %d (disabled layer must be one frame per message)",
+			fc.Baseline.Frames.Frames, fc.Baseline.Frames.Messages)
+	}
+	if fc.Coalesced.Frames.Messages != fc.Baseline.Frames.Messages {
+		// The two runs execute the same protocol; a large divergence would
+		// mean coalescing changed the coupling's behavior, not just its
+		// framing. Timing-dependent messages (buddy-help, pending responses)
+		// allow a little slack.
+		lo, hi := fc.Baseline.Frames.Messages*9/10, fc.Baseline.Frames.Messages*11/10
+		if fc.Coalesced.Frames.Messages < lo || fc.Coalesced.Frames.Messages > hi {
+			t.Errorf("coalesced run sent %d messages vs baseline %d — protocol diverged",
+				fc.Coalesced.Frames.Messages, fc.Baseline.Frames.Messages)
+		}
+	}
+	if red := fc.FrameReduction(); red < 3 {
+		t.Errorf("frame reduction %.2fx (frames %d -> %d), want >= 3x",
+			red, fc.Baseline.Frames.Frames, fc.Coalesced.Frames.Frames)
+	}
+
+	requests := cfg.Exports / cfg.MatchEvery
+	if fc.Baseline.Matched != requests {
+		t.Errorf("baseline matched %d of %d requests", fc.Baseline.Matched, requests)
+	}
+	if fc.Baseline.Matched != fc.Coalesced.Matched {
+		t.Errorf("matched diverged: baseline %d, coalesced %d", fc.Baseline.Matched, fc.Coalesced.Matched)
+	}
+	if fc.Baseline.ImportChecksum != fc.Coalesced.ImportChecksum {
+		t.Errorf("import checksum diverged: baseline %g, coalesced %g — coalescing changed the data",
+			fc.Baseline.ImportChecksum, fc.Coalesced.ImportChecksum)
+	}
+	if fc.Baseline.ImportChecksum == 0 {
+		t.Error("import checksum is zero — the runs imported nothing")
+	}
+	if !fc.Identical() {
+		t.Error("Identical() = false")
+	}
+}

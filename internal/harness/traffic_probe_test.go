@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+type countingNet struct {
+	transport.Network
+	mu    sync.Mutex
+	kinds map[transport.Kind]int
+	pairs map[string]int
+}
+
+type countingEp struct {
+	transport.Endpoint
+	n   *countingNet
+	src transport.Addr
+}
+
+func (n *countingNet) Register(a transport.Addr) (transport.Endpoint, error) {
+	ep, err := n.Network.Register(a)
+	if err != nil {
+		return nil, err
+	}
+	return &countingEp{Endpoint: ep, n: n, src: a}, nil
+}
+
+func (e *countingEp) Send(m transport.Message) error {
+	e.n.mu.Lock()
+	e.n.kinds[m.Kind]++
+	e.n.pairs[fmt.Sprintf("%v->%v %v", e.src, m.Dst, m.Kind)]++
+	e.n.mu.Unlock()
+	return e.Endpoint.Send(m)
+}
+
+func TestTrafficBreakdown(t *testing.T) {
+	cn := &countingNet{
+		Network: transport.NewMemNetwork(),
+		kinds:   map[transport.Kind]int{},
+		pairs:   map[string]int{},
+	}
+	figure4TestNetwork = cn
+	defer func() { figure4TestNetwork = nil }()
+	cfg := DefaultFramingConfig()
+	cfg.GridN = 16
+	cfg.Exports = 200
+	if _, err := runFigure4Once(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	total := 0
+	for k, c := range cn.kinds {
+		t.Logf("kind %-12v %d", k, c)
+		total += c
+	}
+	t.Logf("total %d", total)
+	type kv struct {
+		k string
+		v int
+	}
+	var ps []kv
+	for k, v := range cn.pairs {
+		ps = append(ps, kv{k, v})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].v > ps[j].v })
+	for i, p := range ps {
+		if i > 45 {
+			break
+		}
+		t.Logf("pair %-40s %d", p.k, p.v)
+	}
+	t.Logf("distinct pairs: %d", len(ps))
+}

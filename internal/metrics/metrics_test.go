@@ -77,6 +77,47 @@ func TestMeanOf(t *testing.T) {
 	}
 }
 
+// TestMeanOfShortenedRuns pins the unequal-length contract: a chaos- or
+// error-shortened run must truncate the mean to the shortest run, never
+// index past a short one — whichever argument position it arrives in.
+func TestMeanOfShortenedRuns(t *testing.T) {
+	long := seriesOf("long", 10, 20, 30, 40, 50)
+	short := seriesOf("short", 100, 200)
+	for _, runs := range [][]*Series{
+		{long, short},
+		{short, long},
+		{long, short, seriesOf("mid", 1, 2, 3)},
+	} {
+		m := MeanOf("m", runs...)
+		if m.Len() != short.Len() {
+			t.Fatalf("MeanOf truncates to %d, want shortest run %d", m.Len(), short.Len())
+		}
+	}
+	// An aborted run with zero iterations empties the mean rather than
+	// panicking.
+	if got := MeanOf("m", long, NewSeries("aborted")); got.Len() != 0 {
+		t.Fatalf("mean over an empty run has %d points, want 0", got.Len())
+	}
+	if got := MeanOf("m", long); got.Len() != 5 || got.At(4) != 50 {
+		t.Fatalf("single-run mean altered the data: %v", got.Durations())
+	}
+}
+
+// TestWriteCSVMultiShortenedRuns pins the same truncation contract for the
+// multi-series CSV writer.
+func TestWriteCSVMultiShortenedRuns(t *testing.T) {
+	a := seriesOf("a", 1, 2, 3, 4)
+	b := seriesOf("b", 9)
+	var sb strings.Builder
+	if err := WriteCSVMulti(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 || lines[1] != "0,1,9" {
+		t.Fatalf("csv rows %v, want header plus one row truncated to the shortest series", lines)
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	s := seriesOf("exp", 5, 7)
 	var sb strings.Builder

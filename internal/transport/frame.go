@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Binary frame codec for the TCP backend and the coalescing layer. It
+// replaces the per-message gob encoder: encoding appends to a caller-owned
+// buffer (no allocation at steady state) and decoding aliases the input for
+// the payload and interns the three strings, so a decode allocates nothing
+// once the connection's program names and tags have been seen.
+//
+// Frame layout (self-delimiting; the TCP stream adds an outer uvarint frame
+// length so the reader can slice whole frames out of its buffer):
+//
+//	offset 0  : kind      (1 byte)
+//	offset 1  : flags     (1 byte, reserved — zero)
+//	offset 2  : seq       (8 bytes, little-endian, fixed offset)
+//	offset 10 : src rank  (4 bytes, little-endian int32; -1 = rep)
+//	offset 14 : dst rank  (4 bytes, little-endian int32)
+//	offset 18 : src program (uvarint length + bytes)
+//	            dst program (uvarint length + bytes)
+//	            tag         (uvarint length + bytes)
+//	            payload     (uvarint length + bytes)
+//
+// Seq sits at a fixed offset so the router can stamp a sequence number into
+// a received frame in place and forward the same bytes without re-encoding.
+
+const (
+	// frameSeqOffset is the byte offset of the Seq field inside a frame.
+	frameSeqOffset = 2
+	// frameFixedLen is the length of the fixed-width header prefix.
+	frameFixedLen = 18
+)
+
+// AppendFrame appends the wire encoding of m to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, m Message) []byte {
+	dst = append(dst, byte(m.Kind), 0)
+	var fixed [16]byte
+	putU64(fixed[0:], m.Seq)
+	putU32(fixed[8:], uint32(int32(m.Src.Rank)))
+	putU32(fixed[12:], uint32(int32(m.Dst.Rank)))
+	dst = append(dst, fixed[:]...)
+	dst = wire.AppendString(dst, m.Src.Program)
+	dst = wire.AppendString(dst, m.Dst.Program)
+	dst = wire.AppendString(dst, m.Tag)
+	dst = wire.AppendBytes(dst, m.Payload)
+	return dst
+}
+
+// FrameSize returns the encoded size of m in bytes (for preallocating).
+func FrameSize(m Message) int {
+	n := frameFixedLen
+	n += wire.UvarintLen(uint64(len(m.Src.Program))) + len(m.Src.Program)
+	n += wire.UvarintLen(uint64(len(m.Dst.Program))) + len(m.Dst.Program)
+	n += wire.UvarintLen(uint64(len(m.Tag))) + len(m.Tag)
+	n += wire.UvarintLen(uint64(len(m.Payload))) + len(m.Payload)
+	return n
+}
+
+// DecodeFrame decodes one frame. The returned message's Payload aliases buf
+// — the caller copies it when the message is retained past the buffer's
+// reuse (mailboxes) and skips the copy when it is consumed first (the
+// router). Strings are interned through in when non-nil.
+func DecodeFrame(buf []byte, in *wire.Interner) (Message, error) {
+	var m Message
+	if len(buf) < frameFixedLen {
+		return m, fmt.Errorf("transport: frame of %d bytes shorter than the %d-byte header", len(buf), frameFixedLen)
+	}
+	m.Kind = Kind(buf[0])
+	m.Seq = getU64(buf[frameSeqOffset:])
+	m.Src.Rank = int(int32(getU32(buf[10:])))
+	m.Dst.Rank = int(int32(getU32(buf[14:])))
+	r := wire.NewReader(buf[frameFixedLen:])
+	if in != nil {
+		m.Src.Program = in.Intern(r.StringBytes())
+		m.Dst.Program = in.Intern(r.StringBytes())
+		m.Tag = in.Intern(r.StringBytes())
+	} else {
+		m.Src.Program = r.String()
+		m.Dst.Program = r.String()
+		m.Tag = r.String()
+	}
+	if b := r.Bytes(); len(b) > 0 {
+		m.Payload = b
+	}
+	if err := r.Err(); err != nil {
+		return Message{}, fmt.Errorf("transport: bad frame: %w", err)
+	}
+	if r.Len() != 0 {
+		return Message{}, fmt.Errorf("transport: frame has %d trailing bytes", r.Len())
+	}
+	return m, nil
+}
+
+// FrameSeq reads the Seq field of an encoded frame.
+func FrameSeq(frame []byte) uint64 { return getU64(frame[frameSeqOffset:]) }
+
+// PatchFrameSeq overwrites the Seq field of an encoded frame in place, so
+// the router can stamp sequence numbers without re-encoding.
+func PatchFrameSeq(frame []byte, seq uint64) { putU64(frame[frameSeqOffset:], seq) }
+
+// frameAddrs decodes only the source and destination addresses of a frame
+// (what the router needs to route and validate without a full decode).
+func frameAddrs(frame []byte, in *wire.Interner) (src, dst Addr, err error) {
+	if len(frame) < frameFixedLen {
+		return src, dst, fmt.Errorf("transport: frame of %d bytes shorter than the %d-byte header", len(frame), frameFixedLen)
+	}
+	src.Rank = int(int32(getU32(frame[10:])))
+	dst.Rank = int(int32(getU32(frame[14:])))
+	r := wire.NewReader(frame[frameFixedLen:])
+	src.Program = in.Intern(r.StringBytes())
+	dst.Program = in.Intern(r.StringBytes())
+	if err := r.Err(); err != nil {
+		return Addr{}, Addr{}, fmt.Errorf("transport: bad frame: %w", err)
+	}
+	return src, dst, nil
+}
+
+// Batch payload codec. A KindBatch message's payload is a sequence of fully
+// addressed sub-messages — the batch groups traffic from every endpoint of
+// the sending process to every endpoint of one destination program, so each
+// item carries its own source and destination:
+//
+//	kind (1 byte) · src rank (u32) · dst rank (u32) ·
+//	src program (uvarint string) · dst program (uvarint string) ·
+//	seq (uvarint) · tag (uvarint string) · payload (uvarint bytes)
+//
+// AppendBatchItem packs one sub-message; decodeBatch walks them.
+
+// AppendBatchItem appends the batch encoding of m to dst.
+func AppendBatchItem(dst []byte, m Message) []byte {
+	var fixed [9]byte
+	fixed[0] = byte(m.Kind)
+	putU32(fixed[1:], uint32(int32(m.Src.Rank)))
+	putU32(fixed[5:], uint32(int32(m.Dst.Rank)))
+	dst = append(dst, fixed[:]...)
+	dst = wire.AppendString(dst, m.Src.Program)
+	dst = wire.AppendString(dst, m.Dst.Program)
+	dst = wire.AppendUvarint(dst, m.Seq)
+	dst = wire.AppendString(dst, m.Tag)
+	dst = wire.AppendBytes(dst, m.Payload)
+	return dst
+}
+
+// BatchItemSize returns the encoded size of m as a batch item.
+func BatchItemSize(m Message) int {
+	return 9 +
+		wire.UvarintLen(uint64(len(m.Src.Program))) + len(m.Src.Program) +
+		wire.UvarintLen(uint64(len(m.Dst.Program))) + len(m.Dst.Program) +
+		wire.UvarintLen(m.Seq) +
+		wire.UvarintLen(uint64(len(m.Tag))) + len(m.Tag) +
+		wire.UvarintLen(uint64(len(m.Payload))) + len(m.Payload)
+}
+
+// decodeBatch invokes yield for every sub-message of a batch payload, in
+// order. Sub-message payloads alias the batch payload. yield returning an
+// error stops the walk.
+func decodeBatch(env Message, in *wire.Interner, yield func(Message) error) error {
+	r := wire.NewReader(env.Payload)
+	for r.Len() > 0 {
+		var m Message
+		m.Kind = Kind(r.Byte())
+		m.Src.Rank = int(int32(r.Uint32()))
+		m.Dst.Rank = int(int32(r.Uint32()))
+		if in != nil {
+			m.Src.Program = in.Intern(r.StringBytes())
+			m.Dst.Program = in.Intern(r.StringBytes())
+		} else {
+			m.Src.Program = r.String()
+			m.Dst.Program = r.String()
+		}
+		m.Seq = r.Uvarint()
+		if in != nil {
+			m.Tag = in.Intern(r.StringBytes())
+		} else {
+			m.Tag = r.String()
+		}
+		if b := r.Bytes(); len(b) > 0 {
+			m.Payload = b
+		}
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("transport: bad batch from %s: %w", env.Src, err)
+		}
+		if err := yield(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}

@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func frameMessages() []Message {
+	return []Message{
+		{},
+		{Kind: KindData, Src: Proc("solver", 3), Dst: Proc("viz", 0), Tag: "temp", Seq: 42, Payload: []byte{1, 2, 3, 4}},
+		{Kind: KindRequest, Src: Rep("viz"), Dst: Rep("solver"), Tag: "temp->grid", Seq: 1 << 40},
+		{Kind: KindAck, Src: Proc("a", 2147483647), Dst: Rep("b"), Seq: ^uint64(0)},
+		{Kind: KindBatch, Src: Proc("x", 0), Dst: Proc("y", 1), Payload: bytes.Repeat([]byte{0xAB}, 300)},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := wire.NewInterner()
+	for _, want := range frameMessages() {
+		frame := AppendFrame(nil, want)
+		if len(frame) != FrameSize(want) {
+			t.Fatalf("%v: FrameSize=%d, encoded %d", want, FrameSize(want), len(frame))
+		}
+		got, err := DecodeFrame(frame, in)
+		if err != nil {
+			t.Fatalf("%v: %v", want, err)
+		}
+		if got.Kind != want.Kind || got.Src != want.Src || got.Dst != want.Dst ||
+			got.Tag != want.Tag || got.Seq != want.Seq || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+		}
+		// Decode without an interner must agree.
+		got2, err := DecodeFrame(frame, nil)
+		if err != nil || got2.Tag != want.Tag || got2.Src != want.Src {
+			t.Fatalf("nil-interner decode: %+v err=%v", got2, err)
+		}
+	}
+}
+
+func TestFrameSeqPatch(t *testing.T) {
+	m := Message{Kind: KindData, Src: Proc("solver", 1), Dst: Proc("viz", 2), Tag: "t", Payload: []byte{9}}
+	frame := AppendFrame(nil, m)
+	if FrameSeq(frame) != 0 {
+		t.Fatalf("fresh frame seq %d", FrameSeq(frame))
+	}
+	PatchFrameSeq(frame, 77)
+	if FrameSeq(frame) != 77 {
+		t.Fatalf("patched seq %d", FrameSeq(frame))
+	}
+	got, err := DecodeFrame(frame, nil)
+	if err != nil || got.Seq != 77 {
+		t.Fatalf("decode after patch: %+v err=%v", got, err)
+	}
+	if got.Payload[0] != 9 || got.Tag != "t" {
+		t.Fatal("patch corrupted neighbouring fields")
+	}
+}
+
+func TestFrameAddrs(t *testing.T) {
+	in := wire.NewInterner()
+	m := Message{Kind: KindData, Src: Proc("solver", 5), Dst: Rep("viz"), Tag: "x", Payload: []byte{1}}
+	frame := AppendFrame(nil, m)
+	src, dst, err := frameAddrs(frame, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != m.Src || dst != m.Dst {
+		t.Fatalf("frameAddrs: %v -> %v", src, dst)
+	}
+	if _, _, err := frameAddrs(frame[:10], in); err == nil {
+		t.Fatal("no error on truncated header")
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	m := Message{Kind: KindData, Src: Proc("ab", 1), Dst: Proc("cd", 2), Tag: "tag", Payload: []byte{1, 2, 3}}
+	frame := AppendFrame(nil, m)
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := DecodeFrame(frame[:cut], nil); err == nil {
+			t.Fatalf("cut=%d: truncated frame decoded", cut)
+		}
+	}
+	if _, err := DecodeFrame(append(frame, 0), nil); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestFramePayloadAliasing(t *testing.T) {
+	m := Message{Kind: KindData, Src: Proc("a", 0), Dst: Proc("b", 0), Payload: []byte{1, 2, 3}}
+	frame := AppendFrame(nil, m)
+	got, err := DecodeFrame(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)-1] = 99
+	if got.Payload[2] != 99 {
+		t.Fatal("payload does not alias the frame buffer")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := wire.NewInterner()
+	// Items are fully addressed: a batch groups traffic from several local
+	// endpoints to several endpoints of the destination program.
+	items := []Message{
+		{Kind: KindResponse, Src: Proc("solver", 1), Dst: Rep("viz"), Tag: "temp", Seq: 5, Payload: []byte("r1")},
+		{Kind: KindAck, Src: Rep("solver"), Dst: Rep("viz"), Seq: 12},
+		{Kind: KindBuddyHelp, Src: Rep("solver"), Dst: Proc("viz", 2), Tag: "temp", Payload: bytes.Repeat([]byte{7}, 130)},
+	}
+	var payload []byte
+	wantSize := 0
+	for _, it := range items {
+		payload = AppendBatchItem(payload, it)
+		wantSize += BatchItemSize(it)
+	}
+	if len(payload) != wantSize {
+		t.Fatalf("BatchItemSize sum %d, encoded %d", wantSize, len(payload))
+	}
+	env := Message{Kind: KindBatch, Src: Proc("solver", 1), Dst: Rep("viz"), Payload: payload}
+	var got []Message
+	if err := decodeBatch(env, in, func(m Message) error {
+		got = append(got, m)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("decoded %d items, want %d", len(got), len(items))
+	}
+	for i, it := range items {
+		g := got[i]
+		if g.Kind != it.Kind || g.Tag != it.Tag || g.Seq != it.Seq || !bytes.Equal(g.Payload, it.Payload) {
+			t.Fatalf("item %d:\n got %+v\nwant %+v", i, g, it)
+		}
+		if g.Src != it.Src || g.Dst != it.Dst {
+			t.Fatalf("item %d: addrs %v -> %v, want %v -> %v", i, g.Src, g.Dst, it.Src, it.Dst)
+		}
+	}
+	// Corrupt batch reports the source.
+	bad := env
+	bad.Payload = payload[:len(payload)-1]
+	if err := decodeBatch(bad, in, func(Message) error { return nil }); err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+}
+
+func TestFrameDecodeAllocs(t *testing.T) {
+	in := wire.NewInterner()
+	m := Message{Kind: KindResponse, Src: Proc("solver", 3), Dst: Rep("viz"), Tag: "temp", Seq: 9, Payload: []byte("xyz")}
+	frame := AppendFrame(nil, m)
+	if _, err := DecodeFrame(frame, in); err != nil { // warm the interner
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := DecodeFrame(frame, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeFrame allocates %v per op after interner warm-up", allocs)
+	}
+}

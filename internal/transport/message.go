@@ -6,8 +6,8 @@
 //
 // Two Network implementations are provided: MemNetwork routes messages through
 // Go channels inside one OS process, and TCPNetwork routes them through a
-// star-topology router over real sockets (gob-framed), so the same framework
-// code runs unchanged over either.
+// star-topology router over real sockets (zero-copy binary frames, see
+// frame.go), so the same framework code runs unchanged over either.
 package transport
 
 import "fmt"
@@ -84,6 +84,12 @@ const (
 	// transport layer (ReliableNetwork). Acks are consumed inside the
 	// transport and never surface to Recv callers.
 	KindAck
+	// KindBatch is a coalesced frame: several fully addressed messages bound
+	// for one program, packed into one payload by CoalescingNetwork and
+	// addressed to that program's representative (the control gateway), whose
+	// transport layer dispatches them. Batches are opened inside the
+	// transport (unbatched in Recv) and never surface to Recv callers.
+	KindBatch
 )
 
 var kindNames = [...]string{
@@ -99,6 +105,7 @@ var kindNames = [...]string{
 	KindLayout:     "layout",
 	KindPoint:      "point",
 	KindAck:        "ack",
+	KindBatch:      "batch",
 }
 
 // String returns the lower-case name of the kind.

@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestReliableResumeGapFreeAfterBufferFull audits the Send ordering under
+// MaxUnacked: a Send rejected with ErrResendBufferFull must NOT have
+// advanced the pair's nextSeq — a skipped sequence number would leave the
+// in-order receiver waiting forever for the hole. The test fills the resend
+// buffer against an absent peer, drains the acks by registering the peer,
+// and verifies the stream resumes gap-free.
+func TestReliableResumeGapFreeAfterBufferFull(t *testing.T) {
+	const window = 8
+	n := NewReliableNetwork(NewMemNetwork(), ReliableConfig{
+		ResendInterval: 2 * time.Millisecond,
+		MaxUnacked:     window,
+	})
+	defer n.Close()
+	a, err := n.Register(Proc("P", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := Proc("P", 1)
+
+	// Fill: the peer is not registered, so nothing is ever acked and the
+	// window closes after exactly `window` accepted sends.
+	sent := 0
+	for sent < window {
+		if err := a.Send(Message{Kind: KindPoint, Dst: dst, Tag: fmt.Sprint(sent)}); err != nil {
+			t.Fatalf("send %d within the window: %v", sent, err)
+		}
+		sent++
+	}
+	// Hammer the full buffer: every attempt must fail, and none may burn a
+	// sequence number.
+	for i := 0; i < 5; i++ {
+		err := a.Send(Message{Kind: KindPoint, Dst: dst, Tag: "overflow"})
+		if !errors.Is(err, ErrResendBufferFull) {
+			t.Fatalf("overflow send %d: err = %v, want ErrResendBufferFull", i, err)
+		}
+	}
+
+	// Drain: the peer appears; the resend loop delivers the buffered window
+	// and the cumulative acks empty the buffer.
+	b, err := n.Register(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := a.(*reliableEndpoint)
+	deadline := time.Now().Add(5 * time.Second)
+	for re.Unacked() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("resend buffer still holds %d messages", re.Unacked())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Resume: further sends must continue the sequence exactly where the
+	// accepted prefix left off. More than a window's worth, so the sender
+	// hits backpressure again mid-stream and retries — every rejection must
+	// leave the sequence intact.
+	const total = window + 12
+	for ; sent < total; sent++ {
+		for {
+			err := a.Send(Message{Kind: KindPoint, Dst: dst, Tag: fmt.Sprint(sent)})
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrResendBufferFull) {
+				t.Fatalf("send %d after drain: %v", sent, err)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("send %d still rejected at deadline", sent)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := 0; i < total; i++ {
+		m, err := b.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v (a gap would park the receiver here)", i, err)
+		}
+		if m.Tag != fmt.Sprint(i) {
+			t.Fatalf("delivery %d carries tag %q", i, m.Tag)
+		}
+		if m.Seq != uint64(i+1) {
+			t.Fatalf("delivery %d has seq %d, want %d (rejected sends must not burn sequence numbers)",
+				i, m.Seq, i+1)
+		}
+	}
+}

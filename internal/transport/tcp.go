@@ -1,12 +1,16 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // Reconnect backoff defaults (see TCPNetwork.MaxRetries).
@@ -15,11 +19,104 @@ const (
 	DefaultRetryCap  = 2 * time.Second
 )
 
+// maxFrameLen bounds a single frame so a corrupt or hostile length prefix
+// cannot make a reader allocate unbounded memory.
+const maxFrameLen = 1 << 30
+
+// The TCP stream is a sequence of length-prefixed binary frames: an outer
+// uvarint frame length followed by the frame encoding of frame.go. Writes
+// are vectored (net.Buffers): the header bytes come from a per-connection
+// scratch buffer and the payload goes to the socket straight from the
+// message, so bulk data is never copied into an intermediate buffer. Reads
+// go through one reusable buffer per connection; the router forwards those
+// bytes as-is (they are consumed before the next read), while client
+// endpoints copy only the payload — the single piece of a received message
+// that outlives the read buffer.
+
+// frameWriter owns the write half of one socket. Methods are not
+// concurrency-safe; callers serialize (the emu locks below).
+type frameWriter struct {
+	conn    net.Conn
+	scratch []byte
+	vecs    net.Buffers
+}
+
+// writeMessage encodes and writes one message as a length-prefixed frame.
+// Everything but the payload is built in the scratch buffer; the payload is
+// written from msg.Payload by the vectored write.
+func (w *frameWriter) writeMessage(m Message) error {
+	hdr := w.scratch[:0]
+	hdr = wire.AppendUvarint(hdr, uint64(FrameSize(m)))
+	hdr = append(hdr, byte(m.Kind), 0)
+	var fixed [16]byte
+	putU64(fixed[0:], m.Seq)
+	putU32(fixed[8:], uint32(int32(m.Src.Rank)))
+	putU32(fixed[12:], uint32(int32(m.Dst.Rank)))
+	hdr = append(hdr, fixed[:]...)
+	hdr = wire.AppendString(hdr, m.Src.Program)
+	hdr = wire.AppendString(hdr, m.Dst.Program)
+	hdr = wire.AppendString(hdr, m.Tag)
+	hdr = wire.AppendUvarint(hdr, uint64(len(m.Payload)))
+	w.scratch = hdr
+	if len(m.Payload) == 0 {
+		_, err := w.conn.Write(hdr)
+		return err
+	}
+	w.vecs = append(w.vecs[:0], hdr, m.Payload)
+	_, err := w.vecs.WriteTo(w.conn)
+	return err
+}
+
+// writeRaw writes an already-encoded frame (the router's zero-copy forward
+// path: received bytes go back out without a decode/re-encode round trip).
+func (w *frameWriter) writeRaw(frame []byte) error {
+	hdr := wire.AppendUvarint(w.scratch[:0], uint64(len(frame)))
+	w.scratch = hdr
+	w.vecs = append(w.vecs[:0], hdr, frame)
+	_, err := w.vecs.WriteTo(w.conn)
+	return err
+}
+
+// frameReader owns the read half of one socket: a buffered reader plus one
+// reusable frame buffer. next returns frame bytes valid only until the
+// following call.
+type frameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func newFrameReader(conn net.Conn) *frameReader {
+	return &frameReader{r: bufio.NewReaderSize(conn, 64<<10)}
+}
+
+func (fr *frameReader) next() ([]byte, error) {
+	n, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("transport: frame length %d exceeds limit", n)
+	}
+	if uint64(cap(fr.buf)) < n {
+		fr.buf = make([]byte, n)
+	}
+	buf := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
 // TCPRouter is the hub of a star-topology TCP network. Every endpoint dials
 // the router once, announces its address, and the router forwards messages by
 // destination. A star keeps connection count linear in the number of
 // processes, matching the "rep as low-overhead gateway" spirit of the paper,
 // and means the framework code above needs no topology knowledge.
+//
+// Forwarding is zero-copy: the router never decodes a full message. It reads
+// a frame, peeks at the addresses, stamps the pair sequence number in place
+// (Seq sits at a fixed offset) and writes the same bytes to the destination
+// socket before the next read reuses the buffer.
 type TCPRouter struct {
 	ln net.Listener
 
@@ -32,8 +129,8 @@ type TCPRouter struct {
 
 type routerConn struct {
 	conn net.Conn
-	enc  *gob.Encoder
-	emu  sync.Mutex // serializes writes to enc
+	emu  sync.Mutex // serializes writes
+	w    frameWriter
 }
 
 // StartTCPRouter listens on addr (e.g. "127.0.0.1:0") and serves endpoint
@@ -91,18 +188,24 @@ func (r *TCPRouter) acceptLoop() {
 
 // serveConn reads the hello (a Message whose Src is the endpoint's claimed
 // address; a nonzero Seq marks a reconnect epoch), registers the connection,
-// then forwards every further message.
+// then forwards every further frame.
 func (r *TCPRouter) serveConn(conn net.Conn) {
 	defer r.wg.Done()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	var hello Message
-	if err := dec.Decode(&hello); err != nil {
+	fr := newFrameReader(conn)
+	intern := wire.NewInterner()
+	helloFrame, err := fr.next()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	hello, err := DecodeFrame(helloFrame, intern)
+	if err != nil || hello.Tag != "hello" {
 		conn.Close()
 		return
 	}
 	addr := hello.Src
-	rc := &routerConn{conn: conn, enc: enc}
+	rc := &routerConn{conn: conn}
+	rc.w.conn = conn
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -137,23 +240,35 @@ func (r *TCPRouter) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	for {
-		var m Message
-		if err := dec.Decode(&m); err != nil {
+		frame, err := fr.next()
+		if err != nil {
 			return
 		}
-		m.Src = addr // router stamps the true source
-		r.forward(m)
+		src, dst, err := frameAddrs(frame, intern)
+		if err != nil {
+			return // corrupt stream: drop the connection
+		}
+		if src != addr {
+			// The frame's source must be the address this connection
+			// announced; anything else is a spoof or a bug. Drop the frame.
+			continue
+		}
+		r.forward(frame, src, dst)
 	}
 }
 
-func (r *TCPRouter) forward(m Message) {
+// forward stamps the pair sequence into the frame in place (unsequenced
+// traffic only — the reliable layer's nonzero numbering survives the trip)
+// and writes the raw bytes to the destination. The frame aliases the
+// caller's read buffer; the write below completes before serveConn reads
+// the next frame, so no copy is needed.
+func (r *TCPRouter) forward(frame []byte, src, dst Addr) {
 	r.mu.Lock()
-	dst, ok := r.conns[m.Dst]
-	if ok && m.Seq == 0 {
-		// Stamp the pair sequence only for unsequenced traffic; the reliable
-		// layer's own numbering (nonzero Seq) must survive the trip.
-		r.seq[seqKey{src: m.Src, dst: m.Dst}]++
-		m.Seq = r.seq[seqKey{src: m.Src, dst: m.Dst}]
+	to, ok := r.conns[dst]
+	if ok && FrameSeq(frame) == 0 {
+		k := seqKey{src: src, dst: dst}
+		r.seq[k]++
+		PatchFrameSeq(frame, r.seq[k])
 	}
 	r.mu.Unlock()
 	if !ok {
@@ -161,13 +276,19 @@ func (r *TCPRouter) forward(m Message) {
 		// peer sends to them (the framework handshakes at startup).
 		return
 	}
-	dst.send(m)
+	to.sendRaw(frame)
 }
 
 func (c *routerConn) send(m Message) {
 	c.emu.Lock()
 	defer c.emu.Unlock()
-	_ = c.enc.Encode(m) // a failed peer is detected by its own read loop
+	_ = c.w.writeMessage(m) // a failed peer is detected by its own read loop
+}
+
+func (c *routerConn) sendRaw(frame []byte) {
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	_ = c.w.writeRaw(frame)
 }
 
 // TCPNetwork is the client side of a router-based network. Register dials the
@@ -227,21 +348,21 @@ func (n *TCPNetwork) Register(addr Addr) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: dial router: %w", err)
 	}
 	ep := &tcpEndpoint{
-		net:  n,
-		addr: addr,
-		conn: conn,
-		enc:  gob.NewEncoder(conn),
-		dec:  gob.NewDecoder(conn),
-		box:  make(chan Message, DefaultMailboxDepth),
-		done: make(chan struct{}),
+		net:    n,
+		addr:   addr,
+		conn:   conn,
+		fr:     newFrameReader(conn),
+		intern: wire.NewInterner(),
+		box:    make(chan Message, DefaultMailboxDepth),
+		done:   make(chan struct{}),
 	}
+	ep.w.conn = conn
 	// Hello handshake: announce our address, wait for the ack.
-	if err := ep.enc.Encode(Message{Kind: KindControl, Tag: "hello", Src: addr}); err != nil {
+	if err := ep.w.writeMessage(Message{Kind: KindControl, Tag: "hello", Src: addr}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("transport: hello: %w", err)
 	}
-	var ack Message
-	if err := ep.dec.Decode(&ack); err != nil {
+	if _, err := ep.fr.next(); err != nil {
 		conn.Close()
 		return nil, ErrDuplicateAddr
 	}
@@ -285,11 +406,12 @@ type tcpEndpoint struct {
 	net  *TCPNetwork
 	addr Addr
 
-	emu  sync.Mutex // guards conn/enc (writes and reconnect swaps)
+	emu  sync.Mutex // guards conn/w (writes and reconnect swaps)
 	conn net.Conn
-	enc  *gob.Encoder
+	w    frameWriter
 
-	dec *gob.Decoder // owned by readLoop
+	fr     *frameReader   // owned by readLoop
+	intern *wire.Interner // owned by readLoop
 
 	epoch uint64 // reconnect counter, carried in the re-hello's Seq
 
@@ -306,23 +428,33 @@ type tcpEndpoint struct {
 // report why the endpoint stopped, instead of masquerading as a clean Close.
 func (e *tcpEndpoint) readLoop() {
 	for {
-		var m Message
-		if err := e.dec.Decode(&m); err != nil {
-			select {
-			case <-e.done: // deliberate Close
-				return
-			default:
+		frame, err := e.fr.next()
+		if err == nil {
+			var m Message
+			if m, err = DecodeFrame(frame, e.intern); err == nil {
+				// The decoded payload aliases the read buffer; the mailbox
+				// retains the message past the next read, so the payload is
+				// the one thing we copy.
+				if len(m.Payload) > 0 {
+					m.Payload = append([]byte(nil), m.Payload...)
+				}
+				select {
+				case e.box <- m:
+					continue
+				case <-e.done:
+					return
+				}
 			}
-			if e.reconnect(err) {
-				continue
-			}
-			return
 		}
 		select {
-		case e.box <- m:
-		case <-e.done:
+		case <-e.done: // deliberate Close
 			return
+		default:
 		}
+		if e.reconnect(err) {
+			continue
+		}
+		return
 	}
 }
 
@@ -350,23 +482,22 @@ func (e *tcpEndpoint) reconnect(cause error) bool {
 		if err != nil {
 			continue
 		}
-		enc := gob.NewEncoder(conn)
-		dec := gob.NewDecoder(conn)
+		w := frameWriter{conn: conn}
+		fr := newFrameReader(conn)
 		epoch := atomic.AddUint64(&e.epoch, 1)
-		if err := enc.Encode(Message{Kind: KindControl, Tag: "hello", Src: e.addr, Seq: epoch}); err != nil {
+		if err := w.writeMessage(Message{Kind: KindControl, Tag: "hello", Src: e.addr, Seq: epoch}); err != nil {
 			conn.Close()
 			continue
 		}
-		var ack Message
-		if err := dec.Decode(&ack); err != nil {
+		if _, err := fr.next(); err != nil {
 			conn.Close()
 			continue
 		}
 		e.emu.Lock()
 		old := e.conn
-		e.conn, e.enc = conn, enc
+		e.conn, e.w = conn, w
 		e.emu.Unlock()
-		e.dec = dec
+		e.fr = fr
 		old.Close()
 		return true
 	}
@@ -415,7 +546,7 @@ func (e *tcpEndpoint) Send(msg Message) error {
 	msg.Src = e.addr
 	e.emu.Lock()
 	defer e.emu.Unlock()
-	if err := e.enc.Encode(msg); err != nil {
+	if err := e.w.writeMessage(msg); err != nil {
 		return fmt.Errorf("transport: tcp send %s: %w", routeString(msg), err)
 	}
 	return nil

@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReaderRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendUvarint(buf, 0)
+	buf = AppendUvarint(buf, 300)
+	buf = append(buf, 0x7f)
+	buf = AppendString(buf, "solver")
+	buf = AppendBytes(buf, []byte{1, 2, 3})
+	buf = AppendBytes(buf, nil)
+
+	r := NewReader(buf)
+	if got := r.Uvarint(); got != 0 {
+		t.Fatalf("uvarint 0: got %d", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Fatalf("uvarint 300: got %d", got)
+	}
+	if got := r.Byte(); got != 0x7f {
+		t.Fatalf("byte: got %#x", got)
+	}
+	if got := r.String(); got != "solver" {
+		t.Fatalf("string: got %q", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("bytes: got %v", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Fatalf("empty bytes: got %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d unconsumed bytes", r.Len())
+	}
+}
+
+func TestReaderFixedWidth(t *testing.T) {
+	var buf []byte
+	buf = append(buf, 0xAA)
+	buf = append(buf, 0x01, 0x02, 0x03, 0x04)                         // u32 LE
+	buf = append(buf, 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01) // u64 LE
+	r := NewReader(buf)
+	if got := r.Byte(); got != 0xAA {
+		t.Fatalf("byte %#x", got)
+	}
+	if got := r.Uint32(); got != 0x04030201 {
+		t.Fatalf("u32 %#x", got)
+	}
+	if got := r.Uint64(); got != 0x0102030405060708 {
+		t.Fatalf("u64 %#x", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	full := AppendString(AppendUvarint(nil, 7), "abcdef")
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Uvarint()
+		_ = r.String()
+		if r.Err() == nil {
+			t.Fatalf("cut=%d: no error on truncated input", cut)
+		}
+		// After an error every accessor returns zero values, no panic.
+		if r.Uvarint() != 0 || r.Byte() != 0 || r.Uint32() != 0 || r.Uint64() != 0 || r.Bytes() != nil {
+			t.Fatalf("cut=%d: non-zero result after error", cut)
+		}
+	}
+}
+
+func TestReaderBytesAlias(t *testing.T) {
+	buf := AppendBytes(nil, []byte("payload"))
+	r := NewReader(buf)
+	b := r.Bytes()
+	buf[len(buf)-1] = 'X'
+	if string(b) != "payloaX" {
+		t.Fatalf("Bytes does not alias the buffer: %q", b)
+	}
+	// The alias must be capacity-clipped so appends cannot scribble past it.
+	if cap(b) != len(b) {
+		t.Fatalf("alias capacity %d exceeds length %d", cap(b), len(b))
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	r := NewReader(nil)
+	r.Byte()
+	if r.Err() == nil {
+		t.Fatal("expected error on empty buffer")
+	}
+	r.Reset([]byte{5})
+	if got := r.Byte(); got != 5 || r.Err() != nil {
+		t.Fatalf("after Reset: byte=%d err=%v", got, r.Err())
+	}
+}
+
+func TestUvarintLen(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 + 5} {
+		if got, want := UvarintLen(v), len(AppendUvarint(nil, v)); got != want {
+			t.Fatalf("UvarintLen(%d)=%d, encoded %d", v, got, want)
+		}
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern([]byte("solver"))
+	b := in.Intern([]byte("solver"))
+	if a != "solver" || b != "solver" {
+		t.Fatalf("intern: %q %q", a, b)
+	}
+	if in.Intern(nil) != "" || in.Intern([]byte{}) != "" {
+		t.Fatal("empty intern")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if in.Intern([]byte("solver")) != "solver" {
+			t.Fatal("intern miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("interned lookup allocates %v per run", allocs)
+	}
+}
