@@ -123,6 +123,37 @@ func BenchmarkOptimalStateOnset(b *testing.B) {
 	}
 }
 
+// BenchmarkExportOverlap runs the slow-importer overlap scenario (every
+// export matched and redistributed through a transport that charges a fixed
+// cost per bulk-data send) once per iteration, on both data planes, and
+// reports the exporter's per-iteration wall time for each. The async plane's
+// sender goroutines absorb the send cost, so async-iter-ns should track the
+// compute period while sync-iter-ns carries compute + sends. The checked-in
+// acceptance numbers come from couplebench -overlap (BENCH_PR3.json); this
+// benchmark keeps the comparison runnable via go test -bench.
+func BenchmarkExportOverlap(b *testing.B) {
+	cfg := harness.DefaultOverlap()
+	cfg.Exports = 20
+	cfg.Compute = time.Millisecond
+	cfg.SendCost = time.Millisecond
+	var cmp *harness.OverlapComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = harness.RunOverlapComparison(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cmp.Identical() {
+			b.Fatalf("async plane diverged from sync baseline: %s", cmp)
+		}
+	}
+	b.ReportMetric(float64(cmp.Sync.IterNanos), "sync-iter-ns")
+	b.ReportMetric(float64(cmp.Async.IterNanos), "async-iter-ns")
+	b.ReportMetric(cmp.Ratio(), "async/sync")
+	b.ReportMetric(float64(cmp.Async.Pipeline.ExportStallNanos), "stall-ns")
+	b.ReportMetric(float64(cmp.Async.Pipeline.PeakQueueDepth), "peak-queue")
+}
+
 // Scenario benchmarks: Figures 5, 7 and 8 replayed per iteration (the cost
 // of the full export-pipeline state machine on the paper's exact traces).
 func BenchmarkScenarioFigure5(b *testing.B) { benchScenario(b, "5") }

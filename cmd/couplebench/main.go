@@ -47,11 +47,20 @@ func main() {
 		ratio   = flag.String("ratio", "", "comma-separated tolerances for the tolerance-ratio sweep (buddy on/off saving curve)")
 		latsw   = flag.String("latsweep", "", "comma-separated one-way network latencies (e.g. 0,100us,1ms) for the latency ablation")
 		bench   = flag.String("bench", "", "run the allocation/framing benchmark suite and write the JSON report to this file (e.g. BENCH_PR2.json)")
+		overlap = flag.String("overlap", "", "run the sync-vs-async export overlap comparison and write the JSON report to this file (e.g. BENCH_PR3.json)")
 	)
 	flag.Parse()
 
 	if *bench != "" {
 		if err := runBench(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, "couplebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *overlap != "" {
+		if err := runOverlap(*overlap); err != nil {
 			fmt.Fprintln(os.Stderr, "couplebench:", err)
 			os.Exit(1)
 		}
@@ -240,6 +249,9 @@ func printFigure(f string, res *harness.Figure4Result, elapsed time.Duration) {
 		s.Window(s.Len()-res.Cfg.MatchEvery, s.Len()), res.Settle)
 	fmt.Printf("  p_s buffer: %d exports, %d memcpys, %d skips, %d sends, %d unnecessary copies (T_ub %v)\n",
 		st.Exports, st.Copies, st.Skips, st.Sends, st.UnnecessaryCopies, st.UnnecessaryTime.Round(time.Microsecond))
+	pl := res.SlowPipeline
+	fmt.Printf("  p_s data plane: %d jobs, %d data sends, %d flushes, export stall %v, peak queue depth %d\n",
+		pl.Jobs, pl.DataSends, pl.Flushes, time.Duration(pl.ExportStallNanos).Round(time.Microsecond), pl.PeakQueueDepth)
 	fmt.Printf("  matched %d of %d requests\n", res.Matched, res.Cfg.Exports/res.Cfg.MatchEvery)
 	ep, ip := res.ExporterProto, res.ImporterProto
 	fmt.Printf("  control plane: F forwarded %d, responses %d, answers %d, buddy %d, data msgs %d; U calls %d\n",

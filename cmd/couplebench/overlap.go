@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// overlapReport is the schema of the JSON file -overlap writes
+// (BENCH_PR3.json in the repository). It snapshots the slow-importer overlap
+// scenario — synchronous versus asynchronous data plane — so CI can verify
+// the headline property: the async exporter's per-iteration wall time is at
+// most 60% of the synchronous baseline, with byte-identical match results
+// and import contents.
+type overlapReport struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	Scenario overlapScenario `json:"scenario"`
+	// Headline is the checked-in acceptance scenario; Sweep repeats the
+	// comparison at further send-cost settings (the EXPERIMENTS.md table).
+	Headline overlapPoint   `json:"headline"`
+	Sweep    []overlapPoint `json:"send_cost_sweep"`
+}
+
+type overlapScenario struct {
+	GridN         int    `json:"grid_n"`
+	ExporterProcs int    `json:"exporter_procs"`
+	ImporterProcs int    `json:"importer_procs"`
+	Exports       int    `json:"exports"`
+	ComputeUS     int64  `json:"compute_us"`
+	SendCostUS    int64  `json:"send_cost_us"`
+	Policy        string `json:"policy"`
+}
+
+type overlapPoint struct {
+	SendCostUS    int64   `json:"send_cost_us"`
+	SyncIterUS    float64 `json:"sync_iter_us"`
+	AsyncIterUS   float64 `json:"async_iter_us"`
+	Ratio         float64 `json:"async_over_sync"`
+	AsyncDrainUS  float64 `json:"async_drain_us"`
+	AsyncStallUS  float64 `json:"async_stall_us"`
+	PeakQueue     int     `json:"async_peak_queue_depth"`
+	PipelineJobs  uint64  `json:"async_pipeline_jobs"`
+	DataSends     uint64  `json:"async_data_sends"`
+	Matched       int     `json:"matched_requests"`
+	Identical     bool    `json:"results_identical"`
+	SyncChecksum  float64 `json:"sync_checksum"`
+	AsyncChecksum float64 `json:"async_checksum"`
+}
+
+func toOverlapPoint(cmp *harness.OverlapComparison) overlapPoint {
+	return overlapPoint{
+		SendCostUS:    cmp.Config.SendCost.Microseconds(),
+		SyncIterUS:    float64(cmp.Sync.IterNanos) / 1e3,
+		AsyncIterUS:   float64(cmp.Async.IterNanos) / 1e3,
+		Ratio:         cmp.Ratio(),
+		AsyncDrainUS:  float64(cmp.Async.DrainNanos) / 1e3,
+		AsyncStallUS:  float64(cmp.Async.Pipeline.ExportStallNanos) / 1e3,
+		PeakQueue:     cmp.Async.Pipeline.PeakQueueDepth,
+		PipelineJobs:  cmp.Async.Pipeline.Jobs,
+		DataSends:     cmp.Async.Pipeline.DataSends,
+		Matched:       cmp.Sync.Matched,
+		Identical:     cmp.Identical(),
+		SyncChecksum:  cmp.Sync.Checksum,
+		AsyncChecksum: cmp.Async.Checksum,
+	}
+}
+
+// runOverlap runs the overlap comparison suite and writes the JSON report.
+func runOverlap(path string) error {
+	probe, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+
+	base := harness.DefaultOverlap()
+	report := overlapReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Scenario: overlapScenario{
+			GridN:         base.GridN,
+			ExporterProcs: base.ExporterProcs,
+			ImporterProcs: base.ImporterProcs,
+			Exports:       base.Exports,
+			ComputeUS:     base.Compute.Microseconds(),
+			SendCostUS:    base.SendCost.Microseconds(),
+			Policy:        "REGL 2.5",
+		},
+	}
+
+	fmt.Println("export overlap comparison (sync vs async data plane, slow-importer scenario):")
+	fmt.Printf("  %-12s %-14s %-14s %-8s %-12s %s\n",
+		"send cost", "sync iter", "async iter", "ratio", "async drain", "identical")
+	row := func(pt overlapPoint) {
+		fmt.Printf("  %-12s %-14s %-14s %-8.2f %-12s %v\n",
+			time.Duration(pt.SendCostUS)*time.Microsecond,
+			fmt.Sprintf("%.2fms", pt.SyncIterUS/1e3),
+			fmt.Sprintf("%.2fms", pt.AsyncIterUS/1e3),
+			pt.Ratio,
+			fmt.Sprintf("%.2fms", pt.AsyncDrainUS/1e3),
+			pt.Identical)
+	}
+
+	cmp, err := harness.RunOverlapComparison(base)
+	if err != nil {
+		return err
+	}
+	report.Headline = toOverlapPoint(cmp)
+	row(report.Headline)
+
+	for _, cost := range []time.Duration{500 * time.Microsecond, 3 * time.Millisecond} {
+		cfg := base
+		cfg.SendCost = cost
+		cmp, err := harness.RunOverlapComparison(cfg)
+		if err != nil {
+			return err
+		}
+		pt := toOverlapPoint(cmp)
+		report.Sweep = append(report.Sweep, pt)
+		row(pt)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	// The headline acceptance properties, checked here so a -overlap run
+	// (and the CI step wrapping it) fails loudly instead of silently
+	// recording a regression in the report.
+	if !report.Headline.Identical {
+		return fmt.Errorf("async data plane diverged from the synchronous baseline (matched %d, checksums %v vs %v)",
+			report.Headline.Matched, report.Headline.SyncChecksum, report.Headline.AsyncChecksum)
+	}
+	if r := report.Headline.Ratio; r > 0.6 {
+		return fmt.Errorf("async/sync exporter iteration ratio %.2f exceeds the 0.6 acceptance bound", r)
+	}
+	return nil
+}

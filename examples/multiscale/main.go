@@ -187,5 +187,5 @@ func run(n, epochs, ratio int, slowDur time.Duration, buddy bool) (buffer.Stats,
 	if err != nil {
 		return buffer.Stats{}, err
 	}
-	return stats["heat.q"], nil
+	return stats["heat.q"].Stats, nil
 }

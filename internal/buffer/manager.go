@@ -146,6 +146,10 @@ type Stats struct {
 	// Sends counts matched objects handed out for transfer; Removes counts
 	// freed buffer entries.
 	Sends, Removes int
+	// TransferDones counts TransferDone calls. The pipeline contract is one
+	// call per SendItem, so after a drain barrier TransferDones == Sends —
+	// the invariant the chaos harness asserts.
+	TransferDones int
 	// UnnecessaryCopies counts buffered objects freed without being sent.
 	UnnecessaryCopies int
 	// BytesCopied totals the bytes memcpy'd into the buffer.
@@ -349,6 +353,7 @@ func (m *Manager) Evict() int {
 // SendItem; a ts whose entry is already gone is ignored (the entry was
 // evicted mid-transfer and its buffer left to the garbage collector).
 func (m *Manager) TransferDone(ts float64) {
+	m.stats.TransferDones++
 	if e, ok := m.entries[ts]; ok && e.pendingTransfers > 0 {
 		e.pendingTransfers--
 	}

@@ -1,6 +1,9 @@
 package buffer
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // poolClasses is the number of power-of-two size classes a Pool maintains.
 // Class c holds slices with capacity exactly 1<<c, so the largest pooled
@@ -28,9 +31,12 @@ type PoolStats struct {
 // serves any mix of sizes: Get rounds the request up to the next power of
 // two and reslices, so alternating block sizes keep hitting.
 //
-// A Pool is not safe for concurrent use; like the Manager it is serialized
-// by the framework layer (one process goroutine owns it).
+// A Pool is safe for concurrent use: the framework shares one pool among a
+// process's per-connection export pipelines, whose managers run under
+// independent per-connection locks (and whose sender goroutines borrow pack
+// scratch buffers concurrently).
 type Pool struct {
+	mu      sync.Mutex
 	depth   int
 	classes [poolClasses][][]float64
 	stats   PoolStats
@@ -65,6 +71,8 @@ func (p *Pool) Get(n int) []float64 {
 	if p == nil {
 		return make([]float64, n)
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	c := classOf(n)
 	if c < 0 {
 		p.stats.Misses++
@@ -90,6 +98,8 @@ func (p *Pool) Put(buf []float64) {
 	if p == nil || cap(buf) == 0 {
 		return
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.stats.Puts++
 	c := classOf(cap(buf))
 	if c < 0 || cap(buf) != 1<<c || len(p.classes[c]) >= p.depth {
@@ -104,6 +114,8 @@ func (p *Pool) Stats() PoolStats {
 	if p == nil {
 		return PoolStats{}
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.stats
 }
 
@@ -113,6 +125,8 @@ func (p *Pool) Free() int {
 	if p == nil {
 		return 0
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	n := 0
 	for _, free := range p.classes {
 		n += len(free)

@@ -491,3 +491,58 @@ func TestReduceScalarOnTCP(t *testing.T) {
 		}
 	}
 }
+
+// TestAllReduceEquivalence checks the recursive-doubling AllReduce against
+// the classic Reduce-to-root + Bcast composition it replaced, across the
+// size matrix (power-of-two sizes exercise the doubling path, the others
+// the fallback) and across ops. Contributions are exact small integers, so
+// every combining order yields bit-identical sums.
+func TestAllReduceEquivalence(t *testing.T) {
+	for _, n := range groupSizes {
+		n := n
+		for _, tc := range []struct {
+			name string
+			op   Op
+		}{{"sum", Sum}, {"max", Max}, {"min", Min}} {
+			tc := tc
+			t.Run(fmt.Sprintf("%s/%d", tc.name, n), func(t *testing.T) {
+				runGroup(t, n, func(c *Comm) error {
+					local := []float64{
+						float64(c.Rank() + 1),
+						float64((c.Rank()*7)%5 - 2),
+						float64(-c.Rank()),
+					}
+					got, err := c.AllReduce(local, tc.op)
+					if err != nil {
+						return err
+					}
+					// Reference: the reduce+bcast composition on the same
+					// contributions.
+					ref, err := c.Reduce(0, local, tc.op)
+					if err != nil {
+						return err
+					}
+					if c.Rank() == 0 {
+						if _, err := c.Bcast(0, encodeFloats(ref)); err != nil {
+							return err
+						}
+					} else {
+						b, err := c.Bcast(0, nil)
+						if err != nil {
+							return err
+						}
+						if ref, err = c.decodeSameLen(b, len(local)); err != nil {
+							return err
+						}
+					}
+					for i := range got {
+						if got[i] != ref[i] {
+							return fmt.Errorf("rank %d elem %d: AllReduce %v, Reduce+Bcast %v", c.Rank(), i, got, ref)
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}

@@ -48,8 +48,16 @@ func (c *Comm) Reduce(root int, local []float64, op Op) ([]float64, error) {
 }
 
 // AllReduce folds every rank's local slice and returns the result on all
-// ranks (reduce to rank 0 followed by a broadcast).
+// ranks. Power-of-two groups use recursive doubling — one log2(n) sweep of
+// pairwise exchanges where every rank ends with the full result, instead of
+// the two tree traversals (reduce to root, then broadcast) of the classic
+// composition. Other group sizes fall back to Reduce+Bcast; the usual
+// remainder-folding pre/post steps would add the two extra latencies back
+// for little gain at this scale.
 func (c *Comm) AllReduce(local []float64, op Op) ([]float64, error) {
+	if c.size&(c.size-1) == 0 {
+		return c.allReduceDoubling(local, op)
+	}
 	acc, err := c.Reduce(0, local, op)
 	if err != nil {
 		return nil, err
@@ -65,6 +73,34 @@ func (c *Comm) AllReduce(local []float64, op Op) ([]float64, error) {
 		return nil, err
 	}
 	return c.decodeSameLen(b, len(local))
+}
+
+// allReduceDoubling is the recursive-doubling exchange for power-of-two
+// groups: in round k every rank swaps its partial accumulation with the
+// peer across bit k (rank XOR 2^k) and folds the peer's half in, so after
+// log2(n) rounds each rank holds the reduction of all n contributions.
+// Sends are queued by the transport, so both partners may send before
+// receiving without deadlock.
+func (c *Comm) allReduceDoubling(local []float64, op Op) ([]float64, error) {
+	tag := c.nextTag("allreduce")
+	acc := make([]float64, len(local))
+	copy(acc, local)
+	for mask := 1; mask < c.size; mask <<= 1 {
+		peer := c.rank ^ mask
+		if err := c.sendRank(peer, tag, encodeFloats(acc)); err != nil {
+			return nil, err
+		}
+		b, err := c.recvRank(peer, tag)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := c.decodeSameLen(b, len(acc))
+		if err != nil {
+			return nil, err
+		}
+		op(acc, vals)
+	}
+	return acc, nil
 }
 
 // ReduceScalar reduces a single float64 to root (result valid at root only).

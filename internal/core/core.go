@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -27,6 +28,36 @@ import (
 // DefaultTimeout bounds blocking framework waits (import answers, data
 // pieces, startup handshakes).
 const DefaultTimeout = 60 * time.Second
+
+// DefaultExportQueueDepth is the per-connection pipeline queue bound when
+// Options.ExportQueueDepth is zero: how many resolution/send jobs may be in
+// flight before Export blocks (backpressure).
+const DefaultExportQueueDepth = 64
+
+// exportQueueDepth resolves Options.ExportQueueDepth.
+func (o *Options) exportQueueDepth() int {
+	if o.ExportQueueDepth > 0 {
+		return o.ExportQueueDepth
+	}
+	return DefaultExportQueueDepth
+}
+
+// exportWorkers resolves Options.ExportWorkers: min(4, GOMAXPROCS) unless
+// set, so small machines don't oversubscribe and big ones don't spawn a
+// goroutine per importer rank.
+func (o *Options) exportWorkers() int {
+	if o.ExportWorkers > 0 {
+		return o.ExportWorkers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // Options tunes a Framework.
 type Options struct {
@@ -47,6 +78,22 @@ type Options struct {
 	Coalesce *transport.CoalesceConfig
 	// Timeout bounds blocking waits; 0 means DefaultTimeout.
 	Timeout time.Duration
+	// SyncDataPlane disables the asynchronous export data plane: Export then
+	// performs responses, packing, transport sends and transfer accounting
+	// inline on the application goroutine, serially per connection — the
+	// pre-overlap behaviour. It exists as the measured baseline for the
+	// overlap benchmark and as an escape hatch; the default (false) queues
+	// that work to per-connection sender goroutines so Export returns to the
+	// compute loop immediately.
+	SyncDataPlane bool
+	// ExportQueueDepth bounds each export connection's pipeline queue (jobs
+	// in flight before Export blocks for backpressure). 0 means
+	// DefaultExportQueueDepth.
+	ExportQueueDepth int
+	// ExportWorkers bounds the concurrent per-destination-rank transfers of
+	// one matched-data fan-out. 0 means DefaultExportWorkers (min(4,
+	// GOMAXPROCS)); 1 keeps the fan-out serial on the sender goroutine.
+	ExportWorkers int
 	// Heartbeat enables peer-failure detection between representatives: reps
 	// beacon every Heartbeat/2 and declare a previously-seen peer dead after
 	// silence beyond 1.5x the interval, so failures surface within 2x

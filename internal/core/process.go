@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
@@ -19,6 +20,12 @@ import (
 // are the framework's collective operations: every process of the program
 // must call them in the same order with the same timestamps (Property 1),
 // though not at the same time.
+//
+// Each export connection runs an independent pipeline (exportConn): its own
+// lock shard, its own bounded job queue, and — unless Options.SyncDataPlane —
+// its own sender goroutine, so Export returns to the application's compute
+// loop as soon as the buffering decision is made, and two regions' pipelines
+// never contend on a shared lock.
 type Process struct {
 	prog *Program
 	rank int
@@ -26,9 +33,17 @@ type Process struct {
 	comm *collective.Comm
 	log  *trace.Log
 
-	// mu serializes access to the buffer managers (application Export calls
-	// versus the control loop's forwarded requests and buddy-help messages).
-	mu   sync.Mutex
+	// syncPlane selects the synchronous baseline data plane: Export performs
+	// responses, packing, sends and transfer accounting inline under the
+	// connection lock (the pre-async behaviour the overlap benchmark
+	// measures against).
+	syncPlane  bool
+	queueDepth int
+	workers    int
+	// pool is the process-wide buffer pool shared by every connection's
+	// manager and by the data-plane pack scratch buffers.
+	pool *buffer.Pool
+
 	exps map[string]*exportRegion
 	imps map[string]*importState
 
@@ -55,8 +70,10 @@ type exportRegion struct {
 }
 
 // versionStore is the refcounted shared-snapshot table of a fanned-out
-// export region. It is driven only under the owning process's mu.
+// export region. It carries its own lock: the region's connections drive it
+// from under their independent per-connection locks.
 type versionStore struct {
+	mu       sync.Mutex
 	versions map[float64]*sharedVersion
 }
 
@@ -71,6 +88,8 @@ func newVersionStore() *versionStore {
 
 // snapshot returns the shared copy for ts, creating it on first use.
 func (vs *versionStore) snapshot(ts float64, data []float64) []float64 {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
 	if v, ok := vs.versions[ts]; ok {
 		v.refs++
 		return v.data
@@ -85,6 +104,8 @@ func (vs *versionStore) snapshot(ts float64, data []float64) []float64 {
 // manager frees it (the data itself may still be aliased by an in-flight
 // transfer, so it is left to the garbage collector, never recycled).
 func (vs *versionStore) release(ts float64) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
 	v, ok := vs.versions[ts]
 	if !ok {
 		return
@@ -96,15 +117,91 @@ func (vs *versionStore) release(ts float64) {
 }
 
 // live returns the number of distinct shared versions currently held.
-func (vs *versionStore) live() int { return len(vs.versions) }
+func (vs *versionStore) live() int {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	return len(vs.versions)
+}
 
 // exportConn is one connection's export pipeline on this process.
 type exportConn struct {
-	cc       config.Connection
-	key      string
+	cc    config.Connection
+	key   string
+	block decomp.Rect
+
+	// mu is this connection's shard of the former process-wide lock. It
+	// serializes the manager state machine between the application goroutine
+	// (Export, FinishRegion, Flush), the control loop (forwarded requests,
+	// buddy-help), the sender goroutine (TransferDone) and peer eviction —
+	// and, crucially, pipelines of different connections never contend.
+	mu       sync.Mutex
 	mgr      *buffer.Manager
-	block    decomp.Rect
 	outgoing []decomp.Transfer // this rank's sends of the redistribution plan
+
+	// jobs + permits implement the bounded pipeline queue. Producers first
+	// acquire a permit — blocking there (never while holding mu) is the
+	// backpressure — then push under mu, which cannot block because at most
+	// cap(permits) jobs exist. The sender pops, processes, applies
+	// TransferDone under mu, and finally releases the permit.
+	jobs    chan exportJob
+	permits chan struct{}
+
+	stall     atomic.Int64  // ns producers spent blocked on a full queue
+	queued    atomic.Uint64 // jobs enqueued
+	dataSends atomic.Uint64 // KindData messages sent
+	flushes   atomic.Uint64 // drain barriers processed
+	peakDepth atomic.Int64  // high-water mark of len(jobs)
+}
+
+// exportJob is one unit of deferred data-plane work: the responses a manager
+// decision produced (in decision order) and the matched objects to transfer.
+// A job with a non-nil drain channel is a barrier: the sender closes it once
+// every earlier job of the connection is fully processed.
+type exportJob struct {
+	resps []respData
+	sends []buffer.SendItem
+	drain chan struct{}
+}
+
+// respData is one response to the rep, captured at decision time.
+type respData struct {
+	reqID   int
+	reqTS   float64
+	result  match.Result
+	matchTS float64
+	latest  float64
+}
+
+// PipelineStats counts one export connection's data-plane activity.
+type PipelineStats struct {
+	// Jobs counts resolution/send batches enqueued to the sender; DataSends
+	// counts KindData messages sent; Flushes counts drain barriers.
+	Jobs, DataSends, Flushes uint64
+	// ExportStallNanos is the total time producers (Export, forwarded
+	// requests, buddy-help) spent blocked on a full pipeline queue — the
+	// time backpressure stole back from the overlap.
+	ExportStallNanos int64
+	// QueueDepth is the queue depth at snapshot time; PeakQueueDepth its
+	// high-water mark.
+	QueueDepth, PeakQueueDepth int
+}
+
+// ConnStats bundles one export connection's buffer statistics with its
+// data-plane pipeline counters.
+type ConnStats struct {
+	buffer.Stats
+	Pipeline PipelineStats
+}
+
+func (ec *exportConn) pipelineStats() PipelineStats {
+	return PipelineStats{
+		Jobs:             ec.queued.Load(),
+		DataSends:        ec.dataSends.Load(),
+		Flushes:          ec.flushes.Load(),
+		ExportStallNanos: ec.stall.Load(),
+		QueueDepth:       len(ec.jobs),
+		PeakQueueDepth:   int(ec.peakDepth.Load()),
+	}
 }
 
 // importState is one imported region's receive machinery on this process.
@@ -150,6 +247,9 @@ func newProcess(p *Program, rank int, d *transport.Dispatcher) (*Process, error)
 		rank:         rank,
 		d:            d,
 		comm:         comm,
+		syncPlane:    p.fw.opts.SyncDataPlane,
+		queueDepth:   p.fw.opts.exportQueueDepth(),
+		workers:      p.fw.opts.exportWorkers(),
 		exps:         make(map[string]*exportRegion),
 		imps:         make(map[string]*importState),
 		expConnByKey: make(map[string]*exportConn),
@@ -186,18 +286,19 @@ func (p *Process) Block(region string) (decomp.Rect, error) {
 	return def.layout.Block(p.rank), nil
 }
 
-// ExportStats returns the buffer statistics per connection (keyed by the
-// import endpoint, e.g. "U.f") for an exported region.
-func (p *Process) ExportStats(region string) (map[string]buffer.Stats, error) {
+// ExportStats returns the buffer and pipeline statistics per connection
+// (keyed by the import endpoint, e.g. "U.f") for an exported region.
+func (p *Process) ExportStats(region string) (map[string]ConnStats, error) {
 	st, ok := p.exps[region]
 	if !ok {
 		return nil, fmt.Errorf("core: %s: region %q has no export state", p.addr(), region)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make(map[string]buffer.Stats, len(st.conns))
+	out := make(map[string]ConnStats, len(st.conns))
 	for _, c := range st.conns {
-		out[c.cc.Import.String()] = c.mgr.Stats()
+		c.mu.Lock()
+		s := c.mgr.Stats()
+		c.mu.Unlock()
+		out[c.cc.Import.String()] = ConnStats{Stats: s, Pipeline: c.pipelineStats()}
 	}
 	return out, nil
 }
@@ -209,17 +310,18 @@ func (p *Process) BufferedBytes(region string) (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("core: %s: region %q has no export state", p.addr(), region)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var total int64
 	for _, c := range st.conns {
+		c.mu.Lock()
 		total += c.mgr.BufferedBytes()
+		c.mu.Unlock()
 	}
 	return total, nil
 }
 
 // start builds the per-connection state (pipelines whose layouts arrive via
-// the rep during the Start handshake) and launches the control loop.
+// the rep during the Start handshake) and launches the control, data and
+// sender goroutines.
 func (p *Process) start() {
 	fw := p.prog.fw
 	// First pass: group exporting connections by region so fanned-out
@@ -232,11 +334,11 @@ func (p *Process) start() {
 	}
 	// One buffer pool per process: every connection's manager recycles from
 	// the same power-of-two size classes, so a freed buffer of one
-	// connection serves the next export of any other (all access is under
-	// p.mu, matching the pool's single-owner contract).
-	var pool *buffer.Pool
+	// connection serves the next export of any other, and the data plane's
+	// pack scratch buffers recycle through it too (the pool is
+	// concurrency-safe; the per-connection locks are independent).
 	if len(expConns) > 0 {
-		pool = buffer.NewPool(0)
+		p.pool = buffer.NewPool(0)
 	}
 	for region, conns := range expConns {
 		def := p.prog.regions[region]
@@ -252,7 +354,7 @@ func (p *Process) start() {
 				Tol:      conn.Tolerance,
 				Log:      p.log,
 				MaxBytes: fw.opts.BufferMaxBytes,
-				Pool:     pool,
+				Pool:     p.pool,
 			}
 			if reg.store != nil {
 				mcfg.Snapshot = reg.store.snapshot
@@ -264,9 +366,19 @@ func (p *Process) start() {
 				return
 			}
 			key := connKey(conn.Export.String(), conn.Import.String())
-			ec := &exportConn{cc: conn, key: key, mgr: mgr, block: reg.block}
+			ec := &exportConn{
+				cc:      conn,
+				key:     key,
+				mgr:     mgr,
+				block:   reg.block,
+				jobs:    make(chan exportJob, p.queueDepth),
+				permits: make(chan struct{}, p.queueDepth),
+			}
 			reg.conns = append(reg.conns, ec)
 			p.expConnByKey[key] = ec
+			if !p.syncPlane {
+				go p.sender(ec)
+			}
 		}
 	}
 	for _, conn := range fw.cfg.Connections {
@@ -291,6 +403,7 @@ func (p *Process) start() {
 		close(p.ready)
 	}
 	go p.ctlLoop()
+	go p.dataLoop()
 }
 
 // waitReady blocks until the layout handshake completed for this process.
@@ -333,24 +446,23 @@ func (p *Process) closeProc() {
 
 // ctlLoop is the process's framework-control goroutine: it applies forwarded
 // requests, buddy-help messages and layout announcements to the export
-// pipelines, and routes import answers and data pieces to waiting Import
-// calls.
+// pipelines, and routes import answers to waiting Import calls. Bulk data
+// frames are decoded on the separate dataLoop goroutine, so a flood of them
+// cannot delay control traffic.
 func (p *Process) ctlLoop() {
 	ctl := p.d.Chan(transport.KindControl)
+	for m := range ctl {
+		p.handleControl(m)
+	}
+}
+
+// dataLoop is the process's bulk-data goroutine: it decodes KindData frames
+// and files the pieces for waiting Import calls, independently of the
+// control loop.
+func (p *Process) dataLoop() {
 	data := p.d.Chan(transport.KindData)
-	for {
-		select {
-		case m, ok := <-ctl:
-			if !ok {
-				return
-			}
-			p.handleControl(m)
-		case m, ok := <-data:
-			if !ok {
-				return
-			}
-			p.handleData(m)
-		}
+	for m := range data {
+		p.handleData(m)
 	}
 }
 
@@ -431,27 +543,54 @@ func (p *Process) handleLayout(lm layoutMsg) {
 	}
 }
 
+// jobFromOffer captures an Offer/Finish outcome as a pipeline job.
+func jobFromOffer(resolutions []buffer.Resolution, sends []buffer.SendItem) exportJob {
+	j := exportJob{sends: sends}
+	if len(resolutions) > 0 {
+		j.resps = make([]respData, len(resolutions))
+		for i, r := range resolutions {
+			j.resps[i] = respData{
+				reqID: r.ReqIndex, reqTS: r.ReqTS,
+				result: r.Decision.Result, matchTS: r.Decision.MatchTS, latest: r.Decision.Latest,
+			}
+		}
+	}
+	return j
+}
+
 // handleForward applies a forwarded import request to the connection's
-// pipeline and replies to the rep (the paper's step (1)-(2) in Section 4).
+// pipeline and queues the reply to the rep (the paper's step (1)-(2) in
+// Section 4). Queueing the reply — rather than sending it after the lock is
+// dropped — pins the per-connection ReqID order: a later resolution produced
+// by a concurrent Export can no longer overtake this request's first
+// (possibly PENDING) response on the wire.
 func (p *Process) handleForward(rm requestMsg) {
 	ec, ok := p.expConnByKey[rm.Conn]
 	if !ok {
 		p.prog.fail(fmt.Errorf("core: %s: forwarded request for unknown connection %q", p.addr(), rm.Conn))
 		return
 	}
-	p.mu.Lock()
+	if !p.acquirePermit(ec) {
+		return
+	}
+	ec.mu.Lock()
 	rr, err := ec.mgr.OnRequest(rm.ReqTS)
-	p.mu.Unlock()
+	if err == nil && rr.ReqIndex != rm.ReqID {
+		err = fmt.Errorf("core: %s: request id drift: local %d, rep %d", p.addr(), rr.ReqIndex, rm.ReqID)
+	}
 	if err != nil {
+		ec.mu.Unlock()
+		p.releasePermit(ec)
 		p.prog.fail(err)
 		return
 	}
-	if rr.ReqIndex != rm.ReqID {
-		p.prog.fail(fmt.Errorf("core: %s: request id drift: local %d, rep %d", p.addr(), rr.ReqIndex, rm.ReqID))
-		return
+	d := rr.Decision
+	job := exportJob{
+		resps: []respData{{reqID: rm.ReqID, reqTS: rm.ReqTS, result: d.Result, matchTS: d.MatchTS, latest: d.Latest}},
+		sends: rr.Sends,
 	}
-	p.sendResponse(ec, rm.ReqID, rm.ReqTS, rr.Decision.Result, rr.Decision.MatchTS, rr.Decision.Latest)
-	p.sendMatches(ec, rr.Sends)
+	p.dispatchLocked(ec, job)
+	ec.mu.Unlock()
 }
 
 // handleBuddy applies a buddy-help message: the collective answer for a
@@ -462,20 +601,34 @@ func (p *Process) handleBuddy(am answerMsg) {
 		p.prog.fail(fmt.Errorf("core: %s: buddy-help for unknown connection %q", p.addr(), am.Conn))
 		return
 	}
-	p.mu.Lock()
+	if !p.acquirePermit(ec) {
+		return
+	}
+	ec.mu.Lock()
 	sends, err := ec.mgr.OnFinal(am.ReqID, am.Result, am.MatchTS)
-	p.mu.Unlock()
 	if err != nil {
+		ec.mu.Unlock()
+		p.releasePermit(ec)
 		p.prog.fail(err)
 		return
 	}
-	p.sendMatches(ec, sends)
+	if len(sends) == 0 {
+		ec.mu.Unlock()
+		p.releasePermit(ec)
+		return
+	}
+	p.dispatchLocked(ec, exportJob{sends: sends})
+	ec.mu.Unlock()
 }
 
+// handleData files one piece of a matched distributed object. A frame for a
+// connection this process does not import — a straggler that outlived its
+// peer's teardown, or one duplicated by a faulty transport — is dropped and
+// counted (ProtocolStats.DataDropped) rather than failing the program.
 func (p *Process) handleData(m transport.Message) {
 	st, ok := p.impByKey[m.Tag]
 	if !ok {
-		p.prog.fail(fmt.Errorf("core: %s: data for unknown connection %q", p.addr(), m.Tag))
+		p.prog.proto.dataDropped.Add(1)
 		return
 	}
 	reqID, matchTS, sub, vals, err := decodeData(m.Payload)
@@ -486,30 +639,86 @@ func (p *Process) handleData(m transport.Message) {
 	st.addPiece(reqID, piece{matchTS: matchTS, sub: sub, vals: vals})
 }
 
-// sendResponse reports one (possibly updated) matching decision to the rep.
-func (p *Process) sendResponse(ec *exportConn, reqID int, reqTS float64, result match.Result, matchTS, latest float64) {
-	msg := responseMsg{
-		Conn: ec.key, ReqID: reqID, ReqTS: reqTS, Rank: p.rank,
-		Result: result, MatchTS: matchTS, Latest: latest,
+// acquirePermit reserves one pipeline slot, blocking (and accounting the
+// stall) when the queue is full. It returns false when the process aborted.
+// Producers call it before taking ec.mu, so a full queue never wedges the
+// lock against the sender's TransferDone step.
+func (p *Process) acquirePermit(ec *exportConn) bool {
+	select {
+	case ec.permits <- struct{}{}:
+		return true
+	default:
 	}
-	err := p.d.Send(transport.Message{
-		Kind:    transport.KindResponse,
-		Dst:     transport.Rep(p.prog.name),
-		Tag:     ec.key,
-		Payload: wire.MustMarshal(msg),
-	})
-	if err != nil {
-		p.prog.fail(err)
+	start := time.Now()
+	select {
+	case ec.permits <- struct{}{}:
+		ec.stall.Add(time.Since(start).Nanoseconds())
+		return true
+	case <-p.abort:
+		return false
 	}
 }
 
-// sendMatches transfers matched data objects to the importer processes along
-// this rank's share of the redistribution plan. Pack copies each outgoing
-// piece out of the buffered slice, so after the loop the SendItems hold the
-// last aliases of the buffers and TransferDone can hand them back to the
-// manager for recycling.
-func (p *Process) sendMatches(ec *exportConn, sends []buffer.SendItem) {
-	for _, s := range sends {
+func (p *Process) releasePermit(ec *exportConn) { <-ec.permits }
+
+// dispatchLocked hands a job to the connection's data plane. Async: push to
+// the sender's queue (never blocks — the caller holds a permit). Sync
+// baseline: run it inline, still under the lock. Called with ec.mu held.
+func (p *Process) dispatchLocked(ec *exportConn, j exportJob) {
+	if p.syncPlane {
+		p.runJobSync(ec, j)
+		p.releasePermit(ec)
+		return
+	}
+	ec.jobs <- j
+	ec.queued.Add(1)
+	if d := int64(len(ec.jobs)); d > ec.peakDepth.Load() {
+		ec.peakDepth.Store(d)
+	}
+}
+
+// sender is one connection's data-plane goroutine: it drains the job queue,
+// sending queued responses in decision order and fanning matched-data
+// transfers out to the importer ranks, then applies the TransferDone
+// accounting under the connection lock and releases the job's permit.
+func (p *Process) sender(ec *exportConn) {
+	for {
+		select {
+		case j := <-ec.jobs:
+			p.runJobAsync(ec, j)
+			p.releasePermit(ec)
+			if j.drain != nil {
+				ec.flushes.Add(1)
+				close(j.drain)
+			}
+		case <-p.abort:
+			return
+		}
+	}
+}
+
+func (p *Process) runJobAsync(ec *exportConn, j exportJob) {
+	for _, r := range j.resps {
+		p.sendResponse(ec, r)
+	}
+	if len(j.sends) == 0 {
+		return
+	}
+	p.fanOut(ec, j.sends)
+	ec.mu.Lock()
+	for _, s := range j.sends {
+		ec.mgr.TransferDone(s.MatchTS)
+	}
+	ec.mu.Unlock()
+}
+
+// runJobSync is the synchronous baseline: responses, serial pack+send and
+// transfer accounting inline on the caller's goroutine, with ec.mu held.
+func (p *Process) runJobSync(ec *exportConn, j exportJob) {
+	for _, r := range j.resps {
+		p.sendResponse(ec, r)
+	}
+	for _, s := range j.sends {
 		g := decomp.Grid{Block: ec.block, Data: s.Data}
 		for _, tr := range ec.outgoing {
 			vals, err := g.Pack(tr.Sub)
@@ -518,6 +727,7 @@ func (p *Process) sendMatches(ec *exportConn, sends []buffer.SendItem) {
 				return
 			}
 			p.prog.proto.data.Add(1)
+			ec.dataSends.Add(1)
 			err = p.d.Send(transport.Message{
 				Kind:    transport.KindData,
 				Dst:     transport.Proc(ec.cc.Import.Program, tr.To),
@@ -530,18 +740,109 @@ func (p *Process) sendMatches(ec *exportConn, sends []buffer.SendItem) {
 			}
 		}
 	}
-	p.mu.Lock()
-	for _, s := range sends {
+	for _, s := range j.sends {
 		ec.mgr.TransferDone(s.MatchTS)
 	}
-	p.mu.Unlock()
+}
+
+// fanOut transfers matched data objects to the importer ranks along this
+// rank's share of the redistribution plan, one worker per destination rank
+// up to Options.ExportWorkers, each packing into scratch recycled through
+// the process's buffer pool.
+func (p *Process) fanOut(ec *exportConn, sends []buffer.SendItem) {
+	n := len(ec.outgoing)
+	if n == 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range ec.outgoing {
+			p.sendTransfer(ec, &ec.outgoing[i], sends)
+		}
+		return
+	}
+	tasks := make(chan int, n)
+	for i := 0; i < n; i++ {
+		tasks <- i
+	}
+	close(tasks)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				p.sendTransfer(ec, &ec.outgoing[i], sends)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// sendTransfer packs and sends every matched object's piece for one outgoing
+// transfer (one destination rank). The pack scratch is borrowed from the
+// process pool; encodeData copies it into the frame payload, so it recycles
+// immediately.
+func (p *Process) sendTransfer(ec *exportConn, tr *decomp.Transfer, sends []buffer.SendItem) {
+	scratch := p.pool.Get(tr.Sub.Area())
+	defer p.pool.Put(scratch)
+	for _, s := range sends {
+		g := decomp.Grid{Block: ec.block, Data: s.Data}
+		if !g.Block.ContainsRect(tr.Sub) {
+			p.prog.fail(fmt.Errorf("core: %s: transfer %v outside block %v", p.addr(), tr.Sub, g.Block))
+			return
+		}
+		g.PackInto(tr.Sub, scratch)
+		p.prog.proto.data.Add(1)
+		ec.dataSends.Add(1)
+		err := p.d.Send(transport.Message{
+			Kind:    transport.KindData,
+			Dst:     transport.Proc(ec.cc.Import.Program, tr.To),
+			Tag:     ec.key,
+			Payload: encodeData(s.ReqIndex, s.MatchTS, tr.Sub, scratch),
+		})
+		if err != nil {
+			if p.checkAbort() != nil {
+				return // shutting down; the send failure is a consequence
+			}
+			p.prog.fail(err)
+			return
+		}
+	}
+}
+
+// sendResponse reports one (possibly updated) matching decision to the rep.
+func (p *Process) sendResponse(ec *exportConn, r respData) {
+	msg := responseMsg{
+		Conn: ec.key, ReqID: r.reqID, ReqTS: r.reqTS, Rank: p.rank,
+		Result: r.result, MatchTS: r.matchTS, Latest: r.latest,
+	}
+	err := p.d.Send(transport.Message{
+		Kind:    transport.KindResponse,
+		Dst:     transport.Rep(p.prog.name),
+		Tag:     ec.key,
+		Payload: wire.MustMarshal(msg),
+	})
+	if err != nil {
+		if p.checkAbort() != nil {
+			return
+		}
+		p.prog.fail(err)
+	}
 }
 
 // Export is the collective export operation: it offers a new version of the
 // region's distributed data (this process's local block, with simulation
 // timestamp ts) to every connection of the region. The framework copies the
 // data only when the buffering rules require it; the copy cost is what the
-// paper's benchmark measures.
+// paper's benchmark measures. Any responses and data transfers the offer
+// triggers are queued to the connection's sender goroutine, so Export
+// returns to the application's compute phase immediately — unless the
+// bounded queue is full, in which case Export blocks (backpressure) and the
+// stall is accounted in PipelineStats.ExportStallNanos.
 func (p *Process) Export(region string, ts float64, data []float64) error {
 	if err := p.checkAbort(); err != nil {
 		return err
@@ -563,28 +864,61 @@ func (p *Process) Export(region string, ts float64, data []float64) error {
 		return fmt.Errorf("core: %s: export %q with %d values, block has %d", p.addr(), region, len(data), want)
 	}
 
-	type outcome struct {
-		ec  *exportConn
-		res buffer.OfferResult
-	}
-	outs := make([]outcome, 0, len(st.conns))
-	p.mu.Lock()
 	for _, ec := range st.conns {
+		if !p.acquirePermit(ec) {
+			return p.abortErr()
+		}
+		ec.mu.Lock()
 		res, err := ec.mgr.Offer(ts, data)
 		if err != nil {
-			p.mu.Unlock()
+			ec.mu.Unlock()
+			p.releasePermit(ec)
 			p.prog.fail(err)
 			return err
 		}
-		outs = append(outs, outcome{ec: ec, res: res})
-	}
-	p.mu.Unlock()
-
-	for _, o := range outs {
-		for _, r := range o.res.Resolutions {
-			p.sendResponse(o.ec, r.ReqIndex, r.ReqTS, r.Decision.Result, r.Decision.MatchTS, r.Decision.Latest)
+		if len(res.Resolutions) == 0 && len(res.Sends) == 0 {
+			ec.mu.Unlock()
+			p.releasePermit(ec)
+			continue
 		}
-		p.sendMatches(o.ec, o.res.Sends)
+		p.dispatchLocked(ec, jobFromOffer(res.Resolutions, res.Sends))
+		ec.mu.Unlock()
+	}
+	return nil
+}
+
+// Flush is the drain barrier of the asynchronous data plane: it blocks until
+// every resolution and data transfer queued so far on the region's export
+// pipelines has been sent and its TransferDone accounting applied. With the
+// synchronous plane it only checks for abort (nothing is ever queued).
+func (p *Process) Flush(region string) error {
+	if err := p.checkAbort(); err != nil {
+		return err
+	}
+	if _, ok := p.prog.regions[region]; !ok {
+		return fmt.Errorf("core: %s: flush of undefined region %q", p.addr(), region)
+	}
+	st, connected := p.exps[region]
+	if !connected || p.syncPlane {
+		return nil
+	}
+	drains := make([]chan struct{}, 0, len(st.conns))
+	for _, ec := range st.conns {
+		if !p.acquirePermit(ec) {
+			return p.abortErr()
+		}
+		d := make(chan struct{})
+		ec.mu.Lock()
+		p.dispatchLocked(ec, exportJob{drain: d})
+		ec.mu.Unlock()
+		drains = append(drains, d)
+	}
+	for _, d := range drains {
+		select {
+		case <-d:
+		case <-p.abort:
+			return p.abortErr()
+		}
 	}
 	return nil
 }
@@ -595,7 +929,9 @@ func (p *Process) Export(region string, ts float64, data []float64) error {
 // MATCH), and later requests resolve against the buffered versions — so an
 // importer that outlives the exporter gets answers instead of waiting
 // forever. Like Export, it must be called by every process of the program
-// (Property 1). Exporting the region after FinishRegion is an error.
+// (Property 1). FinishRegion drains the region's pipelines before returning
+// (the Flush barrier), so all queued transfers are on the wire and accounted.
+// Exporting the region after FinishRegion is an error.
 func (p *Process) FinishRegion(region string) error {
 	if err := p.checkAbort(); err != nil {
 		return err
@@ -607,29 +943,25 @@ func (p *Process) FinishRegion(region string) error {
 	if !connected {
 		return nil // low-overhead path: nothing to resolve
 	}
-	type outcome struct {
-		ec          *exportConn
-		resolutions []buffer.Resolution
-		sends       []buffer.SendItem
-	}
-	outs := make([]outcome, 0, len(st.conns))
-	p.mu.Lock()
 	for _, ec := range st.conns {
+		if !p.acquirePermit(ec) {
+			return p.abortErr()
+		}
+		ec.mu.Lock()
 		res, sends, err := ec.mgr.Finish()
 		if err != nil {
-			p.mu.Unlock()
+			ec.mu.Unlock()
+			p.releasePermit(ec)
 			return err
 		}
-		outs = append(outs, outcome{ec: ec, resolutions: res, sends: sends})
-	}
-	p.mu.Unlock()
-	for _, o := range outs {
-		for _, r := range o.resolutions {
-			p.sendResponse(o.ec, r.ReqIndex, r.ReqTS, r.Decision.Result, r.Decision.MatchTS, r.Decision.Latest)
+		if p.syncPlane || len(res) > 0 || len(sends) > 0 {
+			p.dispatchLocked(ec, jobFromOffer(res, sends))
+		} else {
+			p.releasePermit(ec)
 		}
-		p.sendMatches(o.ec, o.sends)
+		ec.mu.Unlock()
 	}
-	return nil
+	return p.Flush(region)
 }
 
 // ImportResult reports the outcome of an Import call.
@@ -732,12 +1064,12 @@ func (p *Process) Import(region string, ts float64, dst []float64) (ImportResult
 // importer's future requests, which will never come; a long-running exporter
 // would otherwise hold (or keep growing) the buffers until Close.
 func (p *Process) evictPeer(peer string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	for _, st := range p.exps {
 		for _, ec := range st.conns {
 			if ec.cc.Import.Program == peer {
+				ec.mu.Lock()
 				ec.mgr.Evict()
+				ec.mu.Unlock()
 			}
 		}
 	}

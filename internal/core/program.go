@@ -144,6 +144,7 @@ func (p *Program) ExportTotals(region string) (buffer.Stats, error) {
 			total.Sends += st.Sends
 			total.Removes += st.Removes
 			total.UnnecessaryCopies += st.UnnecessaryCopies
+			total.TransferDones += st.TransferDones
 			total.BytesCopied += st.BytesCopied
 			total.CopyTime += st.CopyTime
 			total.UnnecessaryTime += st.UnnecessaryTime

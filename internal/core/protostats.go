@@ -27,12 +27,18 @@ type ProtocolStats struct {
 	// DataMessages counts matched-data pieces sent by this program's
 	// processes.
 	DataMessages uint64
+	// DataDropped counts data frames discarded because their connection key
+	// is unknown to the receiver — stragglers that outlived a peer's
+	// teardown (evictPeer) or duplicates from a faulty transport. They are
+	// counted rather than treated as protocol violations.
+	DataDropped uint64
 }
 
 // protoCounters is the internal atomic mirror of ProtocolStats.
 type protoCounters struct {
 	importCalls, requestsForwarded, responses  atomic.Uint64
 	answersSent, answersDelivered, buddy, data atomic.Uint64
+	dataDropped                                atomic.Uint64
 }
 
 func (c *protoCounters) snapshot() ProtocolStats {
@@ -44,6 +50,7 @@ func (c *protoCounters) snapshot() ProtocolStats {
 		AnswersDelivered:  c.answersDelivered.Load(),
 		BuddyMessages:     c.buddy.Load(),
 		DataMessages:      c.data.Load(),
+		DataDropped:       c.dataDropped.Load(),
 	}
 }
 

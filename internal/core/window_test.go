@@ -207,11 +207,9 @@ E.d B.d REGL 2.5
 	}
 	// Both managers buffered all 5 versions (no requests yet), but the
 	// store holds exactly 5 shared copies.
-	p.mu.Lock()
 	live := reg.store.live()
-	aAlias := reg.conns[0].mgr.NumBuffered()
-	bAlias := reg.conns[1].mgr.NumBuffered()
-	p.mu.Unlock()
+	aAlias := lockedNumBuffered(reg.conns[0])
+	bAlias := lockedNumBuffered(reg.conns[1])
 	if live != 5 {
 		t.Errorf("store holds %d versions, want 5", live)
 	}
@@ -229,10 +227,13 @@ E.d B.d REGL 2.5
 	if !res.Matched || res.MatchTS != 5 {
 		t.Fatalf("A import resolved %+v", res)
 	}
-	p.mu.Lock()
+	// Drain the async pipeline: the store releases a version on the sender
+	// goroutine's TransferDone, which may lag the Import return.
+	if err := p.Flush("d"); err != nil {
+		t.Fatal(err)
+	}
 	liveAfter := reg.store.live()
-	bAfter := reg.conns[1].mgr.NumBuffered()
-	p.mu.Unlock()
+	bAfter := lockedNumBuffered(reg.conns[1])
 	if bAfter != 5 {
 		t.Errorf("B lost entries: %d", bAfter)
 	}
@@ -250,10 +251,18 @@ E.d B.d REGL 2.5
 	if !resB.Matched {
 		t.Fatal("B unmatched")
 	}
-	p.mu.Lock()
+	if err := p.Flush("d"); err != nil {
+		t.Fatal(err)
+	}
 	liveEnd := reg.store.live()
-	p.mu.Unlock()
 	if liveEnd >= 5 {
 		t.Errorf("store live %d after both requests, want < 5", liveEnd)
 	}
+}
+
+// lockedNumBuffered reads a connection manager's entry count under its lock.
+func lockedNumBuffered(ec *exportConn) int {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return ec.mgr.NumBuffered()
 }

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"fmt"
+	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/config"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/match"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // ChaosConfig parameterizes one chaos run: a Figure-4-style F->U coupling
@@ -29,6 +32,17 @@ type ChaosConfig struct {
 	Fault transport.FaultConfig
 	// ResendInterval drives the reliable layer's retransmits.
 	ResendInterval time.Duration
+	// ImporterJitter, when positive, makes every importer sleep a
+	// seeded-random duration up to ImporterJitter before each Import, so
+	// requests land at arbitrary points of the exporters' pipelines — the
+	// racy interleavings the async data plane must keep ordered.
+	ImporterJitter time.Duration
+	// CheckOrdering layers a response-order assertion over the transport:
+	// per (exporter process, connection), responses must leave for the rep
+	// in non-decreasing ReqID order, each request decided at most once, and
+	// never PENDING after its decisive answer. The run fails on the first
+	// violation.
+	CheckOrdering bool
 	// Heartbeat enables rep failure detection during the run; the run
 	// asserts it does NOT false-positive under the injected faults.
 	Heartbeat time.Duration
@@ -93,9 +107,17 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		}},
 	}
 	faulty := transport.NewFaultNetwork(transport.NewMemNetwork(), cfg.Fault)
-	net := transport.NewReliableNetwork(faulty, transport.ReliableConfig{
+	var net transport.Network = transport.NewReliableNetwork(faulty, transport.ReliableConfig{
 		ResendInterval: cfg.ResendInterval,
 	})
+	// The order check wraps the outermost layer: the reliable transport
+	// delivers per-pair FIFO, so the order responses are handed to Send here
+	// is the order the rep sees them.
+	var oc *orderCheckNetwork
+	if cfg.CheckOrdering {
+		oc = newOrderCheckNetwork(net)
+		net = oc
+	}
 	fw, err := core.New(coupling, core.Options{
 		Network:   net,
 		BuddyHelp: true,
@@ -165,8 +187,15 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 				errs <- err
 				return
 			}
+			var jitter *rand.Rand
+			if cfg.ImporterJitter > 0 {
+				jitter = rand.New(rand.NewSource(cfg.Fault.Seed*1009 + int64(r)))
+			}
 			dst := make([]float64, block.Area())
 			for j := 1; j <= requests; j++ {
+				if jitter != nil {
+					time.Sleep(time.Duration(jitter.Int63n(int64(cfg.ImporterJitter))))
+				}
 				reqTS := float64(j * cfg.MatchEvery)
 				res, err := p.Import("f", reqTS, dst)
 				if err != nil {
@@ -219,5 +248,126 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			return nil, fmt.Errorf("harness: chaos importer rank %d matched %d of %d requests", r, m, requests)
 		}
 	}
+	if oc != nil {
+		if err := oc.err(); err != nil {
+			return nil, err
+		}
+	}
+	// The exactly-once transfer-accounting invariant: FinishRegion drained
+	// every pipeline, so each connection must have applied TransferDone once
+	// per data send batch — no more (double free) and no less (leak).
+	for r := 0; r < cfg.ExporterProcs; r++ {
+		stats, err := progF.Process(r).ExportStats("f")
+		if err != nil {
+			return nil, err
+		}
+		for conn, st := range stats {
+			if st.TransferDones != st.Sends {
+				return nil, fmt.Errorf("harness: chaos exporter rank %d conn %s: %d TransferDones for %d sends",
+					r, conn, st.TransferDones, st.Sends)
+			}
+		}
+	}
 	return &ChaosResult{Matched: matched[0], Faults: faulty.Stats(), Elapsed: time.Since(start)}, nil
+}
+
+// respRecord is one observed KindResponse send (decoded mirror of the
+// core-internal response message; gob matches fields by name).
+type respRecord struct {
+	Conn   string
+	ReqID  int
+	Rank   int
+	Result match.Result
+}
+
+// orderCheckNetwork asserts the async data plane's per-connection response
+// ordering guarantee at the transport boundary. It wraps each registered
+// endpoint so every KindResponse handed to Send is checked against the
+// stream's history before it leaves.
+type orderCheckNetwork struct {
+	transport.Network
+
+	mu sync.Mutex
+	// Per "src|conn" stream: requests are forwarded in ReqID order and
+	// resolved in ReqID order, so PENDING responses must carry strictly
+	// increasing ReqIDs, decisive responses must carry strictly increasing
+	// ReqIDs, and a PENDING must never follow its request's decision. (A
+	// decisive response may legally follow a PENDING for a *newer* request —
+	// resolutions catch up on the backlog in order — so the combined stream
+	// is not globally sorted.)
+	lastPending map[string]int
+	lastDecided map[string]int
+	firstErr    error
+}
+
+func newOrderCheckNetwork(inner transport.Network) *orderCheckNetwork {
+	return &orderCheckNetwork{
+		Network:     inner,
+		lastPending: make(map[string]int),
+		lastDecided: make(map[string]int),
+	}
+}
+
+func (n *orderCheckNetwork) Register(a transport.Addr) (transport.Endpoint, error) {
+	ep, err := n.Network.Register(a)
+	if err != nil {
+		return nil, err
+	}
+	return &orderCheckEndpoint{Endpoint: ep, net: n}, nil
+}
+
+func (n *orderCheckNetwork) err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.firstErr
+}
+
+func (n *orderCheckNetwork) record(src transport.Addr, m transport.Message) {
+	var rm respRecord
+	if err := wire.Unmarshal(m.Payload, &rm); err != nil {
+		return // not a process response (e.g. a coalesced frame); skip
+	}
+	key := src.String() + "|" + rm.Conn
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.firstErr != nil {
+		return
+	}
+	fail := func(format string, args ...any) {
+		n.firstErr = fmt.Errorf("harness: response order violation on %s: "+format,
+			append([]any{key}, args...)...)
+	}
+	if rm.Result == match.Pending {
+		if last, ok := n.lastPending[key]; ok && rm.ReqID <= last {
+			fail("PENDING for req %d after PENDING for req %d", rm.ReqID, last)
+			return
+		}
+		if decided, ok := n.lastDecided[key]; ok && rm.ReqID <= decided {
+			fail("PENDING for req %d after req %d was decided", rm.ReqID, decided)
+			return
+		}
+		n.lastPending[key] = rm.ReqID
+		return
+	}
+	if decided, ok := n.lastDecided[key]; ok && rm.ReqID <= decided {
+		if rm.ReqID == decided {
+			fail("req %d decided twice", rm.ReqID)
+		} else {
+			fail("req %d decided after req %d", rm.ReqID, decided)
+		}
+		return
+	}
+	n.lastDecided[key] = rm.ReqID
+}
+
+type orderCheckEndpoint struct {
+	transport.Endpoint
+	net *orderCheckNetwork
+}
+
+func (e *orderCheckEndpoint) Send(m transport.Message) error {
+	if m.Kind == transport.KindResponse {
+		e.net.record(e.Addr(), m)
+	}
+	return e.Endpoint.Send(m)
 }

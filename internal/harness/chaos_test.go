@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/testutil"
 )
@@ -28,6 +29,33 @@ func TestChaos(t *testing.T) {
 				t.Errorf("fault layer injected nothing: %+v", res.Faults)
 			}
 			t.Logf("seed %d: %d matches in %v over %+v", seed, res.Matched, res.Elapsed, res.Faults)
+		})
+	}
+}
+
+// TestChaosOrderingInvariants races the async export pipeline against
+// randomized importer delays and asserts the data plane's ordering
+// guarantees at the transport boundary: per-connection responses leave for
+// the rep in ReqID order (pendings increasing, decisions increasing, no
+// PENDING after its decision) and TransferDone is applied exactly once per
+// send (checked inside RunChaos after the FinishRegion drain). The jitter
+// shifts every request to an arbitrary point of the exporters' pipelines,
+// so resolutions race fresh requests on the queue.
+func TestChaosOrderingInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 4, 9, 16, 25} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			defer testutil.CheckGoroutines(t)()
+			cfg := DefaultChaos(seed)
+			cfg.ImporterJitter = 3 * time.Millisecond
+			cfg.CheckOrdering = true
+			res, err := RunChaos(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := cfg.Exports / cfg.MatchEvery; res.Matched != want {
+				t.Errorf("matched %d of %d requests", res.Matched, want)
+			}
 		})
 	}
 }

@@ -101,8 +101,11 @@ type Figure4Result struct {
 	// ExportTimes is the per-iteration duration of p_s's Export call,
 	// averaged over Runs (the quantity Figure 4 plots).
 	ExportTimes *metrics.Series
-	// SlowStats are p_s's buffer statistics from the last run.
-	SlowStats buffer.Stats
+	// SlowStats are p_s's buffer statistics from the last run;
+	// SlowPipeline its export-connection data-plane counters (queue depth,
+	// stall time) from the same run.
+	SlowStats    buffer.Stats
+	SlowPipeline core.PipelineStats
 	// Settle estimates the iteration at which the export-time series reaches
 	// its final level (the paper's "iterations to reach the optimal state").
 	Settle int
@@ -214,6 +217,7 @@ func RunFigure4(cfg Figure4Config) (*Figure4Result, error) {
 		Cfg:               cfg,
 		ExportTimes:       mean,
 		SlowStats:         last.slowStats,
+		SlowPipeline:      last.slowPipeline,
 		Settle:            mean.SettleIteration(cfg.MatchEvery, 1.5),
 		Matched:           last.matched,
 		ExporterProto:     last.expProto,
@@ -232,6 +236,7 @@ var figure4TestNetwork transport.Network
 type runOutcome struct {
 	exportTimes    *metrics.Series
 	slowStats      buffer.Stats
+	slowPipeline   core.PipelineStats
 	matched        int
 	expProto       core.ProtocolStats
 	impProto       core.ProtocolStats
@@ -410,7 +415,8 @@ func runFigure4Once(cfg Figure4Config) (*runOutcome, error) {
 	}
 	out := &runOutcome{
 		exportTimes:  series,
-		slowStats:    stats["U.f"],
+		slowStats:    stats["U.f"].Stats,
+		slowPipeline: stats["U.f"].Pipeline,
 		matched:      matched[0],
 		expProto:     progF.ProtocolStats(),
 		impProto:     progU.ProtocolStats(),

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverlapComparison runs a shrunken overlap scenario and checks the
+// async data plane's two contracts: byte-identical results versus the
+// synchronous baseline, and an exporter iteration that is measurably
+// cheaper (the strict <= 0.6 ratio is enforced on the checked-in benchmark
+// scenario by cmd/couplebench; here the bound is loose so scheduler noise
+// on CI cannot flake the suite).
+func TestOverlapComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based comparison in -short mode")
+	}
+	cfg := DefaultOverlap()
+	cfg.Exports = 15
+	cfg.Compute = 1 * time.Millisecond
+	cfg.SendCost = 1 * time.Millisecond
+	cmp, err := RunOverlapComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", cmp)
+	if !cmp.Identical() {
+		t.Errorf("async plane diverged: sync %d matched / checksum %v, async %d / %v",
+			cmp.Sync.Matched, cmp.Sync.Checksum, cmp.Async.Matched, cmp.Async.Checksum)
+	}
+	if cmp.Sync.Matched != cfg.Exports-1 {
+		t.Errorf("matched %d requests, want %d", cmp.Sync.Matched, cfg.Exports-1)
+	}
+	if r := cmp.Ratio(); r >= 0.9 {
+		t.Errorf("async/sync iteration ratio %.2f, want < 0.9", r)
+	}
+	if cmp.Async.Pipeline.Jobs == 0 || cmp.Async.Pipeline.DataSends == 0 {
+		t.Errorf("async pipeline counters empty: %+v", cmp.Async.Pipeline)
+	}
+	if cmp.Sync.DrainNanos > cmp.Async.DrainNanos {
+		t.Logf("note: sync drain %v > async drain %v", cmp.Sync.DrainNanos, cmp.Async.DrainNanos)
+	}
+}
