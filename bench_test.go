@@ -262,6 +262,16 @@ func BenchmarkStoreSteadyState(b *testing.B) {
 	harness.StoreSteadyStateBench(b, 512*512)
 }
 
+// BenchmarkObsvOverhead prices the observability layer on the data plane's
+// per-job instrument sequence. The disabled variant is the default
+// production path (atomic counters plus one nil ring check) and must stay
+// within noise of the pre-registry pipeline counters; the traced variant
+// adds the lock-free span record. Shared with couplebench -bench.
+func BenchmarkObsvOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) { harness.ObsvOverheadBench(b, false) })
+	b.Run("traced", func(b *testing.B) { harness.ObsvOverheadBench(b, true) })
+}
+
 // BenchmarkFrameRoundTrip measures the zero-copy binary wire codec of the
 // TCP transport (encode into a reused buffer, decode with a warm interner).
 func BenchmarkFrameRoundTrip(b *testing.B) {

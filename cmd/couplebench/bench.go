@@ -33,6 +33,11 @@ type benchSection struct {
 	// RepRoundTrip is a rep-to-rep control round trip through the
 	// coalescing transport with a window of outstanding requests.
 	RepRoundTrip benchResult `json:"rep_round_trip_coalesced"`
+	// ObsvDisabled prices the data plane's per-job observability sequence
+	// with tracing off (the production default; AllocsPerOp must be 0);
+	// ObsvTraced adds the lock-free span record.
+	ObsvDisabled benchResult `json:"obsv_overhead_disabled"`
+	ObsvTraced   benchResult `json:"obsv_overhead_traced"`
 }
 
 type benchResult struct {
@@ -108,6 +113,14 @@ func runBench(path string) error {
 		harness.RepRoundTripBench(b)
 	}))
 	row("rep-round-trip-coalesced", report.Benchmarks.RepRoundTrip)
+	report.Benchmarks.ObsvDisabled = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		harness.ObsvOverheadBench(b, false)
+	}))
+	row("obsv-overhead-disabled", report.Benchmarks.ObsvDisabled)
+	report.Benchmarks.ObsvTraced = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		harness.ObsvOverheadBench(b, true)
+	}))
+	row("obsv-overhead-traced", report.Benchmarks.ObsvTraced)
 
 	fmt.Println("message-coalescing comparison (coupled Figure-4 run, uncoalesced vs coalesced):")
 	cfg := harness.DefaultFramingConfig()
@@ -150,6 +163,9 @@ func runBench(path string) error {
 	// recording a regression in the report.
 	if a := report.Benchmarks.StoreSteadyState.AllocsPerOp; a != 0 {
 		return fmt.Errorf("store steady state allocates %d per op, want 0", a)
+	}
+	if a := report.Benchmarks.ObsvDisabled.AllocsPerOp; a != 0 {
+		return fmt.Errorf("disabled observability path allocates %d per op, want 0", a)
 	}
 	if !report.Framing.Identical {
 		return fmt.Errorf("coalesced run diverged from baseline (matched %d vs %d, checksums differ)",

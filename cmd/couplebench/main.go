@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 	"repro/internal/plot"
 )
 
@@ -29,25 +30,29 @@ var figureProcs = map[string]int{"a": 4, "b": 8, "c": 16, "d": 32}
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "Figure 4 configuration: a, b, c, d or all")
-		gridN   = flag.Int("n", 256, "global array is n x n (paper: 1024)")
-		exports = flag.Int("exports", 1001, "number of exports (paper: 1001)")
-		every   = flag.Int("every", 20, "one request per this many exports (paper: 20)")
-		tol     = flag.Float64("tol", 2.5, "match tolerance (paper: 2.5, REGL)")
-		buddy   = flag.Bool("buddy", true, "enable the buddy-help optimization")
-		runs    = flag.Int("runs", 1, "runs to average (paper: 6)")
-		fast    = flag.Duration("fast", 200*time.Microsecond, "per-export compute of the fast F processes")
-		slow    = flag.Duration("slow", time.Millisecond, "per-export compute of the slow process p_s")
-		uwork   = flag.Duration("uwork", 300*time.Millisecond, "program U's total per-iteration compute")
-		csvPath = flag.String("csv", "", "write the per-iteration series to this CSV file")
-		svgPath = flag.String("svg", "", "render the per-iteration series to this SVG file")
-		tub     = flag.Bool("tub", false, "run the buddy-help on/off T_ub ablation instead")
-		onset   = flag.String("onset", "", "comma-separated importer process counts for the optimal-state-onset sweep")
-		syncImp = flag.Bool("sync", false, "synchronize importer processes each iteration (models a real solver's halo exchange)")
-		ratio   = flag.String("ratio", "", "comma-separated tolerances for the tolerance-ratio sweep (buddy on/off saving curve)")
-		latsw   = flag.String("latsweep", "", "comma-separated one-way network latencies (e.g. 0,100us,1ms) for the latency ablation")
-		bench   = flag.String("bench", "", "run the allocation/framing benchmark suite and write the JSON report to this file (e.g. BENCH_PR2.json)")
-		overlap = flag.String("overlap", "", "run the sync-vs-async export overlap comparison and write the JSON report to this file (e.g. BENCH_PR3.json)")
+		figure   = flag.String("figure", "all", "Figure 4 configuration: a, b, c, d or all")
+		gridN    = flag.Int("n", 256, "global array is n x n (paper: 1024)")
+		exports  = flag.Int("exports", 1001, "number of exports (paper: 1001)")
+		every    = flag.Int("every", 20, "one request per this many exports (paper: 20)")
+		tol      = flag.Float64("tol", 2.5, "match tolerance (paper: 2.5, REGL)")
+		buddy    = flag.Bool("buddy", true, "enable the buddy-help optimization")
+		runs     = flag.Int("runs", 1, "runs to average (paper: 6)")
+		fast     = flag.Duration("fast", 200*time.Microsecond, "per-export compute of the fast F processes")
+		slow     = flag.Duration("slow", time.Millisecond, "per-export compute of the slow process p_s")
+		uwork    = flag.Duration("uwork", 300*time.Millisecond, "program U's total per-iteration compute")
+		csvPath  = flag.String("csv", "", "write the per-iteration series to this CSV file")
+		svgPath  = flag.String("svg", "", "render the per-iteration series to this SVG file")
+		tub      = flag.Bool("tub", false, "run the buddy-help on/off T_ub ablation instead")
+		onset    = flag.String("onset", "", "comma-separated importer process counts for the optimal-state-onset sweep")
+		syncImp  = flag.Bool("sync", false, "synchronize importer processes each iteration (models a real solver's halo exchange)")
+		ratio    = flag.String("ratio", "", "comma-separated tolerances for the tolerance-ratio sweep (buddy on/off saving curve)")
+		latsw    = flag.String("latsweep", "", "comma-separated one-way network latencies (e.g. 0,100us,1ms) for the latency ablation")
+		bench    = flag.String("bench", "", "run the allocation/framing benchmark suite and write the JSON report to this file (e.g. BENCH_PR2.json)")
+		overlap  = flag.String("overlap", "", "run the sync-vs-async export overlap comparison and write the JSON report to this file (e.g. BENCH_PR3.json)")
+		obsvAddr = flag.String("obsv-addr", "",
+			"serve live introspection of the figure run on this address: /metrics, /trace, /statusz, /debug/pprof (enables span tracing)")
+		traceJSON = flag.String("trace-json", "",
+			"write the figure run's protocol span trace as Chrome trace JSON to this file (enables span tracing)")
 	)
 	flag.Parse()
 
@@ -67,7 +72,7 @@ func main() {
 		return
 	}
 
-	if err := run(*figure, *gridN, *exports, *every, *tol, *buddy, *runs, *fast, *slow, *uwork, *csvPath, *svgPath, *tub, *onset, *syncImp, *ratio, *latsw); err != nil {
+	if err := run(*figure, *gridN, *exports, *every, *tol, *buddy, *runs, *fast, *slow, *uwork, *csvPath, *svgPath, *tub, *onset, *syncImp, *ratio, *latsw, *obsvAddr, *traceJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "couplebench:", err)
 		os.Exit(1)
 	}
@@ -89,10 +94,26 @@ func baseConfig(procs, gridN, exports, every int, tol float64, buddy bool, runs 
 }
 
 func run(figure string, gridN, exports, every int, tol float64, buddy bool, runs int,
-	fast, slow, uwork time.Duration, csvPath, svgPath string, tub bool, onset string, syncImp bool, ratio, latsw string) error {
+	fast, slow, uwork time.Duration, csvPath, svgPath string, tub bool, onset string, syncImp bool, ratio, latsw string,
+	obsvAddr, traceJSON string) error {
+
+	var obs *obsv.Observer
+	if obsvAddr != "" || traceJSON != "" {
+		obs = obsv.New(obsv.Config{Tracing: true})
+	}
+	if obsvAddr != "" {
+		srv, err := obsv.Serve(obsvAddr, obs)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability on http://%s (/metrics /trace /statusz /debug/pprof)\n", srv.Addr())
+	}
 
 	mk := func(procs int) harness.Figure4Config {
-		return baseConfig(procs, gridN, exports, every, tol, buddy, runs, fast, slow, uwork, syncImp)
+		cfg := baseConfig(procs, gridN, exports, every, tol, buddy, runs, fast, slow, uwork, syncImp)
+		cfg.Obsv = obs
+		return cfg
 	}
 
 	if latsw != "" {
@@ -235,6 +256,20 @@ func run(figure string, gridN, exports, every int, tol float64, buddy bool, runs
 			return err
 		}
 		fmt.Printf("wrote %s\n", svgPath)
+	}
+	if traceJSON != "" {
+		f, err := os.Create(traceJSON)
+		if err != nil {
+			return err
+		}
+		if err := obs.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (load in Perfetto or chrome://tracing)\n", traceJSON)
 	}
 	return nil
 }

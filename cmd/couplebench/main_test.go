@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // smoke exercises each couplebench mode at a tiny scale.
@@ -13,37 +17,63 @@ func TestRunModes(t *testing.T) {
 	fast, slow := 50*time.Microsecond, 200*time.Microsecond
 	uwork := 2 * time.Millisecond
 
-	if err := run("a", 16, 41, 20, 2.5, true, 1, fast, slow, uwork, csv, svg, false, "", false, "", ""); err != nil {
+	if err := run("a", 16, 41, 20, 2.5, true, 1, fast, slow, uwork, csv, svg, false, "", false, "", "", "", ""); err != nil {
 		t.Fatalf("figure a: %v", err)
 	}
-	if err := run("all", 64, 41, 20, 2.5, true, 1, fast, slow, uwork, "", "", false, "", false, "", ""); err != nil {
+	if err := run("all", 64, 41, 20, 2.5, true, 1, fast, slow, uwork, "", "", false, "", false, "", "", "", ""); err != nil {
 		t.Fatalf("figure all: %v", err)
 	}
-	if err := run("c", 64, 41, 20, 2.5, true, 1, fast, slow, uwork, "", "", true, "", false, "", ""); err != nil {
+	if err := run("c", 64, 41, 20, 2.5, true, 1, fast, slow, uwork, "", "", true, "", false, "", "", "", ""); err != nil {
 		t.Fatalf("tub: %v", err)
 	}
-	if err := run("", 64, 41, 20, 2.5, true, 1, fast, slow, uwork, "", "", false, "2,4", false, "", ""); err != nil {
+	if err := run("", 64, 41, 20, 2.5, true, 1, fast, slow, uwork, "", "", false, "2,4", false, "", "", "", ""); err != nil {
 		t.Fatalf("onset: %v", err)
 	}
-	if err := run("", 64, 41, 20, 0, true, 1, fast, slow, uwork, "", "", false, "", false, "1,5", ""); err != nil {
+	if err := run("", 64, 41, 20, 0, true, 1, fast, slow, uwork, "", "", false, "", false, "1,5", "", "", ""); err != nil {
 		t.Fatalf("ratio: %v", err)
 	}
-	if err := run("", 64, 41, 20, 2.5, true, 1, fast, slow, uwork, "", "", false, "", false, "", "0,1ms"); err != nil {
+	if err := run("", 64, 41, 20, 2.5, true, 1, fast, slow, uwork, "", "", false, "", false, "", "0,1ms", "", ""); err != nil {
 		t.Fatalf("latsweep: %v", err)
 	}
 }
 
+// TestRunObservability runs one tiny figure with the introspection server
+// and span tracing on, and checks the trace artifact is valid Chrome trace
+// JSON and that the server and trace rings leak no goroutines.
+func TestRunObservability(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	tr := filepath.Join(t.TempDir(), "trace.json")
+	fast, slow := 50*time.Microsecond, 200*time.Microsecond
+	if err := run("a", 16, 41, 20, 2.5, true, 1, fast, slow, 2*time.Millisecond,
+		"", "", false, "", false, "", "", "127.0.0.1:0", tr); err != nil {
+		t.Fatalf("figure a with observability: %v", err)
+	}
+	b, err := os.ReadFile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace artifact does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace artifact has no events")
+	}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("z", 16, 41, 20, 2.5, true, 1, 0, 0, 0, "", "", false, "", false, "", ""); err == nil {
+	if err := run("z", 16, 41, 20, 2.5, true, 1, 0, 0, 0, "", "", false, "", false, "", "", "", ""); err == nil {
 		t.Error("unknown figure accepted")
 	}
-	if err := run("", 64, 41, 20, 2.5, true, 1, 0, 0, 0, "", "", false, "x", false, "", ""); err == nil {
+	if err := run("", 64, 41, 20, 2.5, true, 1, 0, 0, 0, "", "", false, "x", false, "", "", "", ""); err == nil {
 		t.Error("bad onset accepted")
 	}
-	if err := run("", 64, 41, 20, 2.5, true, 1, 0, 0, 0, "", "", false, "", false, "y", ""); err == nil {
+	if err := run("", 64, 41, 20, 2.5, true, 1, 0, 0, 0, "", "", false, "", false, "y", "", "", ""); err == nil {
 		t.Error("bad ratio accepted")
 	}
-	if err := run("", 64, 41, 20, 2.5, true, 1, 0, 0, 0, "", "", false, "", false, "", "zz"); err == nil {
+	if err := run("", 64, 41, 20, 2.5, true, 1, 0, 0, 0, "", "", false, "", false, "", "zz", "", ""); err == nil {
 		t.Error("bad latsweep accepted")
 	}
 }

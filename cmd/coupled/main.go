@@ -37,6 +37,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/decomp"
+	"repro/internal/obsv"
 	"repro/internal/transport"
 )
 
@@ -56,6 +57,13 @@ func main() {
 		retries = flag.Int("maxretries", 0,
 			"distributed mode: reconnect to the router up to this many times after a connection "+
 				"failure, replaying unacknowledged messages (0 = fail on first loss)")
+		obsvAddr = flag.String("obsv-addr", "",
+			"serve live introspection on this address: /metrics (Prometheus), /trace (Chrome "+
+				"trace JSON), /statusz, /debug/pprof")
+		obsvTrace = flag.Bool("obsv-trace", false,
+			"record protocol spans (dump at /trace or with -trace-out; piggybacks trace IDs on the wire)")
+		traceOut = flag.String("trace-out", "",
+			"write the recorded span trace as Chrome trace JSON to this file on exit (implies -obsv-trace)")
 	)
 	flag.Parse()
 	if *listen != "" {
@@ -72,7 +80,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*cfgPath, *program, *router, *gridN, *steps, *every, *buddy, *verbose, *hb, *retries); err != nil {
+	if err := run(*cfgPath, *program, *router, *gridN, *steps, *every, *buddy, *verbose, *hb, *retries,
+		*obsvAddr, *obsvTrace || *traceOut != "", *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "coupled:", err)
 		os.Exit(1)
 	}
@@ -113,12 +122,25 @@ func contains(xs []string, s string) bool {
 }
 
 func run(cfgPath, program, router string, gridN, steps, every int, buddy, verbose bool,
-	heartbeat time.Duration, maxRetries int) error {
+	heartbeat time.Duration, maxRetries int, obsvAddr string, tracing bool, traceOut string) error {
 	cfg, err := config.ParseFile(cfgPath)
 	if err != nil {
 		return err
 	}
 	opts := core.Options{BuddyHelp: buddy, Timeout: 2 * time.Minute, Heartbeat: heartbeat}
+	var obs *obsv.Observer
+	if obsvAddr != "" || tracing {
+		obs = obsv.New(obsv.Config{Tracing: tracing})
+		opts.Obsv = obs
+	}
+	if obsvAddr != "" {
+		srv, err := obsv.Serve(obsvAddr, obs)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability on http://%s (/metrics /trace /statusz /debug/pprof)\n", srv.Addr())
+	}
 	var fw *core.Framework
 	if program != "" {
 		if router == "" {
@@ -221,12 +243,42 @@ func run(cfgPath, program, router string, gridN, steps, every int, buddy, verbos
 			if err != nil {
 				continue
 			}
-			for imp, st := range stats {
-				fmt.Printf("%s.%s -> %s: %d exports, %d memcpys, %d skips, %d transfers, T_ub %v (last rank)\n",
+			imps := make([]string, 0, len(stats))
+			for imp := range stats {
+				imps = append(imps, imp)
+			}
+			sort.Strings(imps)
+			for _, imp := range imps {
+				st := stats[imp]
+				fmt.Printf("%s.%s -> %s: %d exports, %d memcpys, %d skips, %d transfers, T_ub %v, pipeline stall %v (last rank)\n",
 					name, reg, imp, st.Exports, st.Copies, st.Skips, st.Sends,
-					st.UnnecessaryTime.Round(time.Microsecond))
+					st.UnnecessaryTime.Round(time.Microsecond),
+					time.Duration(st.Pipeline.ExportStallNanos).Round(time.Microsecond))
 			}
 		}
+		ps := prog.ProtocolStats()
+		line := fmt.Sprintf("%s: %d data messages", name, ps.DataMessages)
+		if ps.DataDropped > 0 {
+			line += fmt.Sprintf(", %d dropped", ps.DataDropped)
+		}
+		if ev := prog.Evictions(); ev > 0 {
+			line += fmt.Sprintf(", %d versions evicted for dead peers", ev)
+		}
+		fmt.Println(line)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("span trace written to %s (load in Perfetto or chrome://tracing)\n", traceOut)
 	}
 	return nil
 }

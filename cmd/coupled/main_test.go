@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 func writeCfg(t *testing.T, body string) string {
@@ -18,7 +21,7 @@ func writeCfg(t *testing.T, body string) string {
 
 func TestRunSingleProcess(t *testing.T) {
 	cfg := writeCfg(t, "A local b 2\nB local b 2\n#\nA.x B.x REGL 2.5\n")
-	if err := run(cfg, "", "", 16, 30, 10, true, false, 200*time.Millisecond, 0); err != nil {
+	if err := run(cfg, "", "", 16, 30, 10, true, false, 200*time.Millisecond, 0, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -32,21 +35,46 @@ out local b 1
 src.a mid.a REGL 1.0
 mid.b out.b REGL 1.0
 `)
-	if err := run(cfg, "", "", 8, 20, 5, true, false, 0, 0); err != nil {
+	if err := run(cfg, "", "", 8, 20, 5, true, false, 0, 0, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadConfigPath(t *testing.T) {
-	if err := run("/nonexistent/x.cfg", "", "", 8, 10, 5, true, false, 0, 0); err == nil {
+	if err := run("/nonexistent/x.cfg", "", "", 8, 10, 5, true, false, 0, 0, "", false, ""); err == nil {
 		t.Error("missing config accepted")
 	}
 }
 
 func TestRunProgramNeedsRouter(t *testing.T) {
 	cfg := writeCfg(t, "A local b 1\nB local b 1\n#\nA.x B.x REGL 1\n")
-	if err := run(cfg, "A", "", 8, 10, 5, true, false, 0, 0); err == nil {
+	if err := run(cfg, "A", "", 8, 10, 5, true, false, 0, 0, "", false, ""); err == nil {
 		t.Error("-program without -router accepted")
+	}
+}
+
+// TestRunWithObservability runs a coupling with the introspection server and
+// span tracing on, checks the exit-time trace dump is valid Chrome trace
+// JSON, and verifies the HTTP server and trace rings leak no goroutines.
+func TestRunWithObservability(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	cfg := writeCfg(t, "A local b 2\nB local b 2\n#\nA.x B.x REGL 2.5\n")
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := run(cfg, "", "", 16, 30, 10, true, false, 0, 0, "127.0.0.1:0", true, out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace output does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace output has no events")
 	}
 }
 
@@ -59,7 +87,7 @@ C local b 1
 A.x B.x REGL 1
 B.y C.y REGL 1
 `)
-	if err := run(cfgPath, "", "", 8, 20, 5, false, true, 0, 0); err != nil {
+	if err := run(cfgPath, "", "", 8, 20, 5, false, true, 0, 0, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/transport"
 )
 
@@ -37,6 +38,10 @@ type Comm struct {
 	pending []transport.Message
 	// pointPending does the same for application point-to-point messages.
 	pointPending []transport.Message
+
+	// allReduceHist, when set, observes every AllReduce's wall time in
+	// nanoseconds (a nil histogram is a no-op, so the default costs nothing).
+	allReduceHist *obsv.Histogram
 }
 
 // New returns the Comm for rank within a size-process group named program.
@@ -62,6 +67,9 @@ func (c *Comm) Program() string { return c.program }
 
 // SetTimeout overrides the per-message wait bound used by collectives.
 func (c *Comm) SetTimeout(d time.Duration) { c.timeout = d }
+
+// SetAllReduceHist attaches a latency histogram to AllReduce (nil detaches).
+func (c *Comm) SetAllReduceHist(h *obsv.Histogram) { c.allReduceHist = h }
 
 // nextTag allocates the operation tag for the next collective. Because every
 // rank executes the same collective sequence, the per-Comm counter alone

@@ -1,6 +1,9 @@
 package collective
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 func errBadRoot(op string, root, size int) error {
 	return fmt.Errorf("collective: %s root %d outside group of %d", op, root, size)
@@ -55,6 +58,10 @@ func (c *Comm) Reduce(root int, local []float64, op Op) ([]float64, error) {
 // remainder-folding pre/post steps would add the two extra latencies back
 // for little gain at this scale.
 func (c *Comm) AllReduce(local []float64, op Op) ([]float64, error) {
+	if c.allReduceHist != nil {
+		start := time.Now()
+		defer func() { c.allReduceHist.Observe(time.Since(start).Nanoseconds()) }()
+	}
 	if c.size&(c.size-1) == 0 {
 		return c.allReduceDoubling(local, op)
 	}

@@ -16,12 +16,15 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/decomp"
+	"repro/internal/obsv"
 	"repro/internal/transport"
 )
 
@@ -94,6 +97,13 @@ type Options struct {
 	// one matched-data fan-out. 0 means DefaultExportWorkers (min(4,
 	// GOMAXPROCS)); 1 keeps the fan-out serial on the sender goroutine.
 	ExportWorkers int
+	// Obsv supplies the runtime observability layer (metrics registry, span
+	// tracer, /statusz sections). nil means a private registry-only observer:
+	// the instruments are always the single counting path, tracing is off,
+	// and nothing is served. Pass an observer with a Tracer (obsv.Config
+	// {Tracing: true}) to record protocol spans and piggyback trace IDs on
+	// the wire; pass the same observer to obsv.Serve to introspect the run.
+	Obsv *obsv.Observer
 	// Heartbeat enables peer-failure detection between representatives: reps
 	// beacon every Heartbeat/2 and declare a previously-seen peer dead after
 	// silence beyond 1.5x the interval, so failures surface within 2x
@@ -122,9 +132,86 @@ type Framework struct {
 	// coalesce is the coalescing layer when Options.Coalesce enabled one.
 	coalesce *transport.CoalescingNetwork
 
+	// obs is the observability layer (never nil — a private registry-only
+	// observer is created when Options.Obsv is nil); tracer is obs.Tracer,
+	// hoisted because the hot paths nil-check it.
+	obs    *obsv.Observer
+	tracer *obsv.Tracer
+
 	mu      sync.Mutex
 	started bool
 	closed  bool
+}
+
+// statusName is this framework's /statusz section name.
+func (f *Framework) statusName() string {
+	if f.local != "" {
+		return "coupling(" + f.local + ")"
+	}
+	return "coupling"
+}
+
+// initObsv resolves Options.Obsv (private registry-only observer when nil),
+// bridges the coalescing layer's counters into the registry, and registers
+// the framework's /statusz section.
+func (f *Framework) initObsv() {
+	f.obs = f.opts.Obsv
+	if f.obs == nil {
+		f.obs = obsv.New(obsv.Config{})
+	}
+	f.tracer = f.obs.Tracer
+	if c := f.coalesce; c != nil {
+		reg := f.obs.Registry
+		reg.GaugeFunc("transport.frames.messages", func() float64 { return float64(c.Stats().Messages) })
+		reg.GaugeFunc("transport.frames.sent", func() float64 { return float64(c.Stats().Frames) })
+		reg.GaugeFunc("transport.frames.coalesced", func() float64 { return float64(c.Stats().Batched) })
+		reg.GaugeFunc("transport.frames.batches", func() float64 { return float64(c.Stats().Batches) })
+		reg.GaugeFunc("transport.frames.payload.bytes", func() float64 { return float64(c.Stats().PayloadBytes) })
+	}
+	f.obs.AddStatus(f.statusName(), f.writeStatus)
+}
+
+// writeStatus renders the /statusz section: per-connection pipeline state of
+// every hosted process and the heartbeat view of every hosted rep.
+func (f *Framework) writeStatus(w io.Writer) {
+	names := make([]string, 0, len(f.programs))
+	for name := range f.programs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := f.programs[name]
+		fmt.Fprintf(w, "program %s (%d procs)\n", name, p.n)
+		if err := p.err(); err != nil {
+			fmt.Fprintf(w, "  FAILED: %v\n", err)
+		}
+		for _, proc := range p.procs {
+			regions := make([]string, 0, len(proc.exps))
+			for region := range proc.exps {
+				regions = append(regions, region)
+			}
+			sort.Strings(regions)
+			for _, region := range regions {
+				for _, ec := range proc.exps[region].conns {
+					ps := ec.pipelineStats()
+					fmt.Fprintf(w, "  %s %s depth=%d peak=%d jobs=%d sends=%d flushes=%d stall=%v\n",
+						proc.addr(), ec.key, ps.QueueDepth, ps.PeakQueueDepth,
+						ps.Jobs, ps.DataSends, ps.Flushes,
+						time.Duration(ps.ExportStallNanos).Round(time.Microsecond))
+				}
+			}
+		}
+		if hb := f.opts.Heartbeat; hb > 0 {
+			for _, st := range p.rep.fd.peers() {
+				state := "alive"
+				if st.Declared {
+					state = "DOWN"
+				}
+				fmt.Fprintf(w, "  heartbeat peer %s: %s, last seen %v ago\n",
+					st.Peer, state, st.Since.Round(time.Millisecond))
+			}
+		}
+	}
 }
 
 // New builds a framework for a parsed coupling configuration. Every program
@@ -149,6 +236,7 @@ func New(cfg *config.Config, opts Options) (*Framework, error) {
 		programs: make(map[string]*Program),
 		coalesce: coalesce,
 	}
+	f.initObsv()
 	for _, pc := range cfg.Programs {
 		p, err := newProgram(f, pc)
 		if err != nil {
@@ -190,6 +278,7 @@ func Join(cfg *config.Config, program string, opts Options) (*Framework, error) 
 		programs: make(map[string]*Program),
 		coalesce: coalesce,
 	}
+	f.initObsv()
 	p, err := newProgram(f, pc)
 	if err != nil {
 		f.Close()
@@ -368,6 +457,10 @@ func (f *Framework) FrameStats() (stats transport.FrameStats, ok bool) {
 	return f.coalesce.Stats(), true
 }
 
+// Obsv returns the framework's observability layer — Options.Obsv, or the
+// private registry-only observer created when none was supplied. Never nil.
+func (f *Framework) Obsv() *obsv.Observer { return f.obs }
+
 // Err returns the first violation or internal error any program hit, or nil.
 func (f *Framework) Err() error {
 	for _, p := range f.programs {
@@ -387,6 +480,7 @@ func (f *Framework) Close() error {
 	}
 	f.closed = true
 	f.mu.Unlock()
+	f.obs.RemoveStatus(f.statusName())
 	for _, p := range f.programs {
 		p.close()
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -102,6 +103,26 @@ func (fd *failureDetector) expired() map[string]time.Duration {
 			out[peer] = silence
 		}
 	}
+	return out
+}
+
+// peerStatus is one peer's liveness view for /statusz.
+type peerStatus struct {
+	Peer     string
+	Since    time.Duration // silence since the last lease renewal
+	Declared bool
+}
+
+// peers snapshots the detector's view of every peer heard from, sorted by
+// name (diagnostics; the detector's own decisions use expired).
+func (fd *failureDetector) peers() []peerStatus {
+	fd.mu.Lock()
+	out := make([]peerStatus, 0, len(fd.lastSeen))
+	for peer, seen := range fd.lastSeen {
+		out = append(out, peerStatus{Peer: peer, Since: time.Since(seen), Declared: fd.declared[peer]})
+	}
+	fd.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
 	return out
 }
 

@@ -68,6 +68,11 @@ type answerMsg struct {
 	ReqTS   float64
 	Result  match.Result
 	MatchTS float64
+
+	// flow is the observability trace ID of the request this answers. It is
+	// unexported on purpose: gob never serializes it, so it travels on the
+	// wire only via Message.Trace and is re-attached by the receiver.
+	flow uint64
 }
 
 // errorMsg aborts a program when its rep detects a violation.

@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
@@ -11,6 +11,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/decomp"
 	"repro/internal/match"
+	"repro/internal/obsv"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -32,6 +33,12 @@ type Process struct {
 	d    *transport.Dispatcher
 	comm *collective.Comm
 	log  *trace.Log
+
+	// tracer/ring are the span-recording hooks (nil unless the framework's
+	// observer traces); every record site nil-checks ring, so the disabled
+	// path costs one branch.
+	tracer *obsv.Tracer
+	ring   *obsv.Ring
 
 	// syncPlane selects the synchronous baseline data plane: Export performs
 	// responses, packing, sends and transfer accounting inline under the
@@ -146,11 +153,18 @@ type exportConn struct {
 	jobs    chan exportJob
 	permits chan struct{}
 
-	stall     atomic.Int64  // ns producers spent blocked on a full queue
-	queued    atomic.Uint64 // jobs enqueued
-	dataSends atomic.Uint64 // KindData messages sent
-	flushes   atomic.Uint64 // drain barriers processed
-	peakDepth atomic.Int64  // high-water mark of len(jobs)
+	// Pipeline instruments, preallocated from the observability registry
+	// (labels: program, rank, conn) so the hot path is a single atomic op.
+	stall     *obsv.Counter // core.export.stall.ns: producers blocked on a full queue
+	queued    *obsv.Counter // core.pipeline.jobs: jobs enqueued
+	dataSends *obsv.Counter // core.data.sends: KindData messages sent
+	flushes   *obsv.Counter // core.pipeline.flushes: drain barriers processed
+	peakDepth *obsv.Gauge   // core.pipeline.peak.depth: high-water mark of len(jobs)
+
+	// flows maps in-flight request IDs to their wire trace IDs (guarded by
+	// mu; nil when tracing is off, so the disabled path skips the map
+	// entirely). Entries are dropped when the request's decision goes final.
+	flows map[int]uint64
 }
 
 // exportJob is one unit of deferred data-plane work: the responses a manager
@@ -160,7 +174,10 @@ type exportConn struct {
 type exportJob struct {
 	resps []respData
 	sends []buffer.SendItem
-	drain chan struct{}
+	// sendFlows carries each send's wire trace ID, parallel to sends (nil
+	// when tracing is off).
+	sendFlows []uint64
+	drain     chan struct{}
 }
 
 // respData is one response to the rep, captured at decision time.
@@ -170,6 +187,7 @@ type respData struct {
 	result  match.Result
 	matchTS float64
 	latest  float64
+	flow    uint64 // wire trace ID of the request (0 when tracing is off)
 }
 
 // PipelineStats counts one export connection's data-plane activity.
@@ -198,7 +216,7 @@ func (ec *exportConn) pipelineStats() PipelineStats {
 		Jobs:             ec.queued.Load(),
 		DataSends:        ec.dataSends.Load(),
 		Flushes:          ec.flushes.Load(),
-		ExportStallNanos: ec.stall.Load(),
+		ExportStallNanos: int64(ec.stall.Load()),
 		QueueDepth:       len(ec.jobs),
 		PeakQueueDepth:   int(ec.peakDepth.Load()),
 	}
@@ -261,6 +279,9 @@ func newProcess(p *Program, rank int, d *transport.Dispatcher) (*Process, error)
 	if p.fw.opts.Trace {
 		proc.log = trace.NewLog()
 	}
+	proc.tracer = p.fw.tracer
+	proc.ring = proc.tracer.Ring(p.name, rank)
+	comm.SetAllReduceHist(p.fw.obs.Registry.Histogram("collective.allreduce.ns", obsv.L("program", p.name)))
 	comm.SetTimeout(p.fw.opts.Timeout)
 	return proc, nil
 }
@@ -337,16 +358,22 @@ func (p *Process) start() {
 	// connection serves the next export of any other, and the data plane's
 	// pack scratch buffers recycle through it too (the pool is
 	// concurrency-safe; the per-connection locks are independent).
+	reg := fw.obs.Registry
+	procLabels := []obsv.Label{obsv.L("program", p.prog.name), obsv.L("rank", strconv.Itoa(p.rank))}
 	if len(expConns) > 0 {
 		p.pool = buffer.NewPool(0)
+		pool := p.pool
+		reg.GaugeFunc("buffer.pool.reuse", func() float64 { return float64(pool.Stats().Hits) }, procLabels...)
+		reg.GaugeFunc("buffer.pool.misses", func() float64 { return float64(pool.Stats().Misses) }, procLabels...)
+		reg.GaugeFunc("buffer.pool.free", func() float64 { return float64(pool.Free()) }, procLabels...)
 	}
 	for region, conns := range expConns {
 		def := p.prog.regions[region]
-		reg := &exportRegion{def: def, block: def.layout.Block(p.rank)}
+		expReg := &exportRegion{def: def, block: def.layout.Block(p.rank)}
 		if len(conns) > 1 {
-			reg.store = newVersionStore()
+			expReg.store = newVersionStore()
 		}
-		p.exps[region] = reg
+		p.exps[region] = expReg
 		for _, conn := range conns {
 			p.expectedLayouts++
 			mcfg := buffer.Config{
@@ -356,9 +383,9 @@ func (p *Process) start() {
 				MaxBytes: fw.opts.BufferMaxBytes,
 				Pool:     p.pool,
 			}
-			if reg.store != nil {
-				mcfg.Snapshot = reg.store.snapshot
-				mcfg.Release = reg.store.release
+			if expReg.store != nil {
+				mcfg.Snapshot = expReg.store.snapshot
+				mcfg.Release = expReg.store.release
 			}
 			mgr, err := buffer.NewManager(mcfg)
 			if err != nil {
@@ -366,15 +393,38 @@ func (p *Process) start() {
 				return
 			}
 			key := connKey(conn.Export.String(), conn.Import.String())
+			connLabels := append(append([]obsv.Label(nil), procLabels...), obsv.L("conn", key))
 			ec := &exportConn{
 				cc:      conn,
 				key:     key,
 				mgr:     mgr,
-				block:   reg.block,
+				block:   expReg.block,
 				jobs:    make(chan exportJob, p.queueDepth),
 				permits: make(chan struct{}, p.queueDepth),
+
+				stall:     reg.Counter("core.export.stall.ns", connLabels...),
+				queued:    reg.Counter("core.pipeline.jobs", connLabels...),
+				dataSends: reg.Counter("core.data.sends", connLabels...),
+				flushes:   reg.Counter("core.pipeline.flushes", connLabels...),
+				peakDepth: reg.Gauge("core.pipeline.peak.depth", connLabels...),
 			}
-			reg.conns = append(reg.conns, ec)
+			if p.tracer != nil {
+				ec.flows = make(map[int]uint64)
+			}
+			// The buffering decisions themselves are counted by the manager;
+			// bridge its skip/copy counters into the registry at exposition
+			// time (the closure takes the connection lock briefly).
+			reg.GaugeFunc("core.export.skips", func() float64 {
+				ec.mu.Lock()
+				defer ec.mu.Unlock()
+				return float64(ec.mgr.Stats().Skips)
+			}, connLabels...)
+			reg.GaugeFunc("core.export.copies", func() float64 {
+				ec.mu.Lock()
+				defer ec.mu.Unlock()
+				return float64(ec.mgr.Stats().Copies)
+			}, connLabels...)
+			expReg.conns = append(expReg.conns, ec)
 			p.expConnByKey[key] = ec
 			if !p.syncPlane {
 				go p.sender(ec)
@@ -481,14 +531,14 @@ func (p *Process) handleControl(m transport.Message) {
 			p.prog.fail(err)
 			return
 		}
-		p.handleForward(rm)
+		p.handleForward(rm, m.Trace)
 	case "buddy":
 		var am answerMsg
 		if err := wire.Unmarshal(m.Payload, &am); err != nil {
 			p.prog.fail(err)
 			return
 		}
-		p.handleBuddy(am)
+		p.handleBuddy(am, m.Trace)
 	case "answer":
 		var am answerMsg
 		if err := wire.Unmarshal(m.Payload, &am); err != nil {
@@ -500,6 +550,7 @@ func (p *Process) handleControl(m transport.Message) {
 			p.prog.fail(fmt.Errorf("core: %s: answer for unknown connection %q", p.addr(), am.Conn))
 			return
 		}
+		am.flow = m.Trace
 		st.answers <- am
 	default:
 		p.prog.fail(fmt.Errorf("core: %s: unknown control tag %q", p.addr(), m.Tag))
@@ -564,7 +615,7 @@ func jobFromOffer(resolutions []buffer.Resolution, sends []buffer.SendItem) expo
 // dropped — pins the per-connection ReqID order: a later resolution produced
 // by a concurrent Export can no longer overtake this request's first
 // (possibly PENDING) response on the wire.
-func (p *Process) handleForward(rm requestMsg) {
+func (p *Process) handleForward(rm requestMsg, flow uint64) {
 	ec, ok := p.expConnByKey[rm.Conn]
 	if !ok {
 		p.prog.fail(fmt.Errorf("core: %s: forwarded request for unknown connection %q", p.addr(), rm.Conn))
@@ -573,7 +624,11 @@ func (p *Process) handleForward(rm requestMsg) {
 	if !p.acquirePermit(ec) {
 		return
 	}
+	start := p.tracer.Now()
 	ec.mu.Lock()
+	if ec.flows != nil && flow != 0 {
+		ec.flows[rm.ReqID] = flow
+	}
 	rr, err := ec.mgr.OnRequest(rm.ReqTS)
 	if err == nil && rr.ReqIndex != rm.ReqID {
 		err = fmt.Errorf("core: %s: request id drift: local %d, rep %d", p.addr(), rr.ReqIndex, rm.ReqID)
@@ -589,13 +644,20 @@ func (p *Process) handleForward(rm requestMsg) {
 		resps: []respData{{reqID: rm.ReqID, reqTS: rm.ReqTS, result: d.Result, matchTS: d.MatchTS, latest: d.Latest}},
 		sends: rr.Sends,
 	}
+	p.attachFlows(ec, &job)
 	p.dispatchLocked(ec, job)
 	ec.mu.Unlock()
+	if p.ring != nil {
+		p.ring.Record(obsv.Span{
+			Name: "resolve", TS: start, Dur: p.tracer.Now() - start,
+			Flow: flow, Arg: int64(rm.ReqID), Detail: d.Result.String(),
+		})
+	}
 }
 
 // handleBuddy applies a buddy-help message: the collective answer for a
 // request this process reported PENDING.
-func (p *Process) handleBuddy(am answerMsg) {
+func (p *Process) handleBuddy(am answerMsg, flow uint64) {
 	ec, ok := p.expConnByKey[am.Conn]
 	if !ok {
 		p.prog.fail(fmt.Errorf("core: %s: buddy-help for unknown connection %q", p.addr(), am.Conn))
@@ -604,7 +666,13 @@ func (p *Process) handleBuddy(am answerMsg) {
 	if !p.acquirePermit(ec) {
 		return
 	}
+	if p.ring != nil {
+		p.ring.Record(obsv.Span{Name: "buddy", TS: p.tracer.Now(), Flow: flow, Arg: int64(am.ReqID), Detail: am.Result.String()})
+	}
 	ec.mu.Lock()
+	if ec.flows != nil {
+		delete(ec.flows, am.ReqID) // decision is final; the buddy message carries the flow
+	}
 	sends, err := ec.mgr.OnFinal(am.ReqID, am.Result, am.MatchTS)
 	if err != nil {
 		ec.mu.Unlock()
@@ -617,8 +685,38 @@ func (p *Process) handleBuddy(am answerMsg) {
 		p.releasePermit(ec)
 		return
 	}
-	p.dispatchLocked(ec, exportJob{sends: sends})
+	job := exportJob{sends: sends}
+	if p.tracer != nil && flow != 0 {
+		job.sendFlows = make([]uint64, len(sends))
+		for i := range job.sendFlows {
+			job.sendFlows[i] = flow
+		}
+	}
+	p.dispatchLocked(ec, job)
 	ec.mu.Unlock()
+}
+
+// attachFlows annotates a job's responses and sends with the wire trace IDs
+// of the requests they belong to, and forgets the flow of every request
+// whose decision went final (its last response). Called with ec.mu held;
+// no-op when tracing is off (ec.flows == nil).
+func (p *Process) attachFlows(ec *exportConn, j *exportJob) {
+	if ec.flows == nil {
+		return
+	}
+	if len(j.sends) > 0 {
+		j.sendFlows = make([]uint64, len(j.sends))
+		for i, s := range j.sends {
+			j.sendFlows[i] = ec.flows[s.ReqIndex]
+		}
+	}
+	for i := range j.resps {
+		r := &j.resps[i]
+		r.flow = ec.flows[r.reqID]
+		if r.result != match.Pending {
+			delete(ec.flows, r.reqID)
+		}
+	}
 }
 
 // handleData files one piece of a matched distributed object. A frame for a
@@ -628,13 +726,19 @@ func (p *Process) handleBuddy(am answerMsg) {
 func (p *Process) handleData(m transport.Message) {
 	st, ok := p.impByKey[m.Tag]
 	if !ok {
-		p.prog.proto.dataDropped.Add(1)
+		p.prog.proto.dataDropped.Inc()
 		return
 	}
 	reqID, matchTS, sub, vals, err := decodeData(m.Payload)
 	if err != nil {
 		p.prog.fail(err)
 		return
+	}
+	if p.ring != nil {
+		p.ring.Record(obsv.Span{
+			Name: "data.recv", TS: p.tracer.Now(),
+			Flow: m.Trace, Arg: int64(len(vals)), Detail: m.Tag,
+		})
 	}
 	st.addPiece(reqID, piece{matchTS: matchTS, sub: sub, vals: vals})
 }
@@ -652,7 +756,7 @@ func (p *Process) acquirePermit(ec *exportConn) bool {
 	start := time.Now()
 	select {
 	case ec.permits <- struct{}{}:
-		ec.stall.Add(time.Since(start).Nanoseconds())
+		ec.stall.Add(uint64(time.Since(start).Nanoseconds()))
 		return true
 	case <-p.abort:
 		return false
@@ -671,10 +775,8 @@ func (p *Process) dispatchLocked(ec *exportConn, j exportJob) {
 		return
 	}
 	ec.jobs <- j
-	ec.queued.Add(1)
-	if d := int64(len(ec.jobs)); d > ec.peakDepth.Load() {
-		ec.peakDepth.Store(d)
-	}
+	ec.queued.Inc()
+	ec.peakDepth.SetMax(int64(len(ec.jobs)))
 }
 
 // sender is one connection's data-plane goroutine: it drains the job queue,
@@ -688,7 +790,7 @@ func (p *Process) sender(ec *exportConn) {
 			p.runJobAsync(ec, j)
 			p.releasePermit(ec)
 			if j.drain != nil {
-				ec.flushes.Add(1)
+				ec.flushes.Inc()
 				close(j.drain)
 			}
 		case <-p.abort:
@@ -704,7 +806,18 @@ func (p *Process) runJobAsync(ec *exportConn, j exportJob) {
 	if len(j.sends) == 0 {
 		return
 	}
-	p.fanOut(ec, j.sends)
+	start := p.tracer.Now()
+	p.fanOut(ec, j.sends, j.sendFlows)
+	if p.ring != nil {
+		flow := uint64(0)
+		if len(j.sendFlows) > 0 {
+			flow = j.sendFlows[0]
+		}
+		p.ring.Record(obsv.Span{
+			Name: "send", TS: start, Dur: p.tracer.Now() - start,
+			Flow: flow, Arg: int64(len(j.sends)), Detail: ec.key,
+		})
+	}
 	ec.mu.Lock()
 	for _, s := range j.sends {
 		ec.mgr.TransferDone(s.MatchTS)
@@ -718,20 +831,24 @@ func (p *Process) runJobSync(ec *exportConn, j exportJob) {
 	for _, r := range j.resps {
 		p.sendResponse(ec, r)
 	}
-	for _, s := range j.sends {
+	for si, s := range j.sends {
 		g := decomp.Grid{Block: ec.block, Data: s.Data}
+		var flow uint64
+		if si < len(j.sendFlows) {
+			flow = j.sendFlows[si]
+		}
 		for _, tr := range ec.outgoing {
 			vals, err := g.Pack(tr.Sub)
 			if err != nil {
 				p.prog.fail(err)
 				return
 			}
-			p.prog.proto.data.Add(1)
-			ec.dataSends.Add(1)
+			ec.dataSends.Inc()
 			err = p.d.Send(transport.Message{
 				Kind:    transport.KindData,
 				Dst:     transport.Proc(ec.cc.Import.Program, tr.To),
 				Tag:     ec.key,
+				Trace:   flow,
 				Payload: encodeData(s.ReqIndex, s.MatchTS, tr.Sub, vals),
 			})
 			if err != nil {
@@ -749,7 +866,7 @@ func (p *Process) runJobSync(ec *exportConn, j exportJob) {
 // rank's share of the redistribution plan, one worker per destination rank
 // up to Options.ExportWorkers, each packing into scratch recycled through
 // the process's buffer pool.
-func (p *Process) fanOut(ec *exportConn, sends []buffer.SendItem) {
+func (p *Process) fanOut(ec *exportConn, sends []buffer.SendItem, flows []uint64) {
 	n := len(ec.outgoing)
 	if n == 0 {
 		return
@@ -760,7 +877,7 @@ func (p *Process) fanOut(ec *exportConn, sends []buffer.SendItem) {
 	}
 	if workers <= 1 {
 		for i := range ec.outgoing {
-			p.sendTransfer(ec, &ec.outgoing[i], sends)
+			p.sendTransfer(ec, &ec.outgoing[i], sends, flows)
 		}
 		return
 	}
@@ -775,7 +892,7 @@ func (p *Process) fanOut(ec *exportConn, sends []buffer.SendItem) {
 		go func() {
 			defer wg.Done()
 			for i := range tasks {
-				p.sendTransfer(ec, &ec.outgoing[i], sends)
+				p.sendTransfer(ec, &ec.outgoing[i], sends, flows)
 			}
 		}()
 	}
@@ -786,22 +903,26 @@ func (p *Process) fanOut(ec *exportConn, sends []buffer.SendItem) {
 // transfer (one destination rank). The pack scratch is borrowed from the
 // process pool; encodeData copies it into the frame payload, so it recycles
 // immediately.
-func (p *Process) sendTransfer(ec *exportConn, tr *decomp.Transfer, sends []buffer.SendItem) {
+func (p *Process) sendTransfer(ec *exportConn, tr *decomp.Transfer, sends []buffer.SendItem, flows []uint64) {
 	scratch := p.pool.Get(tr.Sub.Area())
 	defer p.pool.Put(scratch)
-	for _, s := range sends {
+	for si, s := range sends {
 		g := decomp.Grid{Block: ec.block, Data: s.Data}
 		if !g.Block.ContainsRect(tr.Sub) {
 			p.prog.fail(fmt.Errorf("core: %s: transfer %v outside block %v", p.addr(), tr.Sub, g.Block))
 			return
 		}
 		g.PackInto(tr.Sub, scratch)
-		p.prog.proto.data.Add(1)
-		ec.dataSends.Add(1)
+		ec.dataSends.Inc()
+		var flow uint64
+		if si < len(flows) {
+			flow = flows[si]
+		}
 		err := p.d.Send(transport.Message{
 			Kind:    transport.KindData,
 			Dst:     transport.Proc(ec.cc.Import.Program, tr.To),
 			Tag:     ec.key,
+			Trace:   flow,
 			Payload: encodeData(s.ReqIndex, s.MatchTS, tr.Sub, scratch),
 		})
 		if err != nil {
@@ -824,6 +945,7 @@ func (p *Process) sendResponse(ec *exportConn, r respData) {
 		Kind:    transport.KindResponse,
 		Dst:     transport.Rep(p.prog.name),
 		Tag:     ec.key,
+		Trace:   r.flow,
 		Payload: wire.MustMarshal(msg),
 	})
 	if err != nil {
@@ -868,6 +990,7 @@ func (p *Process) Export(region string, ts float64, data []float64) error {
 		if !p.acquirePermit(ec) {
 			return p.abortErr()
 		}
+		start := p.tracer.Now()
 		ec.mu.Lock()
 		res, err := ec.mgr.Offer(ts, data)
 		if err != nil {
@@ -879,12 +1002,34 @@ func (p *Process) Export(region string, ts float64, data []float64) error {
 		if len(res.Resolutions) == 0 && len(res.Sends) == 0 {
 			ec.mu.Unlock()
 			p.releasePermit(ec)
+			p.recordExport(ec, start, nil)
 			continue
 		}
-		p.dispatchLocked(ec, jobFromOffer(res.Resolutions, res.Sends))
+		job := jobFromOffer(res.Resolutions, res.Sends)
+		p.attachFlows(ec, &job)
+		p.dispatchLocked(ec, job)
 		ec.mu.Unlock()
+		p.recordExport(ec, start, &job)
 	}
 	return nil
+}
+
+// recordExport records an Export offer's span (one nil check when tracing
+// is off). The flow is the first resolved request's, when any.
+func (p *Process) recordExport(ec *exportConn, start int64, j *exportJob) {
+	if p.ring == nil {
+		return
+	}
+	sp := obsv.Span{Name: "export", TS: start, Dur: p.tracer.Now() - start, Detail: ec.key}
+	if j != nil {
+		sp.Arg = int64(len(j.sends))
+		if len(j.resps) > 0 {
+			sp.Flow = j.resps[0].flow
+		} else if len(j.sendFlows) > 0 {
+			sp.Flow = j.sendFlows[0]
+		}
+	}
+	p.ring.Record(sp)
 }
 
 // Flush is the drain barrier of the asynchronous data plane: it blocks until
@@ -955,7 +1100,9 @@ func (p *Process) FinishRegion(region string) error {
 			return err
 		}
 		if p.syncPlane || len(res) > 0 || len(sends) > 0 {
-			p.dispatchLocked(ec, jobFromOffer(res, sends))
+			job := jobFromOffer(res, sends)
+			p.attachFlows(ec, &job)
+			p.dispatchLocked(ec, job)
 		} else {
 			p.releasePermit(ec)
 		}
@@ -989,6 +1136,7 @@ func (p *Process) Import(region string, ts float64, dst []float64) (ImportResult
 	}
 	reqID := st.nextCall
 	st.nextCall++
+	impStart := p.tracer.Now()
 
 	err := p.d.Send(transport.Message{
 		Kind:    transport.KindImportCall,
@@ -1019,6 +1167,7 @@ func (p *Process) Import(region string, ts float64, dst []float64) (ImportResult
 		return ImportResult{}, err
 	}
 	if ans.Result != match.Match {
+		p.recordImport(impStart, ans, region)
 		return ImportResult{Matched: false}, nil
 	}
 
@@ -1056,23 +1205,39 @@ func (p *Process) Import(region string, ts float64, dst []float64) (ImportResult
 				p.addr(), region, ts, got, need, st.cc.Export.Program, timeout, transport.ErrTimeout)
 		}
 	}
+	p.recordImport(impStart, ans, region)
 	return ImportResult{Matched: true, MatchTS: ans.MatchTS}, nil
 }
 
+// recordImport records an Import call's span, linked by the answer's flow ID
+// to the request/forward/answer spans on the other processes.
+func (p *Process) recordImport(start int64, ans answerMsg, region string) {
+	if p.ring == nil {
+		return
+	}
+	p.ring.Record(obsv.Span{
+		Name: "import", TS: start, Dur: p.tracer.Now() - start,
+		Flow: ans.flow, Arg: int64(ans.ReqID), Detail: region,
+	})
+}
+
 // evictPeer frees the buffered export versions of every connection whose
-// importer is the dead program. Those versions exist only to answer that
-// importer's future requests, which will never come; a long-running exporter
-// would otherwise hold (or keep growing) the buffers until Close.
-func (p *Process) evictPeer(peer string) {
+// importer is the dead program, returning how many versions were dropped.
+// Those versions exist only to answer that importer's future requests, which
+// will never come; a long-running exporter would otherwise hold (or keep
+// growing) the buffers until Close.
+func (p *Process) evictPeer(peer string) int {
+	n := 0
 	for _, st := range p.exps {
 		for _, ec := range st.conns {
 			if ec.cc.Import.Program == peer {
 				ec.mu.Lock()
-				ec.mgr.Evict()
+				n += ec.mgr.Evict()
 				ec.mu.Unlock()
 			}
 		}
 	}
+	return n
 }
 
 func (p *Process) abortErr() error {

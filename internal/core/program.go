@@ -39,6 +39,7 @@ func newProgram(f *Framework, pc config.Program) (*Program, error) {
 		name:    pc.Name,
 		n:       pc.Procs,
 		regions: make(map[string]regionDef),
+		proto:   newProtoCounters(f.obs.Registry, pc.Name),
 	}
 	repEP, err := f.net.Register(transport.Rep(pc.Name))
 	if err != nil {
@@ -121,9 +122,10 @@ func (p *Program) fail(err error) {
 // buffer held only for the dead peer's connections is released — no request
 // will ever consume those versions.
 func (p *Program) peerDown(err *PeerDownError) {
+	p.proto.peerDown.Inc()
 	p.fail(err)
 	for _, proc := range p.procs {
-		proc.evictPeer(err.Peer)
+		p.proto.evictions.Add(uint64(proc.evictPeer(err.Peer)))
 	}
 }
 

@@ -1,12 +1,16 @@
 package core
 
-import "sync/atomic"
+import "repro/internal/obsv"
 
 // ProtocolStats counts the control-plane and data-plane messages a program
 // exchanged, quantifying the paper's description of the rep as a
 // "low-overhead control gateway": per import request the control cost is one
 // request, n forwards, >= n responses, one answer (plus its fan-out) and at
 // most n-1 buddy-help messages, independent of the data volume.
+//
+// It is a point-in-time view assembled from the observability registry
+// (internal/obsv) — the instruments are the single counting path; this
+// struct only snapshots them for tests and reports.
 type ProtocolStats struct {
 	// ImportCalls counts collective import calls received by the rep from
 	// its own processes (importer side).
@@ -34,25 +38,53 @@ type ProtocolStats struct {
 	DataDropped uint64
 }
 
-// protoCounters is the internal atomic mirror of ProtocolStats.
+// protoCounters holds the program's protocol instruments, preallocated from
+// the registry at program construction so the hot paths never perform a
+// registry lookup. Data-plane sends are counted once, per connection
+// pipeline (exportConn.dataSends); DataMessages sums them at snapshot time.
 type protoCounters struct {
-	importCalls, requestsForwarded, responses  atomic.Uint64
-	answersSent, answersDelivered, buddy, data atomic.Uint64
-	dataDropped                                atomic.Uint64
+	importCalls, requestsForwarded, responses *obsv.Counter
+	answersSent, answersDelivered, buddy      *obsv.Counter
+	dataDropped, peerDown, evictions          *obsv.Counter
 }
 
-func (c *protoCounters) snapshot() ProtocolStats {
-	return ProtocolStats{
-		ImportCalls:       c.importCalls.Load(),
-		RequestsForwarded: c.requestsForwarded.Load(),
-		Responses:         c.responses.Load(),
-		AnswersSent:       c.answersSent.Load(),
-		AnswersDelivered:  c.answersDelivered.Load(),
-		BuddyMessages:     c.buddy.Load(),
-		DataMessages:      c.data.Load(),
-		DataDropped:       c.dataDropped.Load(),
+func newProtoCounters(reg *obsv.Registry, program string) protoCounters {
+	l := obsv.L("program", program)
+	return protoCounters{
+		importCalls:       reg.Counter("core.import.calls", l),
+		requestsForwarded: reg.Counter("core.requests.forwarded", l),
+		responses:         reg.Counter("core.responses", l),
+		answersSent:       reg.Counter("core.answers.sent", l),
+		answersDelivered:  reg.Counter("core.answers.delivered", l),
+		buddy:             reg.Counter("core.buddy.messages", l),
+		dataDropped:       reg.Counter("core.data.dropped", l),
+		peerDown:          reg.Counter("core.peer.down", l),
+		evictions:         reg.Counter("core.peer.evictions", l),
 	}
 }
 
 // ProtocolStats returns a snapshot of the program's message counters.
-func (p *Program) ProtocolStats() ProtocolStats { return p.proto.snapshot() }
+func (p *Program) ProtocolStats() ProtocolStats {
+	var data uint64
+	for _, proc := range p.procs {
+		for _, st := range proc.exps {
+			for _, ec := range st.conns {
+				data += ec.dataSends.Load()
+			}
+		}
+	}
+	return ProtocolStats{
+		ImportCalls:       p.proto.importCalls.Load(),
+		RequestsForwarded: p.proto.requestsForwarded.Load(),
+		Responses:         p.proto.responses.Load(),
+		AnswersSent:       p.proto.answersSent.Load(),
+		AnswersDelivered:  p.proto.answersDelivered.Load(),
+		BuddyMessages:     p.proto.buddy.Load(),
+		DataMessages:      data,
+		DataDropped:       p.proto.dataDropped.Load(),
+	}
+}
+
+// Evictions returns how many buffered export versions the program dropped
+// because a coupled peer died (heartbeat expiry or failure announcement).
+func (p *Program) Evictions() uint64 { return p.proto.evictions.Load() }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/decomp"
 	"repro/internal/match"
+	"repro/internal/obsv"
 	"repro/internal/rep"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -20,12 +21,14 @@ import (
 // serializes the program's collective import calls into one request stream
 // per connection and fans answers back out.
 type repRunner struct {
-	prog *Program
-	d    *transport.Dispatcher
+	prog   *Program
+	d      *transport.Dispatcher
+	tracer *obsv.Tracer // nil when tracing is off
+	ring   *obsv.Ring   // the rep's span lane; nil when tracing is off
 
 	// Exporter-side state, by connection key.
 	expConns map[string]config.Connection
-	aggs     map[string]map[int]*rep.Request
+	aggs     map[string]map[int]*pendingReq
 
 	// Importer-side state.
 	impConns map[string]config.Connection // by connection key
@@ -41,20 +44,31 @@ type repRunner struct {
 	hbOnce sync.Once
 }
 
-// importSeq tracks the collective import-call sequence of one region.
+// pendingReq is one aggregating import request plus the observability flow
+// it rides on (the trace ID minted by the importer's rep, zero when off).
+type pendingReq struct {
+	agg  *rep.Request
+	flow uint64
+}
+
+// importSeq tracks the collective import-call sequence of one region. flows
+// holds the trace ID minted per request (parallel to seq; only when tracing).
 type importSeq struct {
 	conn    config.Connection
 	key     string
 	seq     []float64
 	perRank []int
+	flows   []uint64
 }
 
 func newRepRunner(p *Program, d *transport.Dispatcher) *repRunner {
 	return &repRunner{
 		prog:          p,
 		d:             d,
+		tracer:        p.fw.tracer,
+		ring:          p.fw.tracer.Ring(p.name, -1),
 		expConns:      make(map[string]config.Connection),
-		aggs:          make(map[string]map[int]*rep.Request),
+		aggs:          make(map[string]map[int]*pendingReq),
 		impConns:      make(map[string]config.Connection),
 		impSeq:        make(map[string]*importSeq),
 		layoutReplied: make(map[string]bool),
@@ -68,7 +82,7 @@ func (r *repRunner) start() {
 		key := connKey(conn.Export.String(), conn.Import.String())
 		if conn.Export.Program == r.prog.name {
 			r.expConns[key] = conn
-			r.aggs[key] = make(map[int]*rep.Request)
+			r.aggs[key] = make(map[int]*pendingReq)
 		}
 		if conn.Import.Program == r.prog.name {
 			r.impConns[key] = conn
@@ -144,14 +158,16 @@ func (r *repRunner) run() {
 	}
 }
 
-// toProcs fans a control message out to every process of the program.
-func (r *repRunner) toProcs(tag string, payload []byte) {
+// toProcs fans a control message out to every process of the program,
+// piggybacking the trace ID so the receiving processes join the flow.
+func (r *repRunner) toProcs(tag string, payload []byte, trace uint64) {
 	for rank := 0; rank < r.prog.n; rank++ {
 		err := r.d.Send(transport.Message{
 			Kind:    transport.KindControl,
 			Dst:     transport.Proc(r.prog.name, rank),
 			Tag:     tag,
 			Payload: payload,
+			Trace:   trace,
 		})
 		if err != nil {
 			r.prog.fail(err)
@@ -167,7 +183,7 @@ func (r *repRunner) toProcs(tag string, payload []byte) {
 // announcement proves it is reachable now.
 func (r *repRunner) handleLayout(m transport.Message) {
 	r.touchPeer(m)
-	r.toProcs("layout", m.Payload)
+	r.toProcs("layout", m.Payload, 0)
 	var lm layoutMsg
 	if err := wire.Unmarshal(m.Payload, &lm); err != nil {
 		r.prog.fail(err)
@@ -248,15 +264,27 @@ func (r *repRunner) handleImportCall(m transport.Message) {
 	is.seq = append(is.seq, cm.ReqTS)
 	is.perRank[rank]++
 	reqID := len(is.seq) - 1
+	// Mint the flow ID the whole collective request will travel under: it
+	// rides the wire as Message.Trace and stitches the importer's request,
+	// the exporter's forwards/resolutions and the answer into one arrow.
+	flow := r.tracer.NewSpanID()
+	is.flows = append(is.flows, flow)
+	start := r.tracer.Now()
 	err := r.d.Send(transport.Message{
 		Kind:    transport.KindRequest,
 		Dst:     transport.Rep(is.conn.Export.Program),
 		Tag:     is.key,
 		Payload: wire.MustMarshal(requestMsg{Conn: is.key, ReqID: reqID, ReqTS: cm.ReqTS}),
+		Trace:   flow,
 	})
 	if err != nil {
 		r.prog.fail(err)
+		return
 	}
+	r.ring.Record(obsv.Span{
+		Name: "request", TS: start, Dur: r.tracer.Now() - start,
+		Flow: flow, Arg: int64(reqID), Detail: is.key,
+	})
 }
 
 // handleRequest (exporter side) registers an aggregator for the request and
@@ -277,9 +305,14 @@ func (r *repRunner) handleRequest(m transport.Message) {
 		r.prog.fail(fmt.Errorf("core: %s got duplicate request %d on %q", r.prog.name, rm.ReqID, rm.Conn))
 		return
 	}
-	conns[rm.ReqID] = rep.NewRequest(rm.ReqTS, r.prog.n)
+	start := r.tracer.Now()
+	conns[rm.ReqID] = &pendingReq{agg: rep.NewRequest(rm.ReqTS, r.prog.n), flow: m.Trace}
 	r.prog.proto.requestsForwarded.Add(uint64(r.prog.n))
-	r.toProcs("forward", m.Payload)
+	r.toProcs("forward", m.Payload, m.Trace)
+	r.ring.Record(obsv.Span{
+		Name: "forward", TS: start, Dur: r.tracer.Now() - start,
+		Flow: m.Trace, Arg: int64(rm.ReqID), Detail: rm.Conn,
+	})
 }
 
 // handleResponse (exporter side) aggregates one process response; when the
@@ -296,13 +329,13 @@ func (r *repRunner) handleResponse(m transport.Message) {
 		r.prog.fail(fmt.Errorf("core: %s got response for unknown connection %q", r.prog.name, sm.Conn))
 		return
 	}
-	agg, ok := conns[sm.ReqID]
+	entry, ok := conns[sm.ReqID]
 	if !ok {
 		r.prog.fail(fmt.Errorf("core: %s got response for unknown request %d on %q", r.prog.name, sm.ReqID, sm.Conn))
 		return
 	}
 	r.prog.proto.responses.Add(1)
-	ans, err := agg.Add(rep.Response{
+	ans, err := entry.agg.Add(rep.Response{
 		Rank: sm.Rank, Result: sm.Result, MatchTS: sm.MatchTS, Latest: sm.Latest,
 	})
 	if err != nil {
@@ -312,6 +345,7 @@ func (r *repRunner) handleResponse(m transport.Message) {
 	if ans == nil {
 		return
 	}
+	start := r.tracer.Now()
 	conn := r.expConns[sm.Conn]
 	final := answerMsg{
 		Conn: sm.Conn, ReqID: sm.ReqID, ReqTS: sm.ReqTS,
@@ -324,6 +358,7 @@ func (r *repRunner) handleResponse(m transport.Message) {
 		Dst:     transport.Rep(conn.Import.Program),
 		Tag:     sm.Conn,
 		Payload: payload,
+		Trace:   entry.flow,
 	}); err != nil {
 		r.prog.fail(err)
 		return
@@ -336,12 +371,17 @@ func (r *repRunner) handleResponse(m transport.Message) {
 				Dst:     transport.Proc(r.prog.name, rank),
 				Tag:     "buddy",
 				Payload: payload,
+				Trace:   entry.flow,
 			}); err != nil {
 				r.prog.fail(err)
 				return
 			}
 		}
 	}
+	r.ring.Record(obsv.Span{
+		Name: "answer", TS: start, Dur: r.tracer.Now() - start,
+		Flow: entry.flow, Arg: int64(sm.ReqID), Detail: ans.Result.String(),
+	})
 }
 
 // handleAnswer (importer side) fans the exporter rep's final answer out to
@@ -364,5 +404,10 @@ func (r *repRunner) handleAnswer(m transport.Message) {
 		r.prog.fail(fmt.Errorf("core: %s got non-final answer %v", r.prog.name, am.Result))
 		return
 	}
-	r.toProcs("answer", wire.MustMarshal(am))
+	start := r.tracer.Now()
+	r.toProcs("answer", wire.MustMarshal(am), m.Trace)
+	r.ring.Record(obsv.Span{
+		Name: "answer.deliver", TS: start, Dur: r.tracer.Now() - start,
+		Flow: m.Trace, Arg: int64(am.ReqID), Detail: am.Conn,
+	})
 }

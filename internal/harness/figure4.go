@@ -15,6 +15,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/match"
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 	"repro/internal/transport"
 )
 
@@ -63,6 +64,11 @@ type Figure4Config struct {
 	CountFrames bool
 	Runs        int
 	Trace       bool
+	// Obsv, when non-nil, is the observability layer the run's framework
+	// publishes into: metrics, /statusz sections and — when the observer
+	// has a Tracer — protocol spans. Pass the same observer to obsv.Serve
+	// to watch the run live.
+	Obsv *obsv.Observer
 }
 
 // DefaultFigure4 returns the scaled paper configuration for an importer with
@@ -264,6 +270,7 @@ func runFigure4Once(cfg Figure4Config) (*runOutcome, error) {
 		BuddyHelp: cfg.BuddyHelp,
 		Trace:     cfg.Trace,
 		Timeout:   5 * time.Minute,
+		Obsv:      cfg.Obsv,
 	}
 	if cfg.NetLatency > 0 {
 		opts.Network = transport.NewLatencyNetwork(

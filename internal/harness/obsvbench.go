@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+// ObsvOverheadBench measures the observability cost the data plane pays per
+// dispatched export job: the preallocated counter/gauge updates plus — when
+// traced — a span record on the lock-free ring. With traced=false the ring
+// is nil, so the benchmark prices exactly the disabled path the acceptance
+// criterion bounds (one nil check on top of the atomic counters the pipeline
+// maintained before the registry existed). Shared between the repository's
+// bench_test.go and couplebench -bench.
+func ObsvOverheadBench(b *testing.B, traced bool) {
+	reg := obsv.NewRegistry()
+	l := obsv.L("conn", "bench")
+	stall := reg.Counter("core.export.stall.ns", l)
+	queued := reg.Counter("core.pipeline.jobs", l)
+	sends := reg.Counter("core.data.sends", l)
+	flushes := reg.Counter("core.pipeline.flushes", l)
+	depth := reg.Gauge("core.pipeline.peak.depth", l)
+	var tracer *obsv.Tracer
+	if traced {
+		tracer = obsv.NewTracer(1 << 12)
+	}
+	ring := tracer.Ring("bench", 0) // nil when untraced
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The per-job instrument sequence of dispatchLocked + runJob.
+		stall.Add(uint64(i & 1))
+		queued.Inc()
+		depth.SetMax(int64(i & 7))
+		sends.Inc()
+		flushes.Inc()
+		if ring != nil {
+			ring.Record(obsv.Span{
+				Name: "send", TS: tracer.Now(), Dur: 1,
+				Flow: uint64(i + 1), Arg: int64(i),
+			})
+		}
+	}
+}

@@ -2,9 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/match"
+	"repro/internal/obsv"
 	"repro/internal/trace"
 )
 
@@ -127,6 +129,57 @@ func ScenarioFigure8() (*Scenario, error) {
 		}
 	}
 	return &Scenario{Figure: "8", Log: log, Stats: m.Stats()}, nil
+}
+
+// SpanTracer re-renders the scenario's paper-style event log as obsv
+// protocol spans: the exporting process's events on one lane, the importer's
+// requests on a second synthetic lane, with every event of one request cycle
+// sharing a flow ID. The result loads in Perfetto exactly like a live run's
+// /trace dump, so the line-by-line figures can be inspected next to real
+// traces. Events are spaced one microsecond apart in log order (the log
+// carries data timestamps, not wall times).
+func (s *Scenario) SpanTracer() *obsv.Tracer {
+	t := obsv.NewTracer(1 << 12)
+	exp := t.Ring("F", 0)
+	imp := t.Ring("U", -1)
+	flows := make(map[float64]uint64)
+	flowOf := func(req float64) uint64 {
+		id, ok := flows[req]
+		if !ok {
+			id = t.NewSpanID()
+			flows[req] = id
+		}
+		return id
+	}
+	step := int64(time.Microsecond)
+	for i, e := range s.Log.Events() {
+		ts := int64(i+1) * 2 * step
+		sp := obsv.Span{TS: ts, Dur: step, Detail: e.String()}
+		switch e.Op {
+		case trace.OpExportCopy:
+			sp.Name = "export.copy"
+		case trace.OpExportSkip:
+			sp.Name = "export.skip"
+		case trace.OpRemove:
+			sp.Name = "remove"
+		case trace.OpRequest:
+			sp.Name, sp.Flow = "request.recv", flowOf(e.Req)
+			// The request originates at the importer: a matching span one
+			// step earlier on the U lane gives the flow its cross-process
+			// starting point.
+			imp.Record(obsv.Span{Name: "request", TS: ts - step, Dur: step, Flow: sp.Flow})
+		case trace.OpReply:
+			sp.Name, sp.Flow = "reply", flowOf(e.Req)
+		case trace.OpBuddyHelp:
+			sp.Name, sp.Flow = "buddy", flowOf(e.Req)
+		case trace.OpSend:
+			sp.Name = "send"
+		default:
+			sp.Name = "event"
+		}
+		exp.Record(sp)
+	}
+	return t
 }
 
 // RunScenario dispatches by figure number ("5", "7", "8").

@@ -1,0 +1,81 @@
+package obsv
+
+import (
+	"io"
+	"sort"
+	"sync"
+)
+
+// Config selects what an Observer records.
+type Config struct {
+	// Tracing enables span recording and trace-ID piggybacking on the wire.
+	// When false the Tracer is nil and the hot path pays one nil check.
+	Tracing bool
+	// RingSize is the per-process span capacity (0 = DefaultRingSize).
+	RingSize int
+}
+
+// Observer bundles the metrics registry, the (optional) span tracer, and
+// the named status sections rendered at /statusz. One Observer serves a
+// whole OS process; frameworks and commands share it.
+type Observer struct {
+	Registry *Registry
+	Tracer   *Tracer
+
+	mu     sync.Mutex
+	status map[string]func(io.Writer)
+}
+
+// New returns an Observer with a fresh registry, plus a tracer when
+// cfg.Tracing is set.
+func New(cfg Config) *Observer {
+	o := &Observer{Registry: NewRegistry(), status: make(map[string]func(io.Writer))}
+	if cfg.Tracing {
+		o.Tracer = NewTracer(cfg.RingSize)
+	}
+	return o
+}
+
+// AddStatus registers (or replaces) a named /statusz section. The function
+// is invoked per request; it should render short plain text.
+func (o *Observer) AddStatus(name string, fn func(io.Writer)) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.status[name] = fn
+	o.mu.Unlock()
+}
+
+// RemoveStatus drops a named section (used when a framework shuts down).
+func (o *Observer) RemoveStatus(name string) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	delete(o.status, name)
+	o.mu.Unlock()
+}
+
+// WriteStatus renders every status section, sorted by name.
+func (o *Observer) WriteStatus(w io.Writer) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	names := make([]string, 0, len(o.status))
+	for n := range o.status {
+		names = append(names, n)
+	}
+	fns := make([]func(io.Writer), 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fns = append(fns, o.status[n])
+	}
+	o.mu.Unlock()
+	for i, n := range names {
+		io.WriteString(w, "== "+n+" ==\n")
+		fns[i](w)
+		io.WriteString(w, "\n")
+	}
+}

@@ -1,0 +1,95 @@
+package obsv
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live-introspection HTTP endpoint: /metrics (Prometheus
+// text), /trace (Chrome trace_event JSON), /statusz (human-readable runtime
+// state), and the standard net/http/pprof handlers under /debug/pprof/.
+type Server struct {
+	obs  *Observer
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve starts the introspection server on addr (e.g. "localhost:6060" or
+// ":0" for an ephemeral port) backed by obs. It returns once the listener
+// is bound; serving continues in a background goroutine until Close.
+func Serve(addr string, obs *Observer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="coupled-trace.json"`)
+		obs.Tracer.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "obsv statusz · tracing=%v · %s\n\n", obs.Tracer.Enabled(), time.Now().Format(time.RFC3339))
+		obs.WriteStatus(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "endpoints: /metrics /trace /statusz /debug/pprof/\n")
+	})
+	// The pprof handlers are registered on our private mux by hand so we
+	// never touch http.DefaultServeMux (tests run many servers in-process).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		obs:  obs,
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down and waits for the serve goroutine to exit.
+// Safe on a nil server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close()
+	}
+	<-s.done
+	return err
+}

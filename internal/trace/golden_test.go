@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents exercises every Op and every formatting branch of
+// Event.String: copy, skip, single and ranged removes, MATCH / PENDING /
+// NO MATCH replies, buddy-help, send, and an unknown op.
+var goldenEvents = []Event{
+	{Op: OpExportCopy, TS: 1.6},
+	{Op: OpExportSkip, TS: 2.6},
+	{Op: OpRemove, TS: 1.6, TS2: 1.6},
+	{Op: OpRemove, TS: 1.6, TS2: 14.6},
+	{Op: OpRequest, Req: 20},
+	{Op: OpReply, Req: 20, Result: "MATCH", TS: 19.6},
+	{Op: OpReply, Req: 20, Result: "PENDING", Latest: 14.6},
+	{Op: OpReply, Req: 20, Result: "NO MATCH", Latest: 14.6},
+	{Op: OpBuddyHelp, Req: 20, Result: "MATCH", TS: 19.6},
+	{Op: OpSend, TS: 19.6},
+	{Op: Op(99)},
+}
+
+// TestEventStringGolden pins the paper-style rendering of every event kind
+// to testdata/events.golden (regenerate with go test -run Golden -update).
+func TestEventStringGolden(t *testing.T) {
+	log := NewLog()
+	for _, e := range goldenEvents {
+		log.Add(e)
+	}
+	got := log.Format() + "\n"
+	path := filepath.Join("testdata", "events.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("event rendering drifted from %s:\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}

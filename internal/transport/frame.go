@@ -16,34 +16,51 @@ import (
 // length so the reader can slice whole frames out of its buffer):
 //
 //	offset 0  : kind      (1 byte)
-//	offset 1  : flags     (1 byte, reserved — zero)
+//	offset 1  : flags     (1 byte; bit 0 = trace word present)
 //	offset 2  : seq       (8 bytes, little-endian, fixed offset)
 //	offset 10 : src rank  (4 bytes, little-endian int32; -1 = rep)
 //	offset 14 : dst rank  (4 bytes, little-endian int32)
-//	offset 18 : src program (uvarint length + bytes)
+//	offset 18 : trace     (8 bytes, little-endian — ONLY when flag bit 0 set)
+//	then      : src program (uvarint length + bytes)
 //	            dst program (uvarint length + bytes)
 //	            tag         (uvarint length + bytes)
 //	            payload     (uvarint length + bytes)
 //
 // Seq sits at a fixed offset so the router can stamp a sequence number into
 // a received frame in place and forward the same bytes without re-encoding.
+// The optional trace word carries the observability trace ID (Message.Trace)
+// and costs zero bytes for untraced traffic.
 
 const (
 	// frameSeqOffset is the byte offset of the Seq field inside a frame.
 	frameSeqOffset = 2
 	// frameFixedLen is the length of the fixed-width header prefix.
 	frameFixedLen = 18
+	// frameFlagTrace marks that an 8-byte trace ID follows the fixed header.
+	frameFlagTrace = 0x1
+	// frameFlagsKnown masks every flag bit the decoder understands; unknown
+	// bits make a frame undecodable and are rejected.
+	frameFlagsKnown = frameFlagTrace
 )
 
 // AppendFrame appends the wire encoding of m to dst and returns the
 // extended slice.
 func AppendFrame(dst []byte, m Message) []byte {
-	dst = append(dst, byte(m.Kind), 0)
+	var flags byte
+	if m.Trace != 0 {
+		flags = frameFlagTrace
+	}
+	dst = append(dst, byte(m.Kind), flags)
 	var fixed [16]byte
 	putU64(fixed[0:], m.Seq)
 	putU32(fixed[8:], uint32(int32(m.Src.Rank)))
 	putU32(fixed[12:], uint32(int32(m.Dst.Rank)))
 	dst = append(dst, fixed[:]...)
+	if m.Trace != 0 {
+		var tw [8]byte
+		putU64(tw[:], m.Trace)
+		dst = append(dst, tw[:]...)
+	}
 	dst = wire.AppendString(dst, m.Src.Program)
 	dst = wire.AppendString(dst, m.Dst.Program)
 	dst = wire.AppendString(dst, m.Tag)
@@ -54,6 +71,9 @@ func AppendFrame(dst []byte, m Message) []byte {
 // FrameSize returns the encoded size of m in bytes (for preallocating).
 func FrameSize(m Message) int {
 	n := frameFixedLen
+	if m.Trace != 0 {
+		n += 8
+	}
 	n += wire.UvarintLen(uint64(len(m.Src.Program))) + len(m.Src.Program)
 	n += wire.UvarintLen(uint64(len(m.Dst.Program))) + len(m.Dst.Program)
 	n += wire.UvarintLen(uint64(len(m.Tag))) + len(m.Tag)
@@ -74,7 +94,12 @@ func DecodeFrame(buf []byte, in *wire.Interner) (Message, error) {
 	m.Seq = getU64(buf[frameSeqOffset:])
 	m.Src.Rank = int(int32(getU32(buf[10:])))
 	m.Dst.Rank = int(int32(getU32(buf[14:])))
-	r := wire.NewReader(buf[frameFixedLen:])
+	body, trace, err := frameBody(buf)
+	if err != nil {
+		return Message{}, err
+	}
+	m.Trace = trace
+	r := wire.NewReader(body)
 	if in != nil {
 		m.Src.Program = in.Intern(r.StringBytes())
 		m.Dst.Program = in.Intern(r.StringBytes())
@@ -96,6 +121,25 @@ func DecodeFrame(buf []byte, in *wire.Interner) (Message, error) {
 	return m, nil
 }
 
+// frameBody validates the flags byte and returns the variable-length part of
+// a frame (after the fixed header and the optional trace word), plus the
+// decoded trace ID (0 when absent).
+func frameBody(frame []byte) (body []byte, trace uint64, err error) {
+	flags := frame[1]
+	if flags&^frameFlagsKnown != 0 {
+		return nil, 0, fmt.Errorf("transport: frame with unknown flags %#x", flags)
+	}
+	body = frame[frameFixedLen:]
+	if flags&frameFlagTrace != 0 {
+		if len(body) < 8 {
+			return nil, 0, fmt.Errorf("transport: traced frame truncated before its trace word")
+		}
+		trace = getU64(body)
+		body = body[8:]
+	}
+	return body, trace, nil
+}
+
 // FrameSeq reads the Seq field of an encoded frame.
 func FrameSeq(frame []byte) uint64 { return getU64(frame[frameSeqOffset:]) }
 
@@ -111,7 +155,11 @@ func frameAddrs(frame []byte, in *wire.Interner) (src, dst Addr, err error) {
 	}
 	src.Rank = int(int32(getU32(frame[10:])))
 	dst.Rank = int(int32(getU32(frame[14:])))
-	r := wire.NewReader(frame[frameFixedLen:])
+	body, _, err := frameBody(frame)
+	if err != nil {
+		return Addr{}, Addr{}, err
+	}
+	r := wire.NewReader(body)
 	src.Program = in.Intern(r.StringBytes())
 	dst.Program = in.Intern(r.StringBytes())
 	if err := r.Err(); err != nil {
@@ -126,18 +174,32 @@ func frameAddrs(frame []byte, in *wire.Interner) (src, dst Addr, err error) {
 // item carries its own source and destination:
 //
 //	kind (1 byte) · src rank (u32) · dst rank (u32) ·
+//	[trace (uvarint) — only when the kind byte's high bit is set] ·
 //	src program (uvarint string) · dst program (uvarint string) ·
 //	seq (uvarint) · tag (uvarint string) · payload (uvarint bytes)
 //
+// Kind values occupy the low bits of the kind byte; the high bit
+// (batchItemTrace) marks a piggybacked trace ID, uvarint-encoded so the
+// common small IDs cost a few bytes and untraced items cost none.
+//
 // AppendBatchItem packs one sub-message; decodeBatch walks them.
+
+// batchItemTrace is the kind-byte flag marking a trace ID on a batch item.
+const batchItemTrace = 0x80
 
 // AppendBatchItem appends the batch encoding of m to dst.
 func AppendBatchItem(dst []byte, m Message) []byte {
 	var fixed [9]byte
 	fixed[0] = byte(m.Kind)
+	if m.Trace != 0 {
+		fixed[0] |= batchItemTrace
+	}
 	putU32(fixed[1:], uint32(int32(m.Src.Rank)))
 	putU32(fixed[5:], uint32(int32(m.Dst.Rank)))
 	dst = append(dst, fixed[:]...)
+	if m.Trace != 0 {
+		dst = wire.AppendUvarint(dst, m.Trace)
+	}
 	dst = wire.AppendString(dst, m.Src.Program)
 	dst = wire.AppendString(dst, m.Dst.Program)
 	dst = wire.AppendUvarint(dst, m.Seq)
@@ -148,7 +210,11 @@ func AppendBatchItem(dst []byte, m Message) []byte {
 
 // BatchItemSize returns the encoded size of m as a batch item.
 func BatchItemSize(m Message) int {
-	return 9 +
+	trace := 0
+	if m.Trace != 0 {
+		trace = wire.UvarintLen(m.Trace)
+	}
+	return 9 + trace +
 		wire.UvarintLen(uint64(len(m.Src.Program))) + len(m.Src.Program) +
 		wire.UvarintLen(uint64(len(m.Dst.Program))) + len(m.Dst.Program) +
 		wire.UvarintLen(m.Seq) +
@@ -163,9 +229,13 @@ func decodeBatch(env Message, in *wire.Interner, yield func(Message) error) erro
 	r := wire.NewReader(env.Payload)
 	for r.Len() > 0 {
 		var m Message
-		m.Kind = Kind(r.Byte())
+		kb := r.Byte()
+		m.Kind = Kind(kb &^ batchItemTrace)
 		m.Src.Rank = int(int32(r.Uint32()))
 		m.Dst.Rank = int(int32(r.Uint32()))
+		if kb&batchItemTrace != 0 {
+			m.Trace = r.Uvarint()
+		}
 		if in != nil {
 			m.Src.Program = in.Intern(r.StringBytes())
 			m.Dst.Program = in.Intern(r.StringBytes())

@@ -14,6 +14,8 @@ func frameMessages() []Message {
 		{Kind: KindRequest, Src: Rep("viz"), Dst: Rep("solver"), Tag: "temp->grid", Seq: 1 << 40},
 		{Kind: KindAck, Src: Proc("a", 2147483647), Dst: Rep("b"), Seq: ^uint64(0)},
 		{Kind: KindBatch, Src: Proc("x", 0), Dst: Proc("y", 1), Payload: bytes.Repeat([]byte{0xAB}, 300)},
+		{Kind: KindData, Src: Proc("solver", 0), Dst: Proc("viz", 1), Tag: "temp", Seq: 7, Payload: []byte{5}, Trace: 0xDEADBEEF},
+		{Kind: KindForward, Src: Rep("viz"), Dst: Proc("viz", 0), Tag: "temp", Trace: ^uint64(0)},
 	}
 }
 
@@ -29,7 +31,8 @@ func TestFrameRoundTrip(t *testing.T) {
 			t.Fatalf("%v: %v", want, err)
 		}
 		if got.Kind != want.Kind || got.Src != want.Src || got.Dst != want.Dst ||
-			got.Tag != want.Tag || got.Seq != want.Seq || !bytes.Equal(got.Payload, want.Payload) {
+			got.Tag != want.Tag || got.Seq != want.Seq || got.Trace != want.Trace ||
+			!bytes.Equal(got.Payload, want.Payload) {
 			t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
 		}
 		// Decode without an interner must agree.
@@ -37,6 +40,43 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil || got2.Tag != want.Tag || got2.Src != want.Src {
 			t.Fatalf("nil-interner decode: %+v err=%v", got2, err)
 		}
+	}
+}
+
+// TestFrameTraceEncoding pins the wire cost of the trace field: zero bytes
+// when unset, one 8-byte word when set, and the flags bit distinguishing the
+// two. The seq patch and address peek must both work on traced frames.
+func TestFrameTraceEncoding(t *testing.T) {
+	plain := Message{Kind: KindData, Src: Proc("a", 0), Dst: Proc("b", 1), Tag: "t", Payload: []byte{1}}
+	traced := plain
+	traced.Trace = 9001
+	pf, tf := AppendFrame(nil, plain), AppendFrame(nil, traced)
+	if len(tf) != len(pf)+8 {
+		t.Fatalf("traced frame is %d bytes, untraced %d; want +8", len(tf), len(pf))
+	}
+	if pf[1] != 0 {
+		t.Fatalf("untraced frame flags = %#x, want 0", pf[1])
+	}
+	if tf[1] != frameFlagTrace {
+		t.Fatalf("traced frame flags = %#x, want %#x", tf[1], frameFlagTrace)
+	}
+	PatchFrameSeq(tf, 55)
+	src, dst, err := frameAddrs(tf, wire.NewInterner())
+	if err != nil || src != traced.Src || dst != traced.Dst {
+		t.Fatalf("frameAddrs on traced frame: %v -> %v, err=%v", src, dst, err)
+	}
+	got, err := DecodeFrame(tf, nil)
+	if err != nil || got.Trace != 9001 || got.Seq != 55 || got.Tag != "t" {
+		t.Fatalf("traced decode: %+v err=%v", got, err)
+	}
+	// Unknown flag bits are rejected, not silently misparsed.
+	bad := append([]byte(nil), pf...)
+	bad[1] = 0x40
+	if _, err := DecodeFrame(bad, nil); err == nil {
+		t.Fatal("unknown flags accepted")
+	}
+	if _, _, err := frameAddrs(bad, wire.NewInterner()); err == nil {
+		t.Fatal("frameAddrs accepted unknown flags")
 	}
 }
 
@@ -109,6 +149,7 @@ func TestBatchRoundTrip(t *testing.T) {
 		{Kind: KindResponse, Src: Proc("solver", 1), Dst: Rep("viz"), Tag: "temp", Seq: 5, Payload: []byte("r1")},
 		{Kind: KindAck, Src: Rep("solver"), Dst: Rep("viz"), Seq: 12},
 		{Kind: KindBuddyHelp, Src: Rep("solver"), Dst: Proc("viz", 2), Tag: "temp", Payload: bytes.Repeat([]byte{7}, 130)},
+		{Kind: KindData, Src: Proc("solver", 0), Dst: Proc("viz", 1), Tag: "temp", Seq: 3, Payload: []byte("d"), Trace: 1 << 50},
 	}
 	var payload []byte
 	wantSize := 0
@@ -132,7 +173,8 @@ func TestBatchRoundTrip(t *testing.T) {
 	}
 	for i, it := range items {
 		g := got[i]
-		if g.Kind != it.Kind || g.Tag != it.Tag || g.Seq != it.Seq || !bytes.Equal(g.Payload, it.Payload) {
+		if g.Kind != it.Kind || g.Tag != it.Tag || g.Seq != it.Seq || g.Trace != it.Trace ||
+			!bytes.Equal(g.Payload, it.Payload) {
 			t.Fatalf("item %d:\n got %+v\nwant %+v", i, g, it)
 		}
 		if g.Src != it.Src || g.Dst != it.Dst {

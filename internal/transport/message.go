@@ -133,4 +133,9 @@ type Message struct {
 	// surviving the trip for ack/resend bookkeeping.
 	Seq     uint64
 	Payload []byte
+	// Trace is an optional observability trace ID piggybacked on the wire
+	// (see internal/obsv). Zero means untraced and costs zero bytes in the
+	// binary frame encoding; nonzero adds one fixed word to a frame and one
+	// uvarint to a batch item. The transport never interprets it.
+	Trace uint64
 }
