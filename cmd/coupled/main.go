@@ -23,6 +23,13 @@
 //	coupled -router-listen 127.0.0.1:7000                    # terminal 0
 //	coupled -config c.cfg -program F -router 127.0.0.1:7000  # terminal 1
 //	coupled -config c.cfg -program U -router 127.0.0.1:7000  # terminal 2
+//
+// Crash recovery takes collective-sequence checkpoints and lets a killed
+// component restart from its last checkpoint and rejoin the survivors:
+//
+//	coupled -config c.cfg -program U -router ... -checkpoint-dir ckpt -checkpoint-every 10
+//	# kill -9 the U process mid-run, then:
+//	coupled -config c.cfg -program U -router ... -checkpoint-dir ckpt -restore
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/obsv"
+	"repro/internal/recover"
 	"repro/internal/transport"
 )
 
@@ -57,6 +65,15 @@ func main() {
 		retries = flag.Int("maxretries", 0,
 			"distributed mode: reconnect to the router up to this many times after a connection "+
 				"failure, replaying unacknowledged messages (0 = fail on first loss)")
+		ckptDir = flag.String("checkpoint-dir", "",
+			"enable crash recovery: persist collective-sequence checkpoints for the hosted "+
+				"programs under this directory")
+		ckptEvery = flag.Int("checkpoint-every", 10,
+			"checkpoint once per this many steps (with -checkpoint-dir; a collective schedule "+
+				"— every process of a program checkpoints at the same step)")
+		restore = flag.Bool("restore", false,
+			"restore the hosted programs from their last checkpoint in -checkpoint-dir, rejoin "+
+				"the surviving peers, and resume the step loop after the checkpointed step")
 		obsvAddr = flag.String("obsv-addr", "",
 			"serve live introspection on this address: /metrics (Prometheus), /trace (Chrome "+
 				"trace JSON), /statusz, /debug/pprof")
@@ -81,7 +98,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*cfgPath, *program, *router, *gridN, *steps, *every, *buddy, *verbose, *hb, *retries,
-		*obsvAddr, *obsvTrace || *traceOut != "", *traceOut); err != nil {
+		*ckptDir, *ckptEvery, *restore, *obsvAddr, *obsvTrace || *traceOut != "", *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "coupled:", err)
 		os.Exit(1)
 	}
@@ -122,12 +139,38 @@ func contains(xs []string, s string) bool {
 }
 
 func run(cfgPath, program, router string, gridN, steps, every int, buddy, verbose bool,
-	heartbeat time.Duration, maxRetries int, obsvAddr string, tracing bool, traceOut string) error {
+	heartbeat time.Duration, maxRetries int, ckptDir string, ckptEvery int, restore bool,
+	obsvAddr string, tracing bool, traceOut string) error {
 	cfg, err := config.ParseFile(cfgPath)
 	if err != nil {
 		return err
 	}
 	opts := core.Options{BuddyHelp: buddy, Timeout: 2 * time.Minute, Heartbeat: heartbeat}
+	// Restart epoch: 0 for a fresh start; a restore learns it from the saved
+	// checkpoint before the transport session is built, so peers can tell the
+	// new incarnation's session from the dead one's.
+	var epoch uint64
+	if ckptDir != "" {
+		store, err := recover.NewDirStore(ckptDir)
+		if err != nil {
+			return err
+		}
+		opts.Recovery = &core.RecoveryOptions{Store: store, Restore: restore, Every: ckptEvery}
+		if restore && program != "" {
+			ck, err := store.Load(program)
+			if err != nil {
+				return err
+			}
+			if ck == nil {
+				// Without a checkpoint there is no restart epoch: the fresh
+				// session would collide with the peers' memory of the dead one.
+				return fmt.Errorf("-restore: no checkpoint for %s in %s", program, ckptDir)
+			}
+			epoch = ck.Epoch + 1
+		}
+	} else if restore {
+		return fmt.Errorf("-restore needs -checkpoint-dir")
+	}
 	var obs *obsv.Observer
 	if obsvAddr != "" || tracing {
 		obs = obsv.New(obsv.Config{Tracing: tracing})
@@ -147,12 +190,18 @@ func run(cfgPath, program, router string, gridN, steps, every int, buddy, verbos
 			return fmt.Errorf("-program needs -router")
 		}
 		tcp := transport.NewTCPNetwork(router)
+		tcp.SessionEpoch = epoch
 		opts.Network = tcp
 		if maxRetries > 0 {
-			// Reconnection alone redials the router; the reliable layer on top
-			// replays whatever the dead socket swallowed, exactly once.
 			tcp.MaxRetries = maxRetries
-			opts.Network = transport.NewReliableNetwork(tcp, transport.ReliableConfig{})
+		}
+		if maxRetries > 0 || opts.Recovery != nil {
+			// Reconnection alone redials the router; the reliable layer on top
+			// replays whatever the dead socket swallowed, exactly once. Crash
+			// recovery needs it too: rejoin resets sessions per restart epoch.
+			opts.Network = transport.NewReliableNetwork(tcp, transport.ReliableConfig{
+				SessionEpoch: uint32(epoch),
+			})
 		}
 		fw, err = core.Join(cfg, program, opts)
 	} else {
@@ -206,6 +255,13 @@ func run(cfgPath, program, router string, gridN, steps, every int, buddy, verbos
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	for _, name := range names {
+		prog := fw.MustProgram(name)
+		if seq, ok := prog.RestoredSeq(); ok {
+			fmt.Printf("%s: restored from checkpoint seq %d (epoch %d), resuming at step %d\n",
+				name, seq, prog.Epoch(), seq+1)
+		}
+	}
 
 	for _, name := range names {
 		r := roles[name]
@@ -316,8 +372,15 @@ func runProcess(fw *core.Framework, name string, r *role, rank, steps, every int
 		imps = append(imps, impState{region: reg, block: block, dst: make([]float64, block.Area())})
 	}
 
+	// With -restore, the step loop resumes right after the checkpointed
+	// collective sequence number (every rank restores the same one).
+	start := 1
+	if seq, ok := prog.RestoredSeq(); ok {
+		start = int(seq) + 1
+	}
+	ckptEvery := fw.CheckpointEvery()
 	importCycles := steps / every
-	for k := 1; k <= steps; k++ {
+	for k := start; k <= steps; k++ {
 		ts := float64(k)
 		for _, e := range exps {
 			fill(e.block, ts, e.data)
@@ -342,6 +405,11 @@ func runProcess(fw *core.Framework, name string, r *role, rank, steps, every int
 						fmt.Printf("%s imported %s@%g -> NO MATCH\n", name, im.region, req)
 					}
 				}
+			}
+		}
+		if ckptEvery > 0 && k%ckptEvery == 0 {
+			if err := p.Checkpoint(uint64(k)); err != nil {
+				return fmt.Errorf("%s:%d checkpoint @%d: %w", name, rank, k, err)
 			}
 		}
 	}

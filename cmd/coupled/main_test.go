@@ -21,7 +21,7 @@ func writeCfg(t *testing.T, body string) string {
 
 func TestRunSingleProcess(t *testing.T) {
 	cfg := writeCfg(t, "A local b 2\nB local b 2\n#\nA.x B.x REGL 2.5\n")
-	if err := run(cfg, "", "", 16, 30, 10, true, false, 200*time.Millisecond, 0, "", false, ""); err != nil {
+	if err := run(cfg, "", "", 16, 30, 10, true, false, 200*time.Millisecond, 0, "", 0, false, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -35,20 +35,20 @@ out local b 1
 src.a mid.a REGL 1.0
 mid.b out.b REGL 1.0
 `)
-	if err := run(cfg, "", "", 8, 20, 5, true, false, 0, 0, "", false, ""); err != nil {
+	if err := run(cfg, "", "", 8, 20, 5, true, false, 0, 0, "", 0, false, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadConfigPath(t *testing.T) {
-	if err := run("/nonexistent/x.cfg", "", "", 8, 10, 5, true, false, 0, 0, "", false, ""); err == nil {
+	if err := run("/nonexistent/x.cfg", "", "", 8, 10, 5, true, false, 0, 0, "", 0, false, "", false, ""); err == nil {
 		t.Error("missing config accepted")
 	}
 }
 
 func TestRunProgramNeedsRouter(t *testing.T) {
 	cfg := writeCfg(t, "A local b 1\nB local b 1\n#\nA.x B.x REGL 1\n")
-	if err := run(cfg, "A", "", 8, 10, 5, true, false, 0, 0, "", false, ""); err == nil {
+	if err := run(cfg, "A", "", 8, 10, 5, true, false, 0, 0, "", 0, false, "", false, ""); err == nil {
 		t.Error("-program without -router accepted")
 	}
 }
@@ -60,7 +60,7 @@ func TestRunWithObservability(t *testing.T) {
 	defer testutil.CheckGoroutines(t)()
 	cfg := writeCfg(t, "A local b 2\nB local b 2\n#\nA.x B.x REGL 2.5\n")
 	out := filepath.Join(t.TempDir(), "trace.json")
-	if err := run(cfg, "", "", 16, 30, 10, true, false, 0, 0, "127.0.0.1:0", true, out); err != nil {
+	if err := run(cfg, "", "", 16, 30, 10, true, false, 0, 0, "", 0, false, "127.0.0.1:0", true, out); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -78,6 +78,30 @@ func TestRunWithObservability(t *testing.T) {
 	}
 }
 
+// TestRunCheckpointRestore runs a coupling for 20 steps with checkpoints
+// every 10, then restores from the checkpoint directory and resumes for the
+// remaining 10 steps of a 30-step schedule.
+func TestRunCheckpointRestore(t *testing.T) {
+	cfg := writeCfg(t, "A local b 2\nB local b 2\n#\nA.x B.x REGL 2.5\n")
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if err := run(cfg, "", "", 16, 20, 10, true, false, 0, 0, dir, 10, false, "", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "A.ckpt")); err != nil {
+		t.Fatalf("no checkpoint written for A: %v", err)
+	}
+	if err := run(cfg, "", "", 16, 30, 10, true, false, 0, 0, dir, 10, true, "", false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRestoreNeedsDir(t *testing.T) {
+	cfg := writeCfg(t, "A local b 1\nB local b 1\n#\nA.x B.x REGL 1\n")
+	if err := run(cfg, "", "", 8, 10, 5, true, false, 0, 0, "", 0, true, "", false, ""); err == nil {
+		t.Error("-restore without -checkpoint-dir accepted")
+	}
+}
+
 func TestRolesOf(t *testing.T) {
 	cfgPath := writeCfg(t, `
 A local b 1
@@ -87,7 +111,7 @@ C local b 1
 A.x B.x REGL 1
 B.y C.y REGL 1
 `)
-	if err := run(cfgPath, "", "", 8, 20, 5, false, true, 0, 0, "", false, ""); err != nil {
+	if err := run(cfgPath, "", "", 8, 20, 5, false, true, 0, 0, "", 0, false, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -68,6 +68,10 @@ type request struct {
 	verified bool
 	// dataSent records that the matched object was handed out for transfer.
 	dataSent bool
+	// released records that the importer has checkpointed past this request,
+	// so its matched version no longer needs retention for crash resync
+	// (meaningful only under Config.Retain).
+	released bool
 	// candTS is the current best in-region candidate while undecided
 	// (NaN when none).
 	candTS float64
@@ -102,6 +106,11 @@ type Config struct {
 	// passes one pool per process so every connection's manager shares the
 	// same free buffers; nil gives the manager a private pool.
 	Pool *Pool
+	// Retain keeps matched-and-sent versions buffered until ReleaseThrough
+	// says the importer checkpointed past them, so a restarted importer can
+	// have them resent. Without it (the default) a sent version is freed as
+	// soon as the normal retention rules allow.
+	Retain bool
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -671,8 +680,13 @@ func (m *Manager) retain(e *Entry) bool {
 	}
 	for _, r := range m.requests {
 		if r.decided {
-			if r.result == match.Match && r.matchTS == e.TS && !r.dataSent {
-				return true // matched, transfer still owed
+			if r.result == match.Match && r.matchTS == e.TS {
+				if !r.dataSent {
+					return true // matched, transfer still owed
+				}
+				if m.cfg.Retain && !r.released {
+					return true // kept for crash resync until the importer checkpoints
+				}
 			}
 			continue
 		}

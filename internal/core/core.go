@@ -111,8 +111,13 @@ type Options struct {
 	// ErrPeerDown (errors.Is), unblocking Export/Import promptly, evicting
 	// export buffers held for the dead peer, and announcing the failure to the
 	// remaining peers. 0 disables detection (the default): the blanket Timeout
-	// is then the only guard against a vanished peer.
+	// is then the only guard against a vanished peer. With Recovery enabled, a
+	// declared-dead peer suspends the program instead of failing it — the
+	// rejoin handshake revives the coupling when the peer restarts.
 	Heartbeat time.Duration
+	// Recovery enables collective-sequence checkpointing and crash recovery
+	// (see RecoveryOptions). nil disables it.
+	Recovery *RecoveryOptions
 }
 
 // Framework hosts one coupled run — either every program of the
@@ -168,12 +173,21 @@ func (f *Framework) initObsv() {
 		reg.GaugeFunc("transport.frames.batches", func() float64 { return float64(c.Stats().Batches) })
 		reg.GaugeFunc("transport.frames.payload.bytes", func() float64 { return float64(c.Stats().PayloadBytes) })
 	}
+	if t := findTCPNetwork(f.net); t != nil {
+		reg := f.obs.Registry
+		reg.GaugeFunc("transport.decode_errors", func() float64 { return float64(t.Stats().DecodeErrors) })
+		reg.GaugeFunc("transport.reconnects", func() float64 { return float64(t.Stats().Reconnects) })
+	}
 	f.obs.AddStatus(f.statusName(), f.writeStatus)
 }
 
 // writeStatus renders the /statusz section: per-connection pipeline state of
 // every hosted process and the heartbeat view of every hosted rep.
 func (f *Framework) writeStatus(w io.Writer) {
+	if t := findTCPNetwork(f.net); t != nil {
+		s := t.Stats()
+		fmt.Fprintf(w, "transport: reconnects=%d decode_errors=%d\n", s.Reconnects, s.DecodeErrors)
+	}
 	names := make([]string, 0, len(f.programs))
 	for name := range f.programs {
 		names = append(names, name)
@@ -370,6 +384,25 @@ func (f *Framework) Start() error {
 		p.start()
 	}
 
+	// Restored programs re-introduce themselves before the layout exchange:
+	// a surviving peer must reset its transport session toward the restarted
+	// incarnation (handleRejoin) before any layout reply it sends can be
+	// delivered under the new session epoch. Re-sent with the layout
+	// announcements below; peers deduplicate by epoch.
+	announceRejoins := func() error {
+		for _, p := range f.programs {
+			if p.rec != nil && p.rec.restored != nil {
+				if err := p.rep.announceRejoin(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := announceRejoins(); err != nil {
+		return err
+	}
+
 	// Rep-to-rep layout handshake: each hosted side tells the peer rep the
 	// layout of its end of every connection; peer reps fan the specs out to
 	// their processes, which finish wiring their import/export state. In
@@ -425,6 +458,9 @@ func (f *Framework) Start() error {
 				}
 				if time.Now().After(deadline) {
 					return fmt.Errorf("core: %s startup: %w", proc.addr(), err)
+				}
+				if err := announceRejoins(); err != nil {
+					return err
 				}
 				if err := sendLayouts(); err != nil {
 					return err

@@ -106,6 +106,15 @@ func (fd *failureDetector) expired() map[string]time.Duration {
 	return out
 }
 
+// reset un-declares a peer and renews its lease — a declared-dead peer
+// rejoined (crash recovery), so the detector judges it afresh.
+func (fd *failureDetector) reset(peer string) {
+	fd.mu.Lock()
+	fd.lastSeen[peer] = time.Now()
+	fd.declared[peer] = false
+	fd.mu.Unlock()
+}
+
 // peerStatus is one peer's liveness view for /statusz.
 type peerStatus struct {
 	Peer     string
@@ -164,6 +173,12 @@ func (r *repRunner) handleControl(m transport.Message) {
 			return
 		}
 		r.prog.peerDown(&PeerDownError{Peer: m.Src.Program, Observer: r.prog.name, Cause: em.Text})
+	case rejoinTag:
+		r.handleRejoin(m)
+	case releaseTag:
+		// Checkpoint ack from an importing peer: fan to our processes, whose
+		// managers drop the retained versions it covers.
+		r.toProcs(releaseTag, m.Payload, 0)
 	default:
 		r.prog.fail(fmt.Errorf("core: rep of %s: unknown control tag %q", r.prog.name, m.Tag))
 	}

@@ -30,6 +30,42 @@ type layoutMsg struct {
 	Region string // region name on the RECEIVING side
 	Remote decomp.Spec
 	Local  decomp.Spec
+	// IsReply marks the mutual half of the handshake. Every non-reply
+	// announcement is answered with a reply (never the other way around, which
+	// would loop), so a peer that restarts and re-announces always gets our
+	// layout again — processes deduplicate repeats.
+	IsReply bool
+}
+
+// Recovery control-message tags (KindControl).
+const (
+	rejoinTag  = "rejoin"  // restarted rep -> peer reps: rejoinMsg
+	releaseTag = "release" // importer proc -> exporter rep -> procs: releaseMsg
+	resendTag  = "resend"  // exporter rep -> own procs: requestMsg to re-send data for
+)
+
+// rejoinMsg is a restarted program re-introducing itself to a peer rep. It
+// names the restart epoch (which also keys the transport session reset) and,
+// per connection, where replay must resume.
+type rejoinMsg struct {
+	// Epoch is the restarted incarnation's epoch (checkpoint epoch + 1).
+	Epoch uint64
+	// Exports maps connection keys this program exports on to the resume
+	// request id: the minimum request count across its restored ranks. The
+	// importing peer re-sends every request from min(resume, delivered).
+	Exports map[string]int
+	// Imports maps connection keys this program imports on to the number of
+	// import calls its checkpoint covers (the next request id it will issue).
+	Imports map[string]int
+}
+
+// releaseMsg is a checkpoint acknowledgement travelling importer process ->
+// exporter rep (and fanned to the exporter's processes): every request with
+// id < Through is covered by a durable importer checkpoint, so the matched
+// versions retained for post-crash resync can be freed.
+type releaseMsg struct {
+	Conn    string
+	Through int
 }
 
 // importCallMsg is an importer process entering a collective import.

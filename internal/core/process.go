@@ -230,10 +230,17 @@ type importState struct {
 	incoming []decomp.Transfer
 	answers  chan answerMsg
 	nextCall int
+	// issued records the timestamp of every import call, in issue order, for
+	// the recovery checkpoint (nil when recovery is off).
+	issued []float64
 
 	pmu    sync.Mutex
 	pieces map[int][]piece
-	signal chan struct{}
+	// completedThrough is the fully-consumed-imports watermark: data frames
+	// for requests below it are recovery resends of objects this process
+	// already unpacked, and are dropped instead of accumulating.
+	completedThrough int
+	signal           chan struct{}
 }
 
 type piece struct {
@@ -244,6 +251,10 @@ type piece struct {
 
 func (st *importState) addPiece(reqID int, p piece) {
 	st.pmu.Lock()
+	if reqID < st.completedThrough {
+		st.pmu.Unlock()
+		return
+	}
 	if st.pieces == nil {
 		st.pieces = make(map[int][]piece)
 	}
@@ -253,6 +264,22 @@ func (st *importState) addPiece(reqID int, p piece) {
 	case st.signal <- struct{}{}:
 	default:
 	}
+}
+
+// completed advances the fully-consumed watermark past reqID and drops any
+// leftover pieces at or below it (duplicates a recovery resend delivered
+// after the import finished).
+func (st *importState) completed(reqID int) {
+	st.pmu.Lock()
+	if reqID+1 > st.completedThrough {
+		st.completedThrough = reqID + 1
+	}
+	for id := range st.pieces {
+		if id < st.completedThrough {
+			delete(st.pieces, id)
+		}
+	}
+	st.pmu.Unlock()
 }
 
 func newProcess(p *Program, rank int, d *transport.Dispatcher) (*Process, error) {
@@ -382,6 +409,10 @@ func (p *Process) start() {
 				Log:      p.log,
 				MaxBytes: fw.opts.BufferMaxBytes,
 				Pool:     p.pool,
+				// Under recovery, matched versions are retained until the
+				// importer's checkpoint acks release them — the resync window
+				// a restarted importer replays from.
+				Retain: p.prog.rec != nil,
 			}
 			if expReg.store != nil {
 				mcfg.Snapshot = expReg.store.snapshot
@@ -393,6 +424,14 @@ func (p *Process) start() {
 				return
 			}
 			key := connKey(conn.Export.String(), conn.Import.String())
+			if ps := p.prog.rec.procState(p.rank); ps != nil {
+				if mst, ok := ps.Exports[key]; ok {
+					if err := mgr.Restore(mst); err != nil {
+						p.prog.fail(fmt.Errorf("core: %s: restore %s: %w", p.addr(), key, err))
+						return
+					}
+				}
+			}
 			connLabels := append(append([]obsv.Label(nil), procLabels...), obsv.L("conn", key))
 			ec := &exportConn{
 				cc:      conn,
@@ -442,6 +481,13 @@ func (p *Process) start() {
 				block:   def.layout.Block(p.rank),
 				answers: make(chan answerMsg, 4096),
 				signal:  make(chan struct{}, 1),
+			}
+			if ps := p.prog.rec.procState(p.rank); ps != nil {
+				if ims, ok := ps.Imports[key]; ok {
+					st.issued = append([]float64(nil), ims.Issued...)
+					st.nextCall = len(st.issued)
+					st.completedThrough = len(st.issued)
+				}
 			}
 			p.imps[conn.Import.Region] = st
 			p.impByKey[key] = st
@@ -539,6 +585,24 @@ func (p *Process) handleControl(m transport.Message) {
 			return
 		}
 		p.handleBuddy(am, m.Trace)
+	case releaseTag:
+		var lm releaseMsg
+		if err := wire.Unmarshal(m.Payload, &lm); err != nil {
+			p.prog.fail(err)
+			return
+		}
+		if ec, ok := p.expConnByKey[lm.Conn]; ok {
+			ec.mu.Lock()
+			ec.mgr.ReleaseThrough(lm.Through)
+			ec.mu.Unlock()
+		}
+	case resendTag:
+		var rm requestMsg
+		if err := wire.Unmarshal(m.Payload, &rm); err != nil {
+			p.prog.fail(err)
+			return
+		}
+		p.handleResend(rm, m.Trace)
 	case "answer":
 		var am answerMsg
 		if err := wire.Unmarshal(m.Payload, &am); err != nil {
@@ -629,15 +693,22 @@ func (p *Process) handleForward(rm requestMsg, flow uint64) {
 	if ec.flows != nil && flow != 0 {
 		ec.flows[rm.ReqID] = flow
 	}
-	rr, err := ec.mgr.OnRequest(rm.ReqTS)
-	if err == nil && rr.ReqIndex != rm.ReqID {
-		err = fmt.Errorf("core: %s: request id drift: local %d, rep %d", p.addr(), rr.ReqIndex, rm.ReqID)
+	rr, fresh, err := ec.mgr.OnRequestAt(rm.ReqID, rm.ReqTS)
+	if err == nil && !fresh && p.prog.rec == nil {
+		// Without recovery a replayed request id is a protocol violation; with
+		// it, the restarted rep is re-driving requests this manager already
+		// saw, and OnRequestAt re-answered idempotently (re-sending matched
+		// data when still buffered).
+		err = fmt.Errorf("core: %s: request id drift: local %d, rep %d", p.addr(), ec.mgr.NumRequests()-1, rm.ReqID)
 	}
 	if err != nil {
 		ec.mu.Unlock()
 		p.releasePermit(ec)
 		p.prog.fail(err)
 		return
+	}
+	if !fresh && len(rr.Sends) > 0 {
+		p.prog.rec.replays.Add(uint64(len(rr.Sends)))
 	}
 	d := rr.Decision
 	job := exportJob{
@@ -653,6 +724,46 @@ func (p *Process) handleForward(rm requestMsg, flow uint64) {
 			Flow: flow, Arg: int64(rm.ReqID), Detail: d.Result.String(),
 		})
 	}
+}
+
+// handleResend re-feeds a replayed import request's matched data: the rep
+// re-answered a restarted importer from its stored final, and this process
+// re-sends its share of the matched version (still buffered — versions are
+// retained until the importer's checkpoint acks cover them).
+func (p *Process) handleResend(rm requestMsg, flow uint64) {
+	ec, ok := p.expConnByKey[rm.Conn]
+	if !ok {
+		p.prog.fail(fmt.Errorf("core: %s: resend for unknown connection %q", p.addr(), rm.Conn))
+		return
+	}
+	if !p.acquirePermit(ec) {
+		return
+	}
+	ec.mu.Lock()
+	item, ok, err := ec.mgr.ResendData(rm.ReqID)
+	if err != nil {
+		ec.mu.Unlock()
+		p.releasePermit(ec)
+		p.prog.fail(err)
+		return
+	}
+	if !ok {
+		// Undecided (the answer will carry the data when it forms) or no
+		// longer buffered (the importer checkpointed past it and will not
+		// consume it) — nothing to re-feed.
+		ec.mu.Unlock()
+		p.releasePermit(ec)
+		return
+	}
+	if p.prog.rec != nil {
+		p.prog.rec.replays.Inc()
+	}
+	job := exportJob{sends: []buffer.SendItem{item}}
+	if p.tracer != nil && flow != 0 {
+		job.sendFlows = []uint64{flow}
+	}
+	p.dispatchLocked(ec, job)
+	ec.mu.Unlock()
 }
 
 // handleBuddy applies a buddy-help message: the collective answer for a
@@ -1136,6 +1247,9 @@ func (p *Process) Import(region string, ts float64, dst []float64) (ImportResult
 	}
 	reqID := st.nextCall
 	st.nextCall++
+	if p.prog.rec != nil {
+		st.issued = append(st.issued, ts)
+	}
 	impStart := p.tracer.Now()
 
 	err := p.d.Send(transport.Message{
@@ -1167,20 +1281,29 @@ func (p *Process) Import(region string, ts float64, dst []float64) (ImportResult
 		return ImportResult{}, err
 	}
 	if ans.Result != match.Match {
+		st.completed(reqID)
 		p.recordImport(impStart, ans, region)
 		return ImportResult{Matched: false}, nil
 	}
 
-	// Collect this rank's pieces of the matched distributed object.
+	// Collect this rank's pieces of the matched distributed object. Recovery
+	// resends can duplicate a piece already received from the sender's dead
+	// incarnation; the sub-rectangle identifies it (the redistribution plan
+	// assigns each source rank disjoint sub-rectangles), so repeats are
+	// skipped rather than double-counted.
 	need := len(st.incoming)
 	g := decomp.Grid{Block: st.block, Data: dst}
 	got := 0
+	var seen map[decomp.Rect]bool
 	for got < need {
 		st.pmu.Lock()
 		ps := st.pieces[reqID]
 		delete(st.pieces, reqID)
 		st.pmu.Unlock()
 		for _, pc := range ps {
+			if seen[pc.sub] {
+				continue
+			}
 			if pc.matchTS != ans.MatchTS {
 				err := fmt.Errorf("core: %s: piece for req %d has timestamp %g, answer said %g",
 					p.addr(), reqID, pc.matchTS, ans.MatchTS)
@@ -1191,6 +1314,10 @@ func (p *Process) Import(region string, ts float64, dst []float64) (ImportResult
 				p.prog.fail(err)
 				return ImportResult{}, err
 			}
+			if seen == nil {
+				seen = make(map[decomp.Rect]bool, need)
+			}
+			seen[pc.sub] = true
 			got++
 		}
 		if got >= need {
@@ -1205,6 +1332,7 @@ func (p *Process) Import(region string, ts float64, dst []float64) (ImportResult
 				p.addr(), region, ts, got, need, st.cc.Export.Program, timeout, transport.ErrTimeout)
 		}
 	}
+	st.completed(reqID)
 	p.recordImport(impStart, ans, region)
 	return ImportResult{Matched: true, MatchTS: ans.MatchTS}, nil
 }

@@ -28,6 +28,8 @@ type Program struct {
 	rep     *repRunner
 	procs   []*Process
 	proto   protoCounters
+	// rec is the program's recovery state (nil unless Options.Recovery).
+	rec *progRecovery
 
 	errMu    sync.Mutex
 	firstErr error
@@ -40,6 +42,13 @@ func newProgram(f *Framework, pc config.Program) (*Program, error) {
 		n:       pc.Procs,
 		regions: make(map[string]regionDef),
 		proto:   newProtoCounters(f.obs.Registry, pc.Name),
+	}
+	if ro := f.opts.Recovery; ro != nil {
+		rec, err := newProgRecovery(ro, f.obs.Registry, pc.Name)
+		if err != nil {
+			return nil, err
+		}
+		p.rec = rec
 	}
 	repEP, err := f.net.Register(transport.Rep(pc.Name))
 	if err != nil {
@@ -117,12 +126,19 @@ func (p *Program) fail(err error) {
 	}
 }
 
-// peerDown records that a coupled peer program died: the program fails with
-// err (unblocking Export/Import calls, which return it), and every export
-// buffer held only for the dead peer's connections is released — no request
-// will ever consume those versions.
+// peerDown records that a coupled peer program died. Without recovery, the
+// program fails with err (unblocking Export/Import calls, which return it)
+// and every export buffer held only for the dead peer's connections is
+// released — no request will ever consume those versions. With recovery
+// enabled, the program suspends instead: buffers are kept (the restarted peer
+// will resync from them), blocked calls keep waiting within Options.Timeout,
+// and the rejoin handshake revives the coupling.
 func (p *Program) peerDown(err *PeerDownError) {
 	p.proto.peerDown.Inc()
+	if p.rec != nil {
+		p.rec.suspends.Inc()
+		return
+	}
 	p.fail(err)
 	for _, proc := range p.procs {
 		p.proto.evictions.Add(uint64(proc.evictPeer(err.Peer)))

@@ -34,9 +34,9 @@ type repRunner struct {
 	impConns map[string]config.Connection // by connection key
 	impSeq   map[string]*importSeq        // by import region name
 
-	// layoutReplied records connections whose peer rep already got our
-	// layout as a reply (the mutual half of the distributed handshake).
-	layoutReplied map[string]bool
+	// peerEpochs records the highest rejoin epoch processed per peer program,
+	// deduplicating re-announced rejoin handshakes.
+	peerEpochs map[string]uint64
 
 	// Failure detection (active when Options.Heartbeat > 0).
 	fd     *failureDetector
@@ -46,34 +46,40 @@ type repRunner struct {
 
 // pendingReq is one aggregating import request plus the observability flow
 // it rides on (the trace ID minted by the importer's rep, zero when off).
+// Once the collective answer forms it is kept in final, so a crashed importer
+// replaying the request is re-answered without re-aggregating.
 type pendingReq struct {
-	agg  *rep.Request
-	flow uint64
+	agg   *rep.Request
+	flow  uint64
+	final *answerMsg
 }
 
 // importSeq tracks the collective import-call sequence of one region. flows
 // holds the trace ID minted per request (parallel to seq; only when tracing).
+// delivered is the number of answers fanned out to the processes — the
+// watermark that deduplicates replayed answers after a peer restart.
 type importSeq struct {
-	conn    config.Connection
-	key     string
-	seq     []float64
-	perRank []int
-	flows   []uint64
+	conn      config.Connection
+	key       string
+	seq       []float64
+	perRank   []int
+	flows     []uint64
+	delivered int
 }
 
 func newRepRunner(p *Program, d *transport.Dispatcher) *repRunner {
 	return &repRunner{
-		prog:          p,
-		d:             d,
-		tracer:        p.fw.tracer,
-		ring:          p.fw.tracer.Ring(p.name, -1),
-		expConns:      make(map[string]config.Connection),
-		aggs:          make(map[string]map[int]*pendingReq),
-		impConns:      make(map[string]config.Connection),
-		impSeq:        make(map[string]*importSeq),
-		layoutReplied: make(map[string]bool),
-		fd:            newFailureDetector(p.fw.opts.Heartbeat),
-		hbStop:        make(chan struct{}),
+		prog:       p,
+		d:          d,
+		tracer:     p.fw.tracer,
+		ring:       p.fw.tracer.Ring(p.name, -1),
+		expConns:   make(map[string]config.Connection),
+		aggs:       make(map[string]map[int]*pendingReq),
+		impConns:   make(map[string]config.Connection),
+		impSeq:     make(map[string]*importSeq),
+		peerEpochs: make(map[string]uint64),
+		fd:         newFailureDetector(p.fw.opts.Heartbeat),
+		hbStop:     make(chan struct{}),
 	}
 }
 
@@ -86,11 +92,26 @@ func (r *repRunner) start() {
 		}
 		if conn.Import.Program == r.prog.name {
 			r.impConns[key] = conn
-			r.impSeq[conn.Import.Region] = &importSeq{
+			is := &importSeq{
 				conn:    conn,
 				key:     key,
 				perRank: make([]int, r.prog.n),
 			}
+			// After a restore, the request stream resumes where the checkpoint
+			// cut it: the checkpointed issue sequence is re-seeded (identical
+			// across ranks — Property 1 — so rank 0's copy is THE sequence)
+			// and every checkpointed answer counts as delivered.
+			if ps := r.prog.rec.procState(0); ps != nil {
+				if ims, ok := ps.Imports[key]; ok {
+					is.seq = append([]float64(nil), ims.Issued...)
+					for i := range is.perRank {
+						is.perRank[i] = len(is.seq)
+					}
+					is.flows = make([]uint64, len(is.seq))
+					is.delivered = len(is.seq)
+				}
+			}
+			r.impSeq[conn.Import.Region] = is
 		}
 	}
 	if hb := r.prog.fw.opts.Heartbeat; hb > 0 {
@@ -177,10 +198,13 @@ func (r *repRunner) toProcs(tag string, payload []byte, trace uint64) {
 }
 
 // handleLayout forwards a peer rep's layout announcement to the processes
-// and, once per connection, replies with this side's layout. The reply makes
-// the handshake mutual: a peer that joined after our initial announcement
-// (distributed mode) still learns our layout, because receiving its
-// announcement proves it is reachable now.
+// and replies with this side's layout. The reply makes the handshake mutual:
+// a peer that joined after our initial announcement (distributed mode) still
+// learns our layout, because receiving its announcement proves it is
+// reachable now. Every non-reply announcement is answered — a peer that
+// restarts after a crash re-announces, and suppressing the reply would
+// strand its handshake — while replies are never answered (no loops);
+// processes deduplicate the repeats.
 func (r *repRunner) handleLayout(m transport.Message) {
 	r.touchPeer(m)
 	r.toProcs("layout", m.Payload, 0)
@@ -189,7 +213,7 @@ func (r *repRunner) handleLayout(m transport.Message) {
 		r.prog.fail(err)
 		return
 	}
-	if r.layoutReplied[lm.Conn] {
+	if lm.IsReply {
 		return
 	}
 	var conn config.Connection
@@ -214,9 +238,8 @@ func (r *repRunner) handleLayout(m transport.Message) {
 		r.prog.fail(err)
 		return
 	}
-	r.layoutReplied[lm.Conn] = true
 	if err := r.sendLayout(transport.Rep(peerProgram), layoutMsg{
-		Conn: lm.Conn, Region: peerRegion, Remote: spec,
+		Conn: lm.Conn, Region: peerRegion, Remote: spec, IsReply: true,
 	}); err != nil {
 		r.prog.fail(err)
 	}
@@ -301,8 +324,31 @@ func (r *repRunner) handleRequest(m transport.Message) {
 		r.prog.fail(fmt.Errorf("core: %s got request for unknown connection %q", r.prog.name, rm.Conn))
 		return
 	}
-	if _, dup := conns[rm.ReqID]; dup {
-		r.prog.fail(fmt.Errorf("core: %s got duplicate request %d on %q", r.prog.name, rm.ReqID, rm.Conn))
+	if pr, dup := conns[rm.ReqID]; dup {
+		if r.prog.rec == nil {
+			r.prog.fail(fmt.Errorf("core: %s got duplicate request %d on %q", r.prog.name, rm.ReqID, rm.Conn))
+			return
+		}
+		// A restarted importer replaying its request stream. When the
+		// collective answer already formed, re-answer from the stored final
+		// and have the processes re-send the matched data; when aggregation
+		// is still in progress, the answer will flow when it completes.
+		if pr.final != nil {
+			r.prog.proto.answersSent.Add(1)
+			if err := r.d.Send(transport.Message{
+				Kind:    transport.KindAnswer,
+				Dst:     transport.Rep(r.expConns[rm.Conn].Import.Program),
+				Tag:     rm.Conn,
+				Payload: wire.MustMarshal(*pr.final),
+				Trace:   pr.flow,
+			}); err != nil {
+				r.prog.fail(err)
+				return
+			}
+			if pr.final.Result == match.Match {
+				r.toProcs(resendTag, m.Payload, pr.flow)
+			}
+		}
 		return
 	}
 	start := r.tracer.Now()
@@ -331,6 +377,13 @@ func (r *repRunner) handleResponse(m transport.Message) {
 	}
 	entry, ok := conns[sm.ReqID]
 	if !ok {
+		if r.prog.rec != nil {
+			// A restored process re-resolving a request this restarted rep has
+			// not been re-sent (yet, or ever — the importer may have released
+			// it). The importer's replay re-registers whatever still matters.
+			r.prog.rec.stale.Inc()
+			return
+		}
 		r.prog.fail(fmt.Errorf("core: %s got response for unknown request %d on %q", r.prog.name, sm.ReqID, sm.Conn))
 		return
 	}
@@ -351,6 +404,7 @@ func (r *repRunner) handleResponse(m transport.Message) {
 		Conn: sm.Conn, ReqID: sm.ReqID, ReqTS: sm.ReqTS,
 		Result: ans.Result, MatchTS: ans.MatchTS,
 	}
+	entry.final = &final
 	payload := wire.MustMarshal(final)
 	r.prog.proto.answersSent.Add(1)
 	if err := r.d.Send(transport.Message{
@@ -399,11 +453,18 @@ func (r *repRunner) handleAnswer(m transport.Message) {
 		return
 	}
 	am.Region = conn.Import.Region
-	r.prog.proto.answersDelivered.Add(uint64(r.prog.n))
 	if am.Result != match.Match && am.Result != match.NoMatch {
 		r.prog.fail(fmt.Errorf("core: %s got non-final answer %v", r.prog.name, am.Result))
 		return
 	}
+	is := r.impSeq[conn.Import.Region]
+	if am.ReqID < is.delivered {
+		// Replayed answer for a request whose original answer was already
+		// fanned out (recovery re-sends overlap the delivery watermark).
+		return
+	}
+	is.delivered = am.ReqID + 1
+	r.prog.proto.answersDelivered.Add(uint64(r.prog.n))
 	start := r.tracer.Now()
 	r.toProcs("answer", wire.MustMarshal(am), m.Trace)
 	r.ring.Record(obsv.Span{

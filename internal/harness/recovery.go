@@ -1,0 +1,478 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/match"
+	"repro/internal/recover"
+	"repro/internal/transport"
+)
+
+// RecoveryConfig parameterizes one kill-and-restart run: a Figure-4-style
+// F->U coupling over a real TCP router with collective-sequence checkpoints
+// on, where the importer program is killed mid-run (its framework and
+// transport vanish) and a fresh incarnation restores from its last
+// checkpoint, rejoins, and finishes the workload. Every imported block —
+// including the re-executed steps — must be byte-identical to a fault-free
+// run of the same workload.
+type RecoveryConfig struct {
+	GridN         int
+	ExporterProcs int
+	ImporterProcs int
+
+	// Steps is the number of collective steps; each step is one export at
+	// timestamp k matched by one import request at k (REGL, Tolerance).
+	Steps int
+	// CheckpointEvery is the collective checkpoint schedule.
+	CheckpointEvery int
+	// CrashAfter kills the importer after it completes this step. Choose it
+	// off the checkpoint schedule so the restarted incarnation must re-execute
+	// the steps since the last checkpoint.
+	CrashAfter int
+
+	Tolerance      float64
+	Heartbeat      time.Duration
+	ResendInterval time.Duration
+	Timeout        time.Duration
+}
+
+// DefaultRecovery returns a laptop-sized kill-and-restart configuration.
+func DefaultRecovery() RecoveryConfig {
+	return RecoveryConfig{
+		GridN:           16,
+		ExporterProcs:   2,
+		ImporterProcs:   2,
+		Steps:           30,
+		CheckpointEvery: 5,
+		CrashAfter:      23, // checkpoint at 20 -> steps 21..23 are re-executed
+		Tolerance:       0.5,
+		Heartbeat:       250 * time.Millisecond,
+		ResendInterval:  20 * time.Millisecond,
+		Timeout:         60 * time.Second,
+	}
+}
+
+// RecoveryResult reports one completed kill-and-restart comparison.
+type RecoveryResult struct {
+	Cfg RecoveryConfig
+	// Steps is the number of collective steps every pass completed.
+	Steps int
+	// Replayed is how many completed steps the restarted importer had to
+	// re-execute (crash point minus last checkpointed sequence).
+	Replayed int
+	// Checkpoints is how many program checkpoints the importer saved during
+	// the fault-free checkpointed pass.
+	Checkpoints int
+	// CheckpointTime is the total driver time importer rank 0 spent inside
+	// Process.Checkpoint during that pass (the per-rank snapshot cost; the
+	// completing rank additionally pays encode+save).
+	CheckpointTime time.Duration
+	// PlainElapsed / CkptElapsed are the fault-free wall times without and
+	// with checkpointing — their difference is the end-to-end checkpoint
+	// overhead on the workload.
+	PlainElapsed time.Duration
+	CkptElapsed  time.Duration
+	// CrashElapsed is the wall time of the kill-and-restart pass.
+	CrashElapsed time.Duration
+	// RestartTime is the recovery latency: from the moment the restarted
+	// importer begins loading its checkpoint until every rank has delivered
+	// its first re-executed import.
+	RestartTime time.Duration
+}
+
+// Overhead is the relative fault-free slowdown from checkpointing.
+func (r *RecoveryResult) Overhead() float64 {
+	if r.PlainElapsed <= 0 {
+		return 0
+	}
+	return float64(r.CkptElapsed-r.PlainElapsed) / float64(r.PlainElapsed)
+}
+
+// recCell is the ground-truth value of global cell (r,c) at timestamp ts.
+func recCell(ts float64, r, c int) float64 { return ts*1e6 + float64(r*1000+c) }
+
+// blockHash fingerprints one delivered block (FNV-1a over the raw float
+// bits, so equal hashes mean byte-identical data).
+func blockHash(d []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range d {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// recPass accumulates one pass's delivered-block fingerprints: rank/step ->
+// one hash per delivery (a re-executed step records a second copy).
+type recPass struct {
+	mu     sync.Mutex
+	hashes map[string][]uint64
+
+	ckN    int           // importer rank-0 checkpoints taken
+	ckTime time.Duration // importer rank-0 driver time inside Checkpoint
+}
+
+func (rp *recPass) record(rank, step int, h uint64) {
+	key := fmt.Sprintf("%d/%d", rank, step)
+	rp.mu.Lock()
+	rp.hashes[key] = append(rp.hashes[key], h)
+	rp.mu.Unlock()
+}
+
+const (
+	passPlain = iota // fault-free, no checkpointing
+	passCkpt         // fault-free, collective checkpoints
+	passCrash        // checkpoints + importer kill and restart
+)
+
+// joinRecoverable runs one side of the coupling: TCP + reliable transport at
+// the given restart epoch, Join, DefineRegion, Start, app.
+func joinRecoverable(routerAddr, program string, coupling *config.Config, layout decomp.Layout,
+	cfg RecoveryConfig, rec *core.RecoveryOptions, epoch uint64, app func(*core.Program) error) error {
+	tcp := transport.NewTCPNetwork(routerAddr)
+	tcp.SessionEpoch = epoch
+	net := transport.NewReliableNetwork(tcp, transport.ReliableConfig{
+		SessionEpoch:   uint32(epoch),
+		ResendInterval: cfg.ResendInterval,
+	})
+	fw, err := core.Join(coupling, program, core.Options{
+		Network:   net,
+		BuddyHelp: true,
+		Timeout:   cfg.Timeout,
+		Heartbeat: cfg.Heartbeat,
+		Recovery:  rec,
+	})
+	if err != nil {
+		net.Close()
+		return err
+	}
+	defer fw.Close()
+	prog, err := fw.Local()
+	if err != nil {
+		return err
+	}
+	if err := prog.DefineRegion("f", layout); err != nil {
+		return err
+	}
+	if err := fw.Start(); err != nil {
+		return err
+	}
+	if err := app(prog); err != nil {
+		return err
+	}
+	return fw.Err()
+}
+
+// recExportAll drives the exporter ranks through the whole workload, then
+// holds the program up until the importer — including a restarted
+// incarnation — is done with it (shutdown coordination is application-level).
+func recExportAll(prog *core.Program, cfg RecoveryConfig, ckpt bool, done <-chan struct{}) error {
+	var wg sync.WaitGroup
+	perr := make([]error, prog.Procs())
+	for r := 0; r < prog.Procs(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			p := prog.Process(r)
+			block, err := p.Block("f")
+			if err != nil {
+				perr[r] = err
+				return
+			}
+			g := decomp.NewGrid(block)
+			for k := 1; k <= cfg.Steps; k++ {
+				ts := float64(k)
+				g.Fill(func(r, c int) float64 { return recCell(ts, r, c) })
+				if err := p.Export("f", ts, g.Data); err != nil {
+					perr[r] = err
+					return
+				}
+				if ckpt && k%cfg.CheckpointEvery == 0 {
+					if err := p.Checkpoint(uint64(k)); err != nil {
+						perr[r] = err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, e := range perr {
+		if e != nil {
+			return e
+		}
+	}
+	<-done
+	return nil
+}
+
+// recImportSteps drives the importer ranks through steps [from, to],
+// verifying each delivered block against the analytic ground truth,
+// fingerprinting it, and checkpointing on the collective schedule. markFirst,
+// when non-nil, is called once per rank after its first completed step (the
+// recovery-latency probe).
+func recImportSteps(prog *core.Program, cfg RecoveryConfig, from, to int, ckpt bool,
+	rp *recPass, markFirst func()) error {
+	var wg sync.WaitGroup
+	perr := make([]error, prog.Procs())
+	for r := 0; r < prog.Procs(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			p := prog.Process(r)
+			block, err := p.Block("f")
+			if err != nil {
+				perr[r] = err
+				return
+			}
+			dst := make([]float64, block.Area())
+			for k := from; k <= to; k++ {
+				ts := float64(k)
+				res, err := p.Import("f", ts, dst)
+				if err != nil {
+					perr[r] = err
+					return
+				}
+				if !res.Matched || res.MatchTS != ts {
+					perr[r] = fmt.Errorf("harness: recovery import rank %d step %d resolved %+v", r, k, res)
+					return
+				}
+				g := decomp.Grid{Block: block, Data: dst}
+				for rr := block.R0; rr < block.R1; rr += 3 {
+					for cc := block.C0; cc < block.C1; cc += 3 {
+						if got, want := g.At(rr, cc), recCell(ts, rr, cc); got != want {
+							perr[r] = fmt.Errorf("harness: recovery data corrupt at (%d,%d)@%g: got %v, want %v",
+								rr, cc, ts, got, want)
+							return
+						}
+					}
+				}
+				rp.record(r, k, blockHash(dst))
+				if k == from && markFirst != nil {
+					markFirst()
+				}
+				if ckpt && k%cfg.CheckpointEvery == 0 {
+					start := time.Now()
+					err := p.Checkpoint(uint64(k))
+					if r == 0 {
+						rp.mu.Lock()
+						rp.ckTime += time.Since(start)
+						rp.ckN++
+						rp.mu.Unlock()
+					}
+					if err != nil {
+						perr[r] = err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, e := range perr {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// recoveryPass executes the workload once in the given mode and returns its
+// fingerprints plus (for passCrash) the measured restart latency.
+func recoveryPass(cfg RecoveryConfig, mode int) (*recPass, time.Duration, error) {
+	coupling := &config.Config{
+		Programs: []config.Program{
+			{Name: "F", Cluster: "local", Binary: "builtin", Procs: cfg.ExporterProcs},
+			{Name: "U", Cluster: "local", Binary: "builtin", Procs: cfg.ImporterProcs},
+		},
+		Connections: []config.Connection{{
+			Export:    config.Endpoint{Program: "F", Region: "f"},
+			Import:    config.Endpoint{Program: "U", Region: "f"},
+			Policy:    match.REGL,
+			Tolerance: cfg.Tolerance,
+		}},
+	}
+	router, err := transport.StartTCPRouter("127.0.0.1:0")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer router.Close()
+
+	expLayout, err := decomp.NewRowBlock(cfg.GridN, cfg.GridN, cfg.ExporterProcs)
+	if err != nil {
+		return nil, 0, err
+	}
+	impLayout, err := decomp.NewColBlock(cfg.GridN, cfg.GridN, cfg.ImporterProcs)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	store := recover.NewMemStore()
+	recOpts := func(restore bool) *core.RecoveryOptions {
+		if mode == passPlain {
+			return nil
+		}
+		return &core.RecoveryOptions{Store: store, Restore: restore, Every: cfg.CheckpointEvery}
+	}
+	ckpt := mode != passPlain
+
+	rp := &recPass{hashes: make(map[string][]uint64)}
+	done := make(chan struct{})
+	var doneOnce sync.Once
+	finish := func() { doneOnce.Do(func() { close(done) }) }
+	defer finish()
+
+	expErr := make(chan error, 1)
+	go func() {
+		expErr <- joinRecoverable(router.ListenAddr(), "F", coupling, expLayout, cfg, recOpts(false), 0,
+			func(prog *core.Program) error { return recExportAll(prog, cfg, ckpt, done) })
+	}()
+
+	impTo := cfg.Steps
+	if mode == passCrash {
+		impTo = cfg.CrashAfter
+	}
+	err = joinRecoverable(router.ListenAddr(), "U", coupling, impLayout, cfg, recOpts(false), 0,
+		func(prog *core.Program) error { return recImportSteps(prog, cfg, 1, impTo, ckpt, rp, nil) })
+	if err != nil {
+		return nil, 0, err
+	}
+
+	var restartTime time.Duration
+	if mode == passCrash {
+		// The importer's first incarnation is gone (framework and transport
+		// closed — from the exporter's point of view the program died).
+		// Restart: load the checkpoint to learn the restart epoch, build the
+		// transport session under it, restore, rejoin and finish the workload.
+		restartStart := time.Now()
+		ck, err := store.Load("U")
+		if err != nil {
+			return nil, 0, err
+		}
+		if ck == nil {
+			return nil, 0, fmt.Errorf("harness: no checkpoint saved before the crash")
+		}
+		var firstDone int32
+		var recovered atomic.Int64
+		markFirst := func() {
+			if atomic.AddInt32(&firstDone, 1) == int32(cfg.ImporterProcs) {
+				recovered.Store(int64(time.Since(restartStart)))
+			}
+		}
+		err = joinRecoverable(router.ListenAddr(), "U", coupling, impLayout, cfg, recOpts(true), ck.Epoch+1,
+			func(prog *core.Program) error {
+				seq, ok := prog.RestoredSeq()
+				if !ok {
+					return fmt.Errorf("harness: restore did not surface the checkpoint")
+				}
+				return recImportSteps(prog, cfg, int(seq)+1, cfg.Steps, ckpt, rp, markFirst)
+			})
+		if err != nil {
+			return nil, 0, err
+		}
+		restartTime = time.Duration(recovered.Load())
+	}
+
+	finish()
+	if err := <-expErr; err != nil {
+		return nil, 0, err
+	}
+	return rp, restartTime, nil
+}
+
+// comparePasses requires every delivery of got to be byte-identical to the
+// reference pass's single delivery of the same rank/step.
+func comparePasses(name string, ref, got *recPass, steps, ranks int) error {
+	if len(ref.hashes) != ranks*steps {
+		return fmt.Errorf("harness: reference pass recorded %d imports, want %d", len(ref.hashes), ranks*steps)
+	}
+	for key, want := range ref.hashes {
+		if len(want) != 1 {
+			return fmt.Errorf("harness: reference pass delivered import %s %d times", key, len(want))
+		}
+		copies, ok := got.hashes[key]
+		if !ok {
+			return fmt.Errorf("harness: %s pass never delivered import %s", name, key)
+		}
+		for i, h := range copies {
+			if h != want[0] {
+				return fmt.Errorf("harness: %s pass import %s copy %d differs from fault-free run", name, key, i)
+			}
+		}
+	}
+	return nil
+}
+
+// RunRecovery measures crash recovery end to end: a fault-free pass without
+// checkpoints, a fault-free pass with the collective checkpoint schedule
+// (their difference is the checkpoint overhead), and a kill-and-restart pass
+// whose every delivered block — including the steps re-executed after the
+// restore — must be byte-identical to the fault-free run.
+func RunRecovery(cfg RecoveryConfig) (*RecoveryResult, error) {
+	if cfg.CheckpointEvery <= 0 || cfg.CrashAfter <= cfg.CheckpointEvery ||
+		cfg.CrashAfter >= cfg.Steps {
+		return nil, fmt.Errorf("harness: recovery config wants 0 < CheckpointEvery < CrashAfter < Steps, got %d/%d/%d",
+			cfg.CheckpointEvery, cfg.CrashAfter, cfg.Steps)
+	}
+
+	plainStart := time.Now()
+	plain, _, err := recoveryPass(cfg, passPlain)
+	if err != nil {
+		return nil, fmt.Errorf("harness: plain pass: %w", err)
+	}
+	plainElapsed := time.Since(plainStart)
+
+	ckptStart := time.Now()
+	ckptPass, _, err := recoveryPass(cfg, passCkpt)
+	if err != nil {
+		return nil, fmt.Errorf("harness: checkpointed pass: %w", err)
+	}
+	ckptElapsed := time.Since(ckptStart)
+	// Checkpointing must not perturb the data plane.
+	if err := comparePasses("checkpointed", plain, ckptPass, cfg.Steps, cfg.ImporterProcs); err != nil {
+		return nil, err
+	}
+
+	crashStart := time.Now()
+	crash, restartTime, err := recoveryPass(cfg, passCrash)
+	if err != nil {
+		return nil, fmt.Errorf("harness: crash pass: %w", err)
+	}
+	crashElapsed := time.Since(crashStart)
+	if err := comparePasses("recovered", plain, crash, cfg.Steps, cfg.ImporterProcs); err != nil {
+		return nil, err
+	}
+	// The steps between the last checkpoint and the crash are delivered twice
+	// — once by each incarnation — and were checked identical above.
+	replayed := cfg.CrashAfter % cfg.CheckpointEvery
+	for r := 0; r < cfg.ImporterProcs; r++ {
+		for k := cfg.CrashAfter - replayed + 1; k <= cfg.CrashAfter; k++ {
+			key := fmt.Sprintf("%d/%d", r, k)
+			if n := len(crash.hashes[key]); n != 2 {
+				return nil, fmt.Errorf("harness: replayed step %s delivered %d times, want 2 (crash + replay)", key, n)
+			}
+		}
+	}
+
+	return &RecoveryResult{
+		Cfg:            cfg,
+		Steps:          cfg.Steps,
+		Replayed:       replayed,
+		Checkpoints:    ckptPass.ckN,
+		CheckpointTime: ckptPass.ckTime,
+		PlainElapsed:   plainElapsed,
+		CkptElapsed:    ckptElapsed,
+		CrashElapsed:   crashElapsed,
+		RestartTime:    restartTime,
+	}, nil
+}

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestRecoveryKillRestart is the kill-and-restart acceptance run: the
+// importer program is killed mid-run between two checkpoints, restarted from
+// its last collective-sequence checkpoint, and the completed workload's
+// import fingerprints — including the re-executed steps — must be
+// byte-identical to a fault-free run. CI runs this under -race.
+func TestRecoveryKillRestart(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	cfg := DefaultRecovery()
+	res, err := RunRecovery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replayed == 0 {
+		t.Error("crash point on the checkpoint schedule: no steps were re-executed")
+	}
+	if want := cfg.Steps / cfg.CheckpointEvery; res.Checkpoints != want {
+		t.Errorf("importer took %d checkpoints, want %d", res.Checkpoints, want)
+	}
+	if res.RestartTime <= 0 {
+		t.Error("restart latency was not measured")
+	}
+	t.Logf("steps %d, replayed %d, checkpoints %d (%v driver time), restart %v, plain %v vs ckpt %v (overhead %.1f%%)",
+		res.Steps, res.Replayed, res.Checkpoints, res.CheckpointTime, res.RestartTime,
+		res.PlainElapsed, res.CkptElapsed, 100*res.Overhead())
+}
+
+// TestRecoveryConfigValidation rejects schedules the comparison cannot
+// interpret (crash before the first checkpoint, crash after the end).
+func TestRecoveryConfigValidation(t *testing.T) {
+	cfg := DefaultRecovery()
+	cfg.CrashAfter = cfg.Steps
+	if _, err := RunRecovery(cfg); err == nil {
+		t.Error("crash at the final step accepted")
+	}
+	cfg = DefaultRecovery()
+	cfg.CheckpointEvery = 0
+	if _, err := RunRecovery(cfg); err == nil {
+		t.Error("zero checkpoint interval accepted")
+	}
+}

@@ -48,6 +48,27 @@ func (m *Matcher) Latest() float64 {
 // NumExports returns how many exports have been recorded.
 func (m *Matcher) NumExports() int { return len(m.exports) }
 
+// Exports returns a copy of every export timestamp recorded, in increasing
+// order. The recovery layer snapshots it into checkpoints.
+func (m *Matcher) Exports() []float64 {
+	return append([]float64(nil), m.exports...)
+}
+
+// Restore replaces the matcher's export history with a checkpointed one. The
+// slice must be strictly increasing; it is copied.
+func (m *Matcher) Restore(exports []float64) error {
+	for i, ts := range exports {
+		if math.IsNaN(ts) {
+			return fmt.Errorf("match: restore: NaN export timestamp at %d", i)
+		}
+		if i > 0 && ts <= exports[i-1] {
+			return fmt.Errorf("match: restore: export timestamp %g not greater than previous %g", ts, exports[i-1])
+		}
+	}
+	m.exports = append(m.exports[:0:0], exports...)
+	return nil
+}
+
 // AddExport records the next export timestamp, which must exceed all
 // previous ones (the model requires strictly increasing timestamps).
 func (m *Matcher) AddExport(ts float64) error {

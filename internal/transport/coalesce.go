@@ -177,6 +177,9 @@ func (n *CoalescingNetwork) Register(addr Addr) (Endpoint, error) {
 	return ce, nil
 }
 
+// Unwrap returns the wrapped Network (observability walks the layer stack).
+func (n *CoalescingNetwork) Unwrap() Network { return n.inner }
+
 // Close implements Network.
 func (n *CoalescingNetwork) Close() error {
 	n.mu.Lock()

@@ -98,6 +98,9 @@ func (n *FaultNetwork) Register(addr Addr) (Endpoint, error) {
 // Close implements Network.
 func (n *FaultNetwork) Close() error { return n.inner.Close() }
 
+// Unwrap returns the wrapped Network (observability walks the layer stack).
+func (n *FaultNetwork) Unwrap() Network { return n.inner }
+
 // verdict is the fate drawn for one message.
 type verdict struct {
 	drop  bool

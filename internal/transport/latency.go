@@ -51,6 +51,9 @@ func (n *LatencyNetwork) Register(addr Addr) (Endpoint, error) {
 // Close implements Network.
 func (n *LatencyNetwork) Close() error { return n.inner.Close() }
 
+// Unwrap returns the wrapped Network (observability walks the layer stack).
+func (n *LatencyNetwork) Unwrap() Network { return n.inner }
+
 // delay draws one delivery delay.
 func (n *LatencyNetwork) delay() time.Duration {
 	d := n.latency

@@ -43,6 +43,13 @@ type Endpoint interface {
 	Close() error
 }
 
+// Unwrapper is implemented by layered networks (reliable, coalescing, fault,
+// latency) that wrap another Network, so diagnostics can walk the stack down
+// to the base transport.
+type Unwrapper interface {
+	Unwrap() Network
+}
+
 // seqKey identifies a directed sender->receiver pair for FIFO sequence
 // numbering.
 type seqKey struct {

@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// TestReliableSessionEpochRejoin exercises the crash+rejoin path of the
+// reliable layer: program B dies mid-stream with messages to it unacked,
+// restarts under session epoch 1, and the survivor's ResetPeer opens a fresh
+// epoch both directions. Dead-session messages are dropped (the recovery
+// protocol regenerates state above the transport); post-rejoin traffic flows
+// in order in both directions.
+func TestReliableSessionEpochRejoin(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	base := NewMemNetwork()
+	// One ReliableNetwork per simulated OS process, over one shared base —
+	// the same shape core.Join builds in distributed mode.
+	rnA := NewReliableNetwork(base, ReliableConfig{ResendInterval: 5 * time.Millisecond})
+	rnB := NewReliableNetwork(base, ReliableConfig{ResendInterval: 5 * time.Millisecond})
+	defer rnA.Close() // closes base too
+	a, err := rnA.Register(Proc("A", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rnB.Register(Proc("B", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy traffic both ways.
+	for i := 0; i < 3; i++ {
+		a.Send(Message{Kind: KindPoint, Dst: b.Addr(), Tag: fmt.Sprint("pre", i)})
+		if m, err := b.RecvTimeout(5 * time.Second); err != nil || m.Tag != fmt.Sprint("pre", i) {
+			t.Fatalf("pre %d: %v %v", i, m, err)
+		}
+	}
+	b.Send(Message{Kind: KindPoint, Dst: a.Addr(), Tag: "pre-back"})
+	if m, err := a.RecvTimeout(5 * time.Second); err != nil || m.Tag != "pre-back" {
+		t.Fatalf("pre-back: %v %v", m, err)
+	}
+
+	// B crashes. A keeps sending; the messages pile up unacked.
+	b.Close()
+	for i := 0; i < 4; i++ {
+		a.Send(Message{Kind: KindPoint, Dst: Proc("B", 0), Tag: "lost"})
+	}
+	if got := a.(*reliableEndpoint).Unacked(); got == 0 {
+		t.Fatal("outage sends were not buffered")
+	}
+
+	// B restarts under epoch 1; the survivor resets its state toward B.
+	rnB2 := NewReliableNetwork(base, ReliableConfig{
+		ResendInterval: 5 * time.Millisecond,
+		SessionEpoch:   1,
+	})
+	b2, err := rnB2.Register(Proc("B", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnA.ResetPeer("B", 1)
+	if got := a.(*reliableEndpoint).Unacked(); got != 0 {
+		t.Fatalf("%d dead-session messages survived ResetPeer", got)
+	}
+
+	// Fresh epoch, both directions. B2's first send to A must be admitted by
+	// A's higher-epoch rule even though A's delivery watermark for B is from
+	// the dead session.
+	a.Send(Message{Kind: KindPoint, Dst: b2.Addr(), Tag: "post"})
+	if m, err := b2.RecvTimeout(5 * time.Second); err != nil || m.Tag != "post" {
+		t.Fatalf("post to rejoined B: %v %v", m, err)
+	}
+	b2.Send(Message{Kind: KindPoint, Dst: a.Addr(), Tag: "post-back"})
+	if m, err := a.RecvTimeout(5 * time.Second); err != nil || m.Tag != "post-back" {
+		t.Fatalf("post-back from rejoined B: %v %v", m, err)
+	}
+	// Nothing from the dead session leaks through.
+	if m, err := b2.RecvTimeout(50 * time.Millisecond); err == nil {
+		t.Fatalf("dead-session message delivered after rejoin: %+v", m)
+	}
+	b2.Close()
+	a.Close()
+	// rnB/rnB2 share the base with rnA; close their endpoint bookkeeping
+	// before the deferred rnA.Close tears the base down.
+	for _, ep := range rnB.eps {
+		ep.Close()
+	}
+	for _, ep := range rnB2.eps {
+		ep.Close()
+	}
+}
+
+// TestTCPSessionHandoffResend is the reconnect-epoch boundary test over real
+// sockets: a restarted process re-registers its address with a nonzero
+// SessionEpoch while the router still holds the dead incarnation's
+// connection, takes the registration over, and reliable delivery resumes
+// under the new epoch — with no goroutine leaked by the restart.
+func TestTCPSessionHandoffResend(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	r := startRouter(t)
+
+	tcpA := NewTCPNetwork(r.ListenAddr())
+	tcpA.MaxRetries = 10
+	tcpA.RetryBase = 5 * time.Millisecond
+	rnA := NewReliableNetwork(tcpA, ReliableConfig{ResendInterval: 10 * time.Millisecond})
+	defer rnA.Close()
+	a, err := rnA.Register(Proc("A", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tcpB := NewTCPNetwork(r.ListenAddr())
+	rnB := NewReliableNetwork(tcpB, ReliableConfig{ResendInterval: 10 * time.Millisecond})
+	b, err := rnB.Register(Proc("B", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Send(Message{Kind: KindPoint, Dst: b.Addr(), Tag: "pre"})
+	if m, err := b.RecvTimeout(5 * time.Second); err != nil || m.Tag != "pre" {
+		t.Fatalf("pre: %v %v", m, err)
+	}
+
+	// B's process dies without telling the router: its registration is stale.
+	// (Close only the reliable wrapper's endpoints, then the sockets, like a
+	// SIGKILL tearing the connections down.)
+	rnB.Close()
+	// A's sends during the outage go nowhere and stay unacked.
+	a.Send(Message{Kind: KindPoint, Dst: Proc("B", 0), Tag: "lost"})
+
+	// Restart: same address, session epoch 1. The nonzero hello Seq makes
+	// the router hand any stale registration over instead of refusing.
+	tcpB2 := NewTCPNetwork(r.ListenAddr())
+	tcpB2.SessionEpoch = 1
+	rnB2 := NewReliableNetwork(tcpB2, ReliableConfig{
+		ResendInterval: 10 * time.Millisecond,
+		SessionEpoch:   1,
+	})
+	defer rnB2.Close()
+	b2, err := rnB2.Register(Proc("B", 0))
+	if err != nil {
+		t.Fatalf("session handoff register: %v", err)
+	}
+	rnA.ResetPeer("B", 1)
+
+	// Reliable delivery resumes under the new epoch, in order, exactly once.
+	const k = 50
+	go func() {
+		for i := 0; i < k; i++ {
+			a.Send(Message{Kind: KindPoint, Dst: b2.Addr(), Tag: fmt.Sprint(i)})
+		}
+	}()
+	for i := 0; i < k; i++ {
+		m, err := b2.RecvTimeout(10 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d after handoff: %v", i, err)
+		}
+		if m.Tag != fmt.Sprint(i) {
+			t.Fatalf("delivery %d carries tag %q (lost, reordered, or duplicated)", i, m.Tag)
+		}
+	}
+	b2.Send(Message{Kind: KindPoint, Dst: a.Addr(), Tag: "back"})
+	if m, err := a.RecvTimeout(5 * time.Second); err != nil || m.Tag != "back" {
+		t.Fatalf("back: %v %v", m, err)
+	}
+}
+
+// TestTCPStatsCounters checks the decode-error and reconnect counters the
+// obsv layer surfaces.
+func TestTCPStatsCounters(t *testing.T) {
+	r := startRouter(t)
+	n := NewTCPNetwork(r.ListenAddr())
+	n.MaxRetries = 10
+	n.RetryBase = 5 * time.Millisecond
+	defer n.Close()
+	a, err := n.Register(Proc("P", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Register(Proc("P", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := n.Stats(); s.Reconnects != 0 || s.DecodeErrors != 0 {
+		t.Fatalf("fresh network stats = %+v", s)
+	}
+	n.ResetConnections()
+	// Both endpoints reconnect; prove liveness, then check the counter.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		a.Send(Message{Kind: KindPoint, Dst: b.Addr(), Tag: "after"})
+		if m, err := b.RecvTimeout(200 * time.Millisecond); err == nil && m.Tag == "after" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("endpoints never recovered from the reset")
+		}
+	}
+	if s := n.Stats(); s.Reconnects == 0 {
+		t.Fatalf("reset produced no reconnect count: %+v", s)
+	}
+}

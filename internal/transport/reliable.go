@@ -22,6 +22,13 @@ type ReliableConfig struct {
 	// of unbounded memory growth (the framework's failure detector normally
 	// fires long before the bound is hit).
 	MaxUnacked int
+	// SessionEpoch namespaces this process's sequence numbers: a stamped
+	// sequence is epoch<<32 | counter. A restarted process comes back with a
+	// larger epoch (the recovery layer increments it per restore), and
+	// receivers treat "higher epoch, counter 1" as the start of a fresh
+	// session rather than an unfillable gap — that is what lets in-flight
+	// ack state survive a crash+rejoin instead of deadlocking both sides.
+	SessionEpoch uint32
 }
 
 // ErrResendBufferFull is returned by Send when ReliableConfig.MaxUnacked
@@ -72,6 +79,7 @@ func (n *ReliableNetwork) Register(addr Addr) (Endpoint, error) {
 		done:      make(chan struct{}),
 		nextSeq:   make(map[Addr]uint64),
 		unacked:   make(map[Addr][]Message),
+		peerEpoch: make(map[string]uint32),
 		delivered: make(map[Addr]uint64),
 	}
 	go re.recvLoop()
@@ -80,6 +88,28 @@ func (n *ReliableNetwork) Register(addr Addr) (Endpoint, error) {
 	n.eps = append(n.eps, re)
 	n.mu.Unlock()
 	return re, nil
+}
+
+// Unwrap returns the wrapped Network (observability walks the layer stack).
+func (n *ReliableNetwork) Unwrap() Network { return n.inner }
+
+// ResetPeer drops the sender-side reliable state every endpoint of this
+// network holds toward program's addresses and starts the next session to
+// them at the given epoch. The recovery layer calls it when a peer program
+// rejoins after a crash: unacked messages of the dead session are discarded
+// (the rejoin handshake regenerates whatever still matters), and subsequent
+// sends open a fresh epoch the restarted receiver accepts from counter 1.
+// Receiver-side delivery watermarks are kept — stale frames of the dead
+// session keep being deduplicated, and the peer's new epoch is admitted by
+// the higher-epoch rule.
+func (n *ReliableNetwork) ResetPeer(program string, epoch uint32) {
+	n.mu.Lock()
+	eps := make([]*reliableEndpoint, len(n.eps))
+	copy(eps, n.eps)
+	n.mu.Unlock()
+	for _, e := range eps {
+		e.resetPeer(program, epoch)
+	}
 }
 
 // Close implements Network.
@@ -104,10 +134,13 @@ type reliableEndpoint struct {
 	done     chan struct{}
 	closeOne sync.Once
 
-	// Sender side: next sequence number and resend buffer per destination.
-	smu     sync.Mutex
-	nextSeq map[Addr]uint64
-	unacked map[Addr][]Message // ascending Seq
+	// Sender side: next sequence number and resend buffer per destination,
+	// plus the per-peer-program session epoch a ResetPeer installed (the
+	// configured SessionEpoch when absent).
+	smu       sync.Mutex
+	nextSeq   map[Addr]uint64
+	unacked   map[Addr][]Message // ascending Seq
+	peerEpoch map[string]uint32
 
 	// Receiver side: highest in-order sequence delivered per source.
 	rmu       sync.Mutex
@@ -136,8 +169,19 @@ func (e *reliableEndpoint) Send(msg Message) error {
 		return fmt.Errorf("transport: %d messages to %s unacked: %w",
 			e.net.cfg.MaxUnacked, msg.Dst, ErrResendBufferFull)
 	}
-	e.nextSeq[msg.Dst]++
-	msg.Seq = e.nextSeq[msg.Dst]
+	next, open := e.nextSeq[msg.Dst]
+	if !open {
+		// First message of a session to this peer: base the counter on the
+		// session epoch (ours, or the one the peer's rejoin installed).
+		epoch, ok := e.peerEpoch[msg.Dst.Program]
+		if !ok {
+			epoch = e.net.cfg.SessionEpoch
+		}
+		next = uint64(epoch) << 32
+	}
+	next++
+	e.nextSeq[msg.Dst] = next
+	msg.Seq = next
 	e.unacked[msg.Dst] = append(e.unacked[msg.Dst], msg)
 	e.smu.Unlock()
 	if err := e.inner.Send(msg); err != nil && errors.Is(err, ErrClosed) {
@@ -177,6 +221,17 @@ func (e *reliableEndpoint) recvLoop() {
 		last := e.delivered[m.Src]
 		switch {
 		case m.Seq == last+1:
+			e.delivered[m.Src] = m.Seq
+			e.rmu.Unlock()
+			e.sendAck(m.Src, m.Seq)
+			if !e.deliver(m) {
+				return
+			}
+		case m.Seq>>32 > last>>32 && m.Seq&0xffffffff == 1:
+			// First message of a higher session epoch: the peer restarted (or
+			// our state toward it was reset) and opened a fresh stream. Accept
+			// it as the new baseline instead of treating the epoch bump as a
+			// gap that old-session retransmits could never fill.
 			e.delivered[m.Src] = m.Seq
 			e.rmu.Unlock()
 			e.sendAck(m.Src, m.Seq)
@@ -284,6 +339,23 @@ func (e *reliableEndpoint) closeErr() error {
 		return e.recErr
 	}
 	return ErrClosed
+}
+
+// resetPeer implements ReliableNetwork.ResetPeer for one endpoint.
+func (e *reliableEndpoint) resetPeer(program string, epoch uint32) {
+	e.smu.Lock()
+	e.peerEpoch[program] = epoch
+	for dst := range e.nextSeq {
+		if dst.Program == program {
+			delete(e.nextSeq, dst)
+		}
+	}
+	for dst := range e.unacked {
+		if dst.Program == program {
+			delete(e.unacked, dst)
+		}
+	}
+	e.smu.Unlock()
 }
 
 // Unacked returns the number of messages awaiting acknowledgement across all

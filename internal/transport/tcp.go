@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -309,9 +310,41 @@ type TCPNetwork struct {
 	RetryBase  time.Duration
 	RetryCap   time.Duration
 
+	// SessionEpoch, when nonzero, marks this network object as a restarted
+	// incarnation of its addresses: the initial hello carries it, so the
+	// router hands any stale registration of the same address over to the
+	// new connection instead of refusing it as a duplicate (the recovery
+	// layer's session handoff). Reconnect epochs count on from it.
+	SessionEpoch uint64
+
+	// decodeErrors counts frames that failed to decode on any endpoint of
+	// this network; reconnects counts successful re-registrations after a
+	// lost router connection. Both feed the transport.* obsv counters.
+	decodeErrors atomic.Uint64
+	reconnects   atomic.Uint64
+
 	mu     sync.Mutex
 	eps    []*tcpEndpoint
 	closed bool
+}
+
+// TCPStats is a snapshot of a TCPNetwork's error counters.
+type TCPStats struct {
+	// DecodeErrors counts received frames that failed to decode (corrupt or
+	// truncated streams; each costs the connection, which then reconnects).
+	DecodeErrors uint64
+	// Reconnects counts successful endpoint re-registrations after a lost
+	// router connection — the reconnect epochs the router has seen from this
+	// process.
+	Reconnects uint64
+}
+
+// Stats returns the network's accumulated error counters.
+func (n *TCPNetwork) Stats() TCPStats {
+	return TCPStats{
+		DecodeErrors: n.decodeErrors.Load(),
+		Reconnects:   n.reconnects.Load(),
+	}
 }
 
 // NewTCPNetwork returns a network whose endpoints connect to the router at
@@ -357,8 +390,10 @@ func (n *TCPNetwork) Register(addr Addr) (Endpoint, error) {
 		done:   make(chan struct{}),
 	}
 	ep.w.conn = conn
-	// Hello handshake: announce our address, wait for the ack.
-	if err := ep.w.writeMessage(Message{Kind: KindControl, Tag: "hello", Src: addr}); err != nil {
+	ep.epoch = n.SessionEpoch
+	// Hello handshake: announce our address, wait for the ack. A nonzero Seq
+	// (restarted incarnation) takes over any stale registration.
+	if err := ep.w.writeMessage(Message{Kind: KindControl, Tag: "hello", Src: addr, Seq: n.SessionEpoch}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("transport: hello: %w", err)
 	}
@@ -445,6 +480,10 @@ func (e *tcpEndpoint) readLoop() {
 					return
 				}
 			}
+			// A frame that arrived but would not decode: corrupt stream. The
+			// connection is dropped (and reconnected) like a read error, but
+			// the cause is counted separately for /statusz.
+			e.net.decodeErrors.Add(1)
 		}
 		select {
 		case <-e.done: // deliberate Close
@@ -458,10 +497,10 @@ func (e *tcpEndpoint) readLoop() {
 	}
 }
 
-// reconnect dials the router again with capped exponential backoff. On
-// success it swaps the connection under the write lock (in-flight Sends see
-// either socket, never a torn one) and the read loop resumes. On exhaustion
-// it records the root cause and closes the endpoint.
+// reconnect dials the router again with capped, jittered exponential
+// backoff. On success it swaps the connection under the write lock
+// (in-flight Sends see either socket, never a torn one) and the read loop
+// resumes. On exhaustion it records the root cause and closes the endpoint.
 func (e *tcpEndpoint) reconnect(cause error) bool {
 	max := e.net.MaxRetries
 	if max <= 0 {
@@ -470,10 +509,14 @@ func (e *tcpEndpoint) reconnect(cause error) bool {
 	}
 	backoff := e.net.retryBase()
 	for attempt := 1; attempt <= max; attempt++ {
+		// Sleep a uniformly random duration in [backoff/2, backoff]: peers
+		// that lost the same router would otherwise retry in lockstep and
+		// keep colliding on every doubled interval.
+		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
 		select {
 		case <-e.done:
 			return false
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
 		if backoff *= 2; backoff > e.net.retryCap() {
 			backoff = e.net.retryCap()
@@ -499,6 +542,7 @@ func (e *tcpEndpoint) reconnect(cause error) bool {
 		e.emu.Unlock()
 		e.fr = fr
 		old.Close()
+		e.net.reconnects.Add(1)
 		return true
 	}
 	e.fail(fmt.Errorf("transport: tcp %s: connection lost, %d reconnect attempts failed: %w",
