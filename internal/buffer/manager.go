@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/match"
 	"repro/internal/trace"
+	"repro/internal/vclock"
 )
 
 // ErrBufferFull is returned by Offer when a finite-capacity buffer cannot
@@ -111,7 +112,8 @@ type Config struct {
 	// have them resent. Without it (the default) a sent version is freed as
 	// soon as the normal retention rules allow.
 	Retain bool
-	// Now overrides the clock (tests); nil means time.Now.
+	// Now overrides the clock; nil means the wall clock. The framework wires
+	// in its injected clock (core.Options.Clock) here.
 	Now func() time.Time
 }
 
@@ -230,7 +232,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	if cfg.Now == nil {
-		cfg.Now = time.Now
+		cfg.Now = vclock.Wall.Now
 	}
 	pool := cfg.Pool
 	if pool == nil {

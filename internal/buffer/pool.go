@@ -1,6 +1,7 @@
 package buffer
 
 import (
+	"fmt"
 	"math/bits"
 	"sync"
 )
@@ -40,7 +41,47 @@ type Pool struct {
 	depth   int
 	classes [poolClasses][][]float64
 	stats   PoolStats
+
+	// live tracks the backing arrays currently checked out of the pool (by
+	// first-element pointer) when checked mode is on; violations records
+	// every Put that broke the ownership discipline. Checked mode exists for
+	// the deterministic simulation harness — the bookkeeping costs a map
+	// operation per Get/Put, so production runs leave it off.
+	checked    bool
+	live       map[*float64]bool
+	violations []string
 }
+
+// SetChecked turns ownership checking on or off. With checking on, every
+// pooled buffer must alternate strictly Get -> Put: a Put of a buffer that is
+// not checked out (a double free, or a free of a buffer the pool never saw
+// while an identical one is pooled) is recorded as a violation instead of
+// corrupting the freelist. Call before the pool is in use.
+func (p *Pool) SetChecked(on bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.checked = on
+	if on && p.live == nil {
+		p.live = make(map[*float64]bool)
+	}
+	p.mu.Unlock()
+}
+
+// Violations returns the ownership violations recorded since checking was
+// enabled (nil when none, or when checking is off).
+func (p *Pool) Violations() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.violations...)
+}
+
+// key identifies buf's backing array while it has capacity.
+func poolKey(buf []float64) *float64 { return &buf[:1][0] }
 
 // NewPool returns a pool keeping at most depth free slices per size class
 // (depth <= 0 means DefaultPoolDepth).
@@ -83,12 +124,19 @@ func (p *Pool) Get(n int) []float64 {
 		free[len(free)-1] = nil
 		p.classes[c] = free[:len(free)-1]
 		p.stats.Hits++
+		if p.checked {
+			p.live[poolKey(buf)] = true
+		}
 		return buf[:n]
 	}
 	p.stats.Misses++
 	// Allocate the class's full capacity so the buffer re-enters the same
 	// class on Put whatever length it was used at.
-	return make([]float64, n, 1<<c)
+	buf := make([]float64, n, 1<<c)
+	if p.checked {
+		p.live[poolKey(buf)] = true
+	}
+	return buf
 }
 
 // Put returns a buffer to its size class. Buffers whose capacity is not an
@@ -102,6 +150,15 @@ func (p *Pool) Put(buf []float64) {
 	defer p.mu.Unlock()
 	p.stats.Puts++
 	c := classOf(cap(buf))
+	if p.checked && c >= 0 && cap(buf) == 1<<c {
+		k := poolKey(buf)
+		if !p.live[k] {
+			p.violations = append(p.violations,
+				fmt.Sprintf("buffer: Put of a buffer (cap %d) not checked out of the pool (double free?)", cap(buf)))
+			return // refusing the Put keeps the freelist free of duplicates
+		}
+		delete(p.live, k)
+	}
 	if c < 0 || cap(buf) != 1<<c || len(p.classes[c]) >= p.depth {
 		p.stats.Discards++
 		return

@@ -494,11 +494,15 @@ func TestReduceScalarOnTCP(t *testing.T) {
 
 // TestAllReduceEquivalence checks the recursive-doubling AllReduce against
 // the classic Reduce-to-root + Bcast composition it replaced, across the
-// size matrix (power-of-two sizes exercise the doubling path, the others
-// the fallback) and across ops. Contributions are exact small integers, so
-// every combining order yields bit-identical sums.
+// size matrix (power-of-two sizes exercise the plain doubling sweep, the
+// others the remainder pre/post fold — 3 and 5 maximize the remainder, 6
+// and 12 exercise even remainders, 7 is pow2-1) and across ops.
+// Contributions are exact small integers, so every combining order yields
+// bit-identical sums.
 func TestAllReduceEquivalence(t *testing.T) {
-	for _, n := range groupSizes {
+	sizes := append([]int(nil), groupSizes...)
+	sizes = append(sizes, 6, 12)
+	for _, n := range sizes {
 		n := n
 		for _, tc := range []struct {
 			name string

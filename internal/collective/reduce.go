@@ -51,53 +51,51 @@ func (c *Comm) Reduce(root int, local []float64, op Op) ([]float64, error) {
 }
 
 // AllReduce folds every rank's local slice and returns the result on all
-// ranks. Power-of-two groups use recursive doubling — one log2(n) sweep of
-// pairwise exchanges where every rank ends with the full result, instead of
-// the two tree traversals (reduce to root, then broadcast) of the classic
-// composition. Other group sizes fall back to Reduce+Bcast; the usual
-// remainder-folding pre/post steps would add the two extra latencies back
-// for little gain at this scale.
+// ranks, using recursive doubling for every group size. Power-of-two groups
+// run the classic log2(n) sweep of pairwise exchanges directly. Other sizes
+// fold the remainder in first: with pow2 the largest power of two <= n and
+// rem = n - pow2, the first 2*rem ranks pair up — each odd rank hands its
+// contribution to its even neighbor and sits out — leaving exactly pow2
+// active ranks to run the doubling sweep; a final pairwise send returns the
+// full result to the ranks that sat out. That costs the remainder pairs two
+// extra latencies but keeps every other rank on the single-sweep critical
+// path, unlike the Reduce+Bcast composition it replaces (two full tree
+// traversals for everyone).
 func (c *Comm) AllReduce(local []float64, op Op) ([]float64, error) {
 	if c.allReduceHist != nil {
 		start := time.Now()
 		defer func() { c.allReduceHist.Observe(time.Since(start).Nanoseconds()) }()
 	}
-	if c.size&(c.size-1) == 0 {
-		return c.allReduceDoubling(local, op)
-	}
-	acc, err := c.Reduce(0, local, op)
-	if err != nil {
-		return nil, err
-	}
-	if c.rank == 0 {
-		if _, err := c.Bcast(0, encodeFloats(acc)); err != nil {
-			return nil, err
-		}
-		return acc, nil
-	}
-	b, err := c.Bcast(0, nil)
-	if err != nil {
-		return nil, err
-	}
-	return c.decodeSameLen(b, len(local))
-}
-
-// allReduceDoubling is the recursive-doubling exchange for power-of-two
-// groups: in round k every rank swaps its partial accumulation with the
-// peer across bit k (rank XOR 2^k) and folds the peer's half in, so after
-// log2(n) rounds each rank holds the reduction of all n contributions.
-// Sends are queued by the transport, so both partners may send before
-// receiving without deadlock.
-func (c *Comm) allReduceDoubling(local []float64, op Op) ([]float64, error) {
 	tag := c.nextTag("allreduce")
 	acc := make([]float64, len(local))
 	copy(acc, local)
-	for mask := 1; mask < c.size; mask <<= 1 {
-		peer := c.rank ^ mask
-		if err := c.sendRank(peer, tag, encodeFloats(acc)); err != nil {
+	if c.size == 1 {
+		return acc, nil
+	}
+
+	pow2 := 1
+	for pow2<<1 <= c.size {
+		pow2 <<= 1
+	}
+	rem := c.size - pow2
+	// toGroup maps a doubling-group rank back to its group rank: the even ranks
+	// of the paired prefix come first, then the unpaired suffix.
+	toGroup := func(nr int) int {
+		if nr < rem {
+			return 2 * nr
+		}
+		return nr + rem
+	}
+
+	// Pre-fold: odd ranks of the paired prefix hand off and wait.
+	newRank := -1
+	switch {
+	case c.rank < 2*rem && c.rank%2 == 1:
+		if err := c.sendRank(c.rank-1, tag, encodeFloats(acc)); err != nil {
 			return nil, err
 		}
-		b, err := c.recvRank(peer, tag)
+	case c.rank < 2*rem:
+		b, err := c.recvRank(c.rank+1, tag)
 		if err != nil {
 			return nil, err
 		}
@@ -106,6 +104,52 @@ func (c *Comm) allReduceDoubling(local []float64, op Op) ([]float64, error) {
 			return nil, err
 		}
 		op(acc, vals)
+		newRank = c.rank / 2
+	default:
+		newRank = c.rank - rem
+	}
+
+	// Doubling sweep over the pow2 active ranks: in round k every active
+	// rank swaps its partial accumulation with the peer across bit k and
+	// folds it in. Sends are queued by the transport, so both partners may
+	// send before receiving without deadlock. Each pair meets in exactly one
+	// round (mask = XOR of their ranks), so one tag serves the whole sweep.
+	if newRank >= 0 {
+		for mask := 1; mask < pow2; mask <<= 1 {
+			peer := toGroup(newRank ^ mask)
+			if err := c.sendRank(peer, tag, encodeFloats(acc)); err != nil {
+				return nil, err
+			}
+			b, err := c.recvRank(peer, tag)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := c.decodeSameLen(b, len(acc))
+			if err != nil {
+				return nil, err
+			}
+			op(acc, vals)
+		}
+	}
+
+	// Post-fold: even ranks of the paired prefix return the full result to
+	// the neighbor that sat the sweep out.
+	if c.rank < 2*rem {
+		if c.rank%2 == 0 {
+			if err := c.sendRank(c.rank+1, tag, encodeFloats(acc)); err != nil {
+				return nil, err
+			}
+		} else {
+			b, err := c.recvRank(c.rank-1, tag)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := c.decodeSameLen(b, len(acc))
+			if err != nil {
+				return nil, err
+			}
+			copy(acc, vals)
+		}
 	}
 	return acc, nil
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/obsv"
 	"repro/internal/transport"
+	"repro/internal/vclock"
 )
 
 // DefaultTimeout bounds blocking framework waits (import answers, data
@@ -118,6 +119,16 @@ type Options struct {
 	// Recovery enables collective-sequence checkpointing and crash recovery
 	// (see RecoveryOptions). nil disables it.
 	Recovery *RecoveryOptions
+	// Clock supplies the framework's time source — heartbeat leases, startup
+	// deadlines, stall accounting, checkpoint timing (nil = wall clock). The
+	// deterministic simulation harness injects a virtual clock; note the
+	// transport layers take their own clocks via their configs.
+	Clock vclock.Clock
+	// CheckedPools turns on buffer-pool ownership checking (buffer.Pool
+	// SetChecked) in every hosted process: double frees are recorded instead
+	// of corrupting freelists, and PoolViolations reports them. Simulation
+	// harness only — it costs a map operation per pooled Get/Put.
+	CheckedPools bool
 }
 
 // Framework hosts one coupled run — either every program of the
@@ -173,9 +184,22 @@ func (f *Framework) initObsv() {
 		reg.GaugeFunc("transport.frames.batches", func() float64 { return float64(c.Stats().Batches) })
 		reg.GaugeFunc("transport.frames.payload.bytes", func() float64 { return float64(c.Stats().PayloadBytes) })
 	}
+	// transport.decode_errors totals malformed input at every layer that
+	// decodes wire bytes: TCP frames and coalescing batch envelopes.
+	if t, c := findTCPNetwork(f.net), f.coalesce; t != nil || c != nil {
+		f.obs.Registry.GaugeFunc("transport.decode_errors", func() float64 {
+			var n float64
+			if t != nil {
+				n += float64(t.Stats().DecodeErrors)
+			}
+			if c != nil {
+				n += float64(c.Stats().DecodeErrors)
+			}
+			return n
+		})
+	}
 	if t := findTCPNetwork(f.net); t != nil {
 		reg := f.obs.Registry
-		reg.GaugeFunc("transport.decode_errors", func() float64 { return float64(t.Stats().DecodeErrors) })
 		reg.GaugeFunc("transport.reconnects", func() float64 { return float64(t.Stats().Reconnects) })
 	}
 	f.obs.AddStatus(f.statusName(), f.writeStatus)
@@ -243,6 +267,7 @@ func New(cfg *config.Config, opts Options) (*Framework, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = DefaultTimeout
 	}
+	opts.Clock = vclock.Or(opts.Clock)
 	f := &Framework{
 		cfg:      cfg,
 		opts:     opts,
@@ -284,6 +309,7 @@ func Join(cfg *config.Config, program string, opts Options) (*Framework, error) 
 	if opts.Timeout <= 0 {
 		opts.Timeout = DefaultTimeout
 	}
+	opts.Clock = vclock.Or(opts.Clock)
 	f := &Framework{
 		cfg:      cfg,
 		opts:     opts,
@@ -300,6 +326,19 @@ func Join(cfg *config.Config, program string, opts Options) (*Framework, error) 
 	}
 	f.programs[pc.Name] = p
 	return f, nil
+}
+
+// PoolViolations returns every buffer-pool ownership violation recorded
+// across the hosted processes (empty unless Options.CheckedPools). The
+// simulation harness asserts it is empty after every run.
+func (f *Framework) PoolViolations() []string {
+	var out []string
+	for _, p := range f.programs {
+		for _, proc := range p.procs {
+			out = append(out, proc.pool.Violations()...)
+		}
+	}
+	return out
 }
 
 // Local returns the hosted program in distributed mode (Join).
@@ -444,11 +483,12 @@ func (f *Framework) Start() error {
 	}
 	// Wait until every hosted process reports ready, re-announcing layouts
 	// periodically for peers that registered late.
-	deadline := time.Now().Add(f.opts.Timeout)
+	clock := f.opts.Clock
+	deadline := clock.Now().Add(f.opts.Timeout)
 	for _, p := range f.programs {
 		for _, proc := range p.procs {
 			for {
-				wait := time.Until(deadline)
+				wait := clock.Until(deadline)
 				if wait > 200*time.Millisecond {
 					wait = 200 * time.Millisecond
 				}
@@ -456,7 +496,7 @@ func (f *Framework) Start() error {
 				if err == nil {
 					break
 				}
-				if time.Now().After(deadline) {
+				if clock.Now().After(deadline) {
 					return fmt.Errorf("core: %s startup: %w", proc.addr(), err)
 				}
 				if err := announceRejoins(); err != nil {

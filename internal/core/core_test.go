@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"repro/internal/testutil"
 	"strings"
 	"sync"
 	"testing"
@@ -217,7 +218,7 @@ func TestBuddyHelpReducesCopies(t *testing.T) {
 				for k := 1; k <= nExports; k++ {
 					if p.Rank() == 1 {
 						// The slow process p_s: extra computational work.
-						time.Sleep(2 * time.Millisecond)
+						testutil.Sleep(2 * time.Millisecond)
 					}
 					if err := p.Export("d", float64(k), fillBlock(block, float64(k))); err != nil {
 						return err
@@ -511,12 +512,12 @@ func TestTraceCapturesBuddyHelp(t *testing.T) {
 				if p.Rank() == 1 && k == 4 {
 					// Rank 1 is the slow process: it stalls until the fast
 					// rank's answer produced a buddy-help message for it.
-					deadline := time.Now().Add(10 * time.Second)
+					deadline := testutil.Now().Add(10 * time.Second)
 					for p.Trace().Count(tracepkg.OpBuddyHelp) == 0 {
-						if time.Now().After(deadline) {
+						if testutil.Now().After(deadline) {
 							return fmt.Errorf("no buddy-help within deadline")
 						}
-						time.Sleep(time.Millisecond)
+						testutil.Sleep(time.Millisecond)
 					}
 				}
 				if err := p.Export("d", float64(k), fillBlock(block, float64(k))); err != nil {
@@ -731,7 +732,7 @@ func TestProtocolStats(t *testing.T) {
 				block, _ := p.Block("d")
 				for k := 1; k <= 25; k++ {
 					if p.Rank() == 1 {
-						time.Sleep(time.Millisecond) // keep one process slow
+						testutil.Sleep(time.Millisecond) // keep one process slow
 					}
 					if err := p.Export("d", float64(k), fillBlock(block, float64(k))); err != nil {
 						return err

@@ -100,7 +100,7 @@ func TestDistributedCoupling(t *testing.T) {
 			// component must not exit before its peers are done with it
 			// (shutdown coordination is application-level, as in the paper's
 			// independently developed programs).
-			deadline := time.Now().Add(30 * time.Second)
+			deadline := testutil.Now().Add(30 * time.Second)
 			for {
 				served := true
 				for r := 0; r < prog.Procs(); r++ {
@@ -115,15 +115,15 @@ func TestDistributedCoupling(t *testing.T) {
 				if served {
 					return nil
 				}
-				if time.Now().After(deadline) {
+				if testutil.Now().After(deadline) {
 					return fmt.Errorf("importer never collected the match")
 				}
-				time.Sleep(5 * time.Millisecond)
+				testutil.Sleep(5 * time.Millisecond)
 			}
 		})
 	}()
 	go func() {
-		time.Sleep(150 * time.Millisecond) // join late: the handshake must retry
+		testutil.Sleep(150 * time.Millisecond) // join late: the handshake must retry
 		errs <- joinProgram(t, router.ListenAddr(), "I", li, func(prog *Program) error {
 			var wg sync.WaitGroup
 			perr := make([]error, prog.Procs())

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/transport"
+	"repro/internal/vclock"
 	"repro/internal/wire"
 )
 
@@ -63,15 +64,17 @@ const (
 // handshake's business (Options.Timeout), not the failure detector's.
 type failureDetector struct {
 	interval time.Duration
+	clock    vclock.Clock
 
 	mu       sync.Mutex
 	lastSeen map[string]time.Time
 	declared map[string]bool
 }
 
-func newFailureDetector(interval time.Duration) *failureDetector {
+func newFailureDetector(interval time.Duration, clock vclock.Clock) *failureDetector {
 	return &failureDetector{
 		interval: interval,
+		clock:    vclock.Or(clock),
 		lastSeen: make(map[string]time.Time),
 		declared: make(map[string]bool),
 	}
@@ -80,7 +83,7 @@ func newFailureDetector(interval time.Duration) *failureDetector {
 // touch renews a peer's lease.
 func (fd *failureDetector) touch(peer string) {
 	fd.mu.Lock()
-	fd.lastSeen[peer] = time.Now()
+	fd.lastSeen[peer] = fd.clock.Now()
 	fd.mu.Unlock()
 }
 
@@ -95,7 +98,7 @@ func (fd *failureDetector) expired() map[string]time.Duration {
 		if fd.declared[peer] {
 			continue
 		}
-		if silence := time.Since(seen); silence > threshold {
+		if silence := fd.clock.Since(seen); silence > threshold {
 			fd.declared[peer] = true
 			if out == nil {
 				out = make(map[string]time.Duration)
@@ -110,7 +113,7 @@ func (fd *failureDetector) expired() map[string]time.Duration {
 // rejoined (crash recovery), so the detector judges it afresh.
 func (fd *failureDetector) reset(peer string) {
 	fd.mu.Lock()
-	fd.lastSeen[peer] = time.Now()
+	fd.lastSeen[peer] = fd.clock.Now()
 	fd.declared[peer] = false
 	fd.mu.Unlock()
 }
@@ -128,7 +131,7 @@ func (fd *failureDetector) peers() []peerStatus {
 	fd.mu.Lock()
 	out := make([]peerStatus, 0, len(fd.lastSeen))
 	for peer, seen := range fd.lastSeen {
-		out = append(out, peerStatus{Peer: peer, Since: time.Since(seen), Declared: fd.declared[peer]})
+		out = append(out, peerStatus{Peer: peer, Since: fd.clock.Since(seen), Declared: fd.declared[peer]})
 	}
 	fd.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
@@ -189,14 +192,14 @@ func (r *repRunner) handleControl(m transport.Message) {
 // within 2x the configured interval. Send failures are ignored — an
 // unreachable peer is exactly what the lease expiry will catch.
 func (r *repRunner) heartbeatLoop(interval time.Duration, peers []string) {
-	tick := time.NewTicker(interval / 4)
+	tick := r.prog.fw.opts.Clock.NewTicker(interval / 4)
 	defer tick.Stop()
 	n := 0
 	for {
 		select {
 		case <-r.hbStop:
 			return
-		case <-tick.C:
+		case <-tick.C():
 		}
 		if n++; n%2 == 1 {
 			for _, peer := range peers {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"repro/internal/testutil"
 	"strings"
 	"sync"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/decomp"
 	"repro/internal/transport"
+	"repro/internal/vclock"
 )
 
 // TestFiniteBufferPropagates: with Options.BufferMaxBytes too small for the
@@ -62,7 +64,7 @@ func TestCloseUnblocksImport(t *testing.T) {
 		_, err := p.Import("d", 10, dst) // nothing exported: blocks
 		done <- err
 	}()
-	time.Sleep(20 * time.Millisecond)
+	testutil.Sleep(20 * time.Millisecond)
 	f.Close()
 	select {
 	case err := <-done:
@@ -164,14 +166,16 @@ func TestPeerDownErrorIs(t *testing.T) {
 }
 
 // TestFailureDetector: leases expire only for peers heard from at least once,
-// after 1.5x the interval, and each peer is declared once.
+// after 1.5x the interval, and each peer is declared once. Runs on a virtual
+// clock: silence is simulated by advancing it, not by sleeping.
 func TestFailureDetector(t *testing.T) {
-	fd := newFailureDetector(40 * time.Millisecond)
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	fd := newFailureDetector(40*time.Millisecond, clk)
 	fd.touch("E")
 	if exp := fd.expired(); len(exp) != 0 {
 		t.Fatalf("fresh lease expired: %v", exp)
 	}
-	time.Sleep(70 * time.Millisecond) // > 1.5 x 40ms
+	clk.Advance(70 * time.Millisecond) // > 1.5 x 40ms
 	exp := fd.expired()
 	if _, ok := exp["E"]; !ok || len(exp) != 1 {
 		t.Fatalf("expired = %v, want E", exp)
@@ -219,15 +223,15 @@ func TestFailureAnnounceEvictsBuffers(t *testing.T) {
 		}(r)
 	}
 	wg.Wait()
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := testutil.Now().Add(5 * time.Second)
 	for {
 		if err := progE.err(); errors.Is(err, ErrPeerDown) {
 			break
 		}
-		if time.Now().After(deadline) {
+		if testutil.Now().After(deadline) {
 			t.Fatalf("exporter never learned of the peer failure (err = %v)", progE.err())
 		}
-		time.Sleep(5 * time.Millisecond)
+		testutil.Sleep(5 * time.Millisecond)
 	}
 	for {
 		held, err := pe.BufferedBytes("d")
@@ -237,10 +241,10 @@ func TestFailureAnnounceEvictsBuffers(t *testing.T) {
 		if held == 0 {
 			break
 		}
-		if time.Now().After(deadline) {
+		if testutil.Now().After(deadline) {
 			t.Fatalf("dead importer's buffers not evicted: %d bytes held", held)
 		}
-		time.Sleep(5 * time.Millisecond)
+		testutil.Sleep(5 * time.Millisecond)
 	}
 }
 

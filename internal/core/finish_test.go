@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"repro/internal/testutil"
 	"sync"
 	"testing"
 	"time"
@@ -91,7 +92,7 @@ func TestFinishRegionResolvesPending(t *testing.T) {
 	}()
 
 	<-started
-	time.Sleep(20 * time.Millisecond) // let the request reach the exporter
+	testutil.Sleep(20 * time.Millisecond) // let the request reach the exporter
 	runProcs(t, exp, func(p *Process) error {
 		block, _ := p.Block("d")
 		for k := 1; k <= 3; k++ {

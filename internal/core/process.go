@@ -389,6 +389,7 @@ func (p *Process) start() {
 	procLabels := []obsv.Label{obsv.L("program", p.prog.name), obsv.L("rank", strconv.Itoa(p.rank))}
 	if len(expConns) > 0 {
 		p.pool = buffer.NewPool(0)
+		p.pool.SetChecked(fw.opts.CheckedPools)
 		pool := p.pool
 		reg.GaugeFunc("buffer.pool.reuse", func() float64 { return float64(pool.Stats().Hits) }, procLabels...)
 		reg.GaugeFunc("buffer.pool.misses", func() float64 { return float64(pool.Stats().Misses) }, procLabels...)
@@ -409,6 +410,7 @@ func (p *Process) start() {
 				Log:      p.log,
 				MaxBytes: fw.opts.BufferMaxBytes,
 				Pool:     p.pool,
+				Now:      fw.opts.Clock.Now,
 				// Under recovery, matched versions are retained until the
 				// importer's checkpoint acks release them — the resync window
 				// a restarted importer replays from.
@@ -504,7 +506,7 @@ func (p *Process) start() {
 
 // waitReady blocks until the layout handshake completed for this process.
 func (p *Process) waitReady(d time.Duration) error {
-	t := time.NewTimer(d)
+	t := p.prog.fw.opts.Clock.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-p.ready:
@@ -514,7 +516,7 @@ func (p *Process) waitReady(d time.Duration) error {
 			return err
 		}
 		return fmt.Errorf("aborted during layout handshake")
-	case <-t.C:
+	case <-t.C():
 		return fmt.Errorf("layout handshake timed out")
 	}
 }
@@ -864,10 +866,11 @@ func (p *Process) acquirePermit(ec *exportConn) bool {
 		return true
 	default:
 	}
-	start := time.Now()
+	clock := p.prog.fw.opts.Clock
+	start := clock.Now()
 	select {
 	case ec.permits <- struct{}{}:
-		ec.stall.Add(uint64(time.Since(start).Nanoseconds()))
+		ec.stall.Add(uint64(clock.Since(start).Nanoseconds()))
 		return true
 	case <-p.abort:
 		return false
@@ -1263,14 +1266,14 @@ func (p *Process) Import(region string, ts float64, dst []float64) (ImportResult
 	}
 
 	timeout := p.prog.fw.opts.Timeout
-	timer := time.NewTimer(timeout)
+	timer := p.prog.fw.opts.Clock.NewTimer(timeout)
 	defer timer.Stop()
 	var ans answerMsg
 	select {
 	case ans = <-st.answers:
 	case <-p.abort:
 		return ImportResult{}, p.abortErr()
-	case <-timer.C:
+	case <-timer.C():
 		return ImportResult{}, fmt.Errorf("core: %s: import %q@%g: no answer from %s within %v: %w",
 			p.addr(), region, ts, transport.Rep(st.cc.Export.Program), timeout, transport.ErrTimeout)
 	}
@@ -1327,7 +1330,7 @@ func (p *Process) Import(region string, ts float64, dst []float64) (ImportResult
 		case <-st.signal:
 		case <-p.abort:
 			return ImportResult{}, p.abortErr()
-		case <-timer.C:
+		case <-timer.C():
 			return ImportResult{}, fmt.Errorf("core: %s: import %q@%g: %d of %d data pieces from %s within %v: %w",
 				p.addr(), region, ts, got, need, st.cc.Export.Program, timeout, transport.ErrTimeout)
 		}

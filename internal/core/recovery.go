@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/obsv"
@@ -179,7 +178,8 @@ func (p *Process) Checkpoint(seq uint64) error {
 // checkpoint and sends the release acks.
 func (p *Program) contributeCkpt(proc *Process, seq uint64, ps recover.ProcState) error {
 	rec := p.rec
-	start := time.Now()
+	clock := p.fw.opts.Clock
+	start := clock.Now()
 	rec.mu.Lock()
 	pc := rec.pending[seq]
 	if pc == nil {
@@ -207,7 +207,7 @@ func (p *Program) contributeCkpt(proc *Process, seq uint64, ps recover.ProcState
 		p.fail(err)
 		return err
 	}
-	rec.ckptNS.Observe(time.Since(start).Nanoseconds())
+	rec.ckptNS.Observe(clock.Since(start).Nanoseconds())
 	// Acknowledge to every exporting peer: requests below the checkpointed
 	// import count will never be replayed, so the retained versions answering
 	// them can be freed. (Property 1: the count is identical across ranks.)

@@ -78,7 +78,7 @@ func newRepRunner(p *Program, d *transport.Dispatcher) *repRunner {
 		impConns:   make(map[string]config.Connection),
 		impSeq:     make(map[string]*importSeq),
 		peerEpochs: make(map[string]uint64),
-		fd:         newFailureDetector(p.fw.opts.Heartbeat),
+		fd:         newFailureDetector(p.fw.opts.Heartbeat, p.fw.opts.Clock),
 		hbStop:     make(chan struct{}),
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/testutil"
 	"testing"
 	"time"
 
@@ -83,12 +84,12 @@ func TestStrayDataFrameDropped(t *testing.T) {
 	}
 
 	// The strays are delayed by the fault layer; poll for the counter.
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := testutil.Now().Add(5 * time.Second)
 	for f.MustProgram("I").ProtocolStats().DataDropped < strays {
-		if time.Now().After(deadline) {
+		if testutil.Now().After(deadline) {
 			t.Fatalf("DataDropped = %d, want %d", f.MustProgram("I").ProtocolStats().DataDropped, strays)
 		}
-		time.Sleep(time.Millisecond)
+		testutil.Sleep(time.Millisecond)
 	}
 	if err := f.Err(); err != nil {
 		t.Fatalf("stray data frame failed the program: %v", err)

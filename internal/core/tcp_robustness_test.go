@@ -135,9 +135,9 @@ func TestTCPPeerDownUnblocksImport(t *testing.T) {
 				// in flight.
 				go func() {
 					fw := <-exporterUp
-					time.Sleep(200 * time.Millisecond)
+					testutil.Sleep(200 * time.Millisecond)
 					killMu.Lock()
-					killed = time.Now()
+					killed = testutil.Now()
 					killMu.Unlock()
 					fw.Close()
 					close(exporterKilled)
@@ -215,7 +215,7 @@ func TestTCPCouplingSurvivesReset(t *testing.T) {
 				tcp.RetryBase = 5 * time.Millisecond
 				go func() {
 					// One injected reset mid-run, after traffic is flowing.
-					time.Sleep(250 * time.Millisecond)
+					testutil.Sleep(250 * time.Millisecond)
 					tcp.ResetConnections()
 				}()
 				return transport.NewReliableNetwork(tcp, transport.ReliableConfig{
@@ -237,7 +237,7 @@ func TestTCPCouplingSurvivesReset(t *testing.T) {
 								perr[r] = err
 								return
 							}
-							time.Sleep(10 * time.Millisecond) // spread the stream across the reset
+							testutil.Sleep(10 * time.Millisecond) // spread the stream across the reset
 						}
 						perr[r] = p.FinishRegion("d")
 					}(r)
@@ -251,7 +251,7 @@ func TestTCPCouplingSurvivesReset(t *testing.T) {
 				// Stay alive until every importer request was served, then let
 				// the in-flight data pieces drain before tearing down (shutdown
 				// coordination is application-level, as in TestDistributedCoupling).
-				deadline := time.Now().Add(30 * time.Second)
+				deadline := testutil.Now().Add(30 * time.Second)
 				for {
 					served := true
 					for r := 0; r < prog.Procs(); r++ {
@@ -266,12 +266,12 @@ func TestTCPCouplingSurvivesReset(t *testing.T) {
 					if served {
 						break
 					}
-					if time.Now().After(deadline) {
+					if testutil.Now().After(deadline) {
 						return fmt.Errorf("importer never collected all matches")
 					}
-					time.Sleep(5 * time.Millisecond)
+					testutil.Sleep(5 * time.Millisecond)
 				}
-				time.Sleep(300 * time.Millisecond) // let reliable-layer resends deliver the tail
+				testutil.Sleep(300 * time.Millisecond) // let reliable-layer resends deliver the tail
 				return prog.fw.Err()
 			})
 	}()

@@ -1,0 +1,656 @@
+package dst
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/match"
+	"repro/internal/recover"
+	"repro/internal/transport"
+)
+
+// The scenarios replay the repository's three protocol workloads inside a
+// World: a Figure-4-style coupled run over a delaying network, the same run
+// under message loss (the reliable layer's burden), and a kill-and-restart
+// run exercising checkpoint recovery. Each asserts the full invariant set:
+// Property-1 conformance (the framework's own violation detection), exact
+// deterministic match results against the analytic ground truth,
+// byte-identical delivered data, exactly-once in-order delivery and matcher
+// monotonicity (Checker), buffer-pool ownership (CheckedPools), and
+// exactly-once transfer accounting.
+
+// Result summarizes one scenario run.
+type Result struct {
+	Seed int64
+	// Digest fingerprints the run's protocol outcomes — every (rank, step)
+	// match timestamp and delivered-block hash, folded in deterministic
+	// order. For a fixed seed it must be identical on every run: this is the
+	// paper's collective-semantics determinism, checked end to end.
+	Digest uint64
+	// Matched counts delivered import matches across all ranks.
+	Matched int
+	// Traffic counters (schedule-dependent; informational).
+	Delivered, Dropped, Delayed, Vanished uint64
+}
+
+// simCell is the ground-truth value of global cell (r,c) at timestamp ts.
+func simCell(ts float64, r, c int) float64 { return ts*1e6 + float64(r*1000+c) }
+
+// hashBlock fingerprints one delivered block (FNV-1a over raw float bits:
+// equal hashes mean byte-identical data).
+func hashBlock(d []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range d {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// outcome is one delivered import: which export it matched and what bytes
+// arrived.
+type outcome struct {
+	MatchTS float64
+	Hash    uint64
+}
+
+// outcomes accumulates per-(rank, step) deliveries; a re-executed step after
+// a restart records a second copy.
+type outcomes struct {
+	mu   sync.Mutex
+	recs map[string][]outcome
+}
+
+func newOutcomes() *outcomes { return &outcomes{recs: make(map[string][]outcome)} }
+
+func (o *outcomes) record(rank, step int, ts float64, h uint64) {
+	key := fmt.Sprintf("%d/%d", rank, step)
+	o.mu.Lock()
+	o.recs[key] = append(o.recs[key], outcome{MatchTS: ts, Hash: h})
+	o.mu.Unlock()
+}
+
+// digest folds every outcome in sorted key order into one fingerprint.
+func (o *outcomes) digest() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	keys := make([]string, 0, len(o.recs))
+	for k := range o.recs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	var b [8]byte
+	for _, k := range keys {
+		io.WriteString(h, k)
+		h.Write([]byte{0})
+		for _, oc := range o.recs[k] {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(oc.MatchTS))
+			h.Write(b[:])
+			binary.LittleEndian.PutUint64(b[:], oc.Hash)
+			h.Write(b[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// total counts recorded deliveries.
+func (o *outcomes) total() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for _, recs := range o.recs {
+		n += len(recs)
+	}
+	return n
+}
+
+// fuCoupling is the canonical F (exporter) -> U (importer) coupling.
+func fuCoupling(expProcs, impProcs int, tol float64) *config.Config {
+	return &config.Config{
+		Programs: []config.Program{
+			{Name: "F", Cluster: "local", Binary: "builtin", Procs: expProcs},
+			{Name: "U", Cluster: "local", Binary: "builtin", Procs: impProcs},
+		},
+		Connections: []config.Connection{{
+			Export:    config.Endpoint{Program: "F", Region: "f"},
+			Import:    config.Endpoint{Program: "U", Region: "f"},
+			Policy:    match.REGL,
+			Tolerance: tol,
+		}},
+	}
+}
+
+// coupledCfg sizes the Figure-4-style scenarios.
+type coupledCfg struct {
+	gridN      int
+	expProcs   int
+	impProcs   int
+	exports    int
+	matchEvery int
+	tolerance  float64
+	heartbeat  time.Duration
+	resend     time.Duration
+	timeout    time.Duration
+}
+
+func defaultCoupled() coupledCfg {
+	return coupledCfg{
+		gridN:      8,
+		expProcs:   2,
+		impProcs:   2,
+		exports:    24,
+		matchEvery: 4,
+		tolerance:  2.5,
+		heartbeat:  200 * time.Millisecond,
+		resend:     5 * time.Millisecond,
+		timeout:    60 * time.Second,
+	}
+}
+
+// runCoupled drives one single-framework (core.New) coupled run inside w:
+// F exports at timestamps k+0.6 and U imports at j*matchEvery, so REGL with
+// tolerance >= 1 deterministically matches export j*matchEvery-0.4 — any
+// other answer, on any seed, is a protocol bug.
+func runCoupled(w *World, cfg coupledCfg) (*Result, error) {
+	out := newOutcomes()
+	chk := NewChecker()
+	err := w.Run(func() error {
+		view := w.View()
+		rel := transport.NewReliableNetwork(view, transport.ReliableConfig{
+			ResendInterval: cfg.resend,
+			Clock:          w.Clock(),
+		})
+		net := chk.Wrap(rel)
+		fw, err := core.New(fuCoupling(cfg.expProcs, cfg.impProcs, cfg.tolerance), core.Options{
+			Network:      net,
+			BuddyHelp:    true,
+			Timeout:      cfg.timeout,
+			Heartbeat:    cfg.heartbeat,
+			Clock:        w.Clock(),
+			CheckedPools: true,
+		})
+		if err != nil {
+			net.Close()
+			return err
+		}
+		defer fw.Close()
+
+		expLayout, err := decomp.NewRowBlock(cfg.gridN, cfg.gridN, cfg.expProcs)
+		if err != nil {
+			return err
+		}
+		impLayout, err := decomp.NewColBlock(cfg.gridN, cfg.gridN, cfg.impProcs)
+		if err != nil {
+			return err
+		}
+		progF, progU := fw.MustProgram("F"), fw.MustProgram("U")
+		if err := progF.DefineRegion("f", expLayout); err != nil {
+			return err
+		}
+		if err := progU.DefineRegion("f", impLayout); err != nil {
+			return err
+		}
+		if err := fw.Start(); err != nil {
+			return err
+		}
+
+		requests := cfg.exports / cfg.matchEvery
+		total := cfg.expProcs + cfg.impProcs
+		errs := make(chan error, total)
+		for r := 0; r < cfg.expProcs; r++ {
+			go func(r int) {
+				p := progF.Process(r)
+				block, err := p.Block("f")
+				if err != nil {
+					errs <- err
+					return
+				}
+				g := decomp.NewGrid(block)
+				for k := 1; k <= cfg.exports; k++ {
+					ts := float64(k) + 0.6
+					g.Fill(func(r, c int) float64 { return simCell(ts, r, c) })
+					if err := p.Export("f", ts, g.Data); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- p.FinishRegion("f")
+			}(r)
+		}
+		for r := 0; r < cfg.impProcs; r++ {
+			go func(r int) {
+				p := progU.Process(r)
+				block, err := p.Block("f")
+				if err != nil {
+					errs <- err
+					return
+				}
+				dst := make([]float64, block.Area())
+				for j := 1; j <= requests; j++ {
+					reqTS := float64(j * cfg.matchEvery)
+					res, err := p.Import("f", reqTS, dst)
+					if err != nil {
+						errs <- err
+						return
+					}
+					wantTS := float64(j*cfg.matchEvery-1) + 0.6
+					if !res.Matched || res.MatchTS != wantTS {
+						errs <- fmt.Errorf("dst: import @%g resolved %+v, want match @%g", reqTS, res, wantTS)
+						return
+					}
+					g := decomp.Grid{Block: block, Data: dst}
+					for rr := block.R0; rr < block.R1; rr++ {
+						for cc := block.C0; cc < block.C1; cc++ {
+							if got, want := g.At(rr, cc), simCell(wantTS, rr, cc); got != want {
+								errs <- fmt.Errorf("dst: data corrupt at (%d,%d)@%g: got %v, want %v",
+									rr, cc, wantTS, got, want)
+								return
+							}
+						}
+					}
+					out.record(r, j, res.MatchTS, hashBlock(dst))
+				}
+				errs <- nil
+			}(r)
+		}
+		for i := 0; i < total; i++ {
+			if err := <-errs; err != nil {
+				return err
+			}
+		}
+		if err := fw.Err(); err != nil {
+			return err
+		}
+		if v := fw.PoolViolations(); len(v) > 0 {
+			return fmt.Errorf("dst: buffer pool violations: %v", v)
+		}
+		// Exactly-once transfer accounting: FinishRegion drained every
+		// pipeline, so TransferDones must equal Sends on each connection.
+		for r := 0; r < cfg.expProcs; r++ {
+			stats, err := progF.Process(r).ExportStats("f")
+			if err != nil {
+				return err
+			}
+			for conn, st := range stats {
+				if st.TransferDones != st.Sends {
+					return fmt.Errorf("dst: exporter rank %d conn %s: %d TransferDones for %d sends",
+						r, conn, st.TransferDones, st.Sends)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := chk.Err(); err != nil {
+		return nil, err
+	}
+	want := cfg.impProcs * (cfg.exports / cfg.matchEvery)
+	if got := out.total(); got != want {
+		return nil, fmt.Errorf("dst: %d deliveries recorded, want %d", got, want)
+	}
+	return &Result{
+		Seed:      w.cfg.Seed,
+		Digest:    out.digest(),
+		Matched:   out.total(),
+		Delivered: w.delivered.Load(),
+		Dropped:   w.dropped.Load(),
+		Delayed:   w.delayed.Load(),
+		Vanished:  w.vanished.Load(),
+	}, nil
+}
+
+// RunFigure4 is the delay-only scenario: no message is lost, but a third of
+// them arrive late and out of order, exploring a different interleaving of
+// the matcher/buddy-help protocol per seed.
+func RunFigure4(seed int64) (*Result, error) {
+	w := NewWorld(Config{
+		Seed:           seed,
+		DelayPermille:  350,
+		MaxDelayQuanta: 4,
+		Quantum:        time.Millisecond,
+	})
+	defer w.Close()
+	return runCoupled(w, defaultCoupled())
+}
+
+// RunChaos adds message loss below the reliable layer: drops must cost
+// retransmission latency, never correctness.
+func RunChaos(seed int64) (*Result, error) {
+	w := NewWorld(Config{
+		Seed:           seed,
+		DropPermille:   150,
+		DelayPermille:  250,
+		MaxDelayQuanta: 3,
+		Quantum:        time.Millisecond,
+	})
+	defer w.Close()
+	return runCoupled(w, defaultCoupled())
+}
+
+// killRestartCfg sizes the crash-recovery scenario.
+type killRestartCfg struct {
+	gridN      int
+	expProcs   int
+	impProcs   int
+	steps      int
+	ckptEvery  int
+	crashAfter int
+	tolerance  float64
+	heartbeat  time.Duration
+	resend     time.Duration
+	timeout    time.Duration
+}
+
+func defaultKillRestart() killRestartCfg {
+	return killRestartCfg{
+		gridN:      8,
+		expProcs:   2,
+		impProcs:   2,
+		steps:      12,
+		ckptEvery:  4,
+		crashAfter: 10, // checkpoint at 8 -> steps 9..10 re-executed
+		tolerance:  0.5,
+		heartbeat:  200 * time.Millisecond,
+		resend:     5 * time.Millisecond,
+		timeout:    60 * time.Second,
+	}
+}
+
+// killRestartPass runs the workload once inside its own World: exporter F
+// and importer U join as separate frameworks (separate Views) over the
+// shared substrate, checkpointing on the collective schedule; when crash is
+// set, U's framework is torn down after crashAfter steps and a fresh
+// incarnation restores, rejoins under the next session epoch, and finishes.
+func killRestartPass(seed int64, cfg killRestartCfg, crash bool) (*outcomes, *Result, error) {
+	w := NewWorld(Config{
+		Seed:           seed,
+		DropPermille:   100,
+		DelayPermille:  250,
+		MaxDelayQuanta: 3,
+		Quantum:        time.Millisecond,
+	})
+	defer w.Close()
+
+	coupling := fuCoupling(cfg.expProcs, cfg.impProcs, cfg.tolerance)
+	out := newOutcomes()
+	chk := NewChecker()
+	store := recover.NewMemStore()
+
+	joinSim := func(program string, layout decomp.Layout, rec *core.RecoveryOptions,
+		epoch uint64, app func(*core.Program) error) error {
+		view := w.View()
+		rel := transport.NewReliableNetwork(view, transport.ReliableConfig{
+			SessionEpoch:   uint32(epoch),
+			ResendInterval: cfg.resend,
+			Clock:          w.Clock(),
+		})
+		net := chk.Wrap(rel)
+		fw, err := core.Join(coupling, program, core.Options{
+			Network:      net,
+			BuddyHelp:    true,
+			Timeout:      cfg.timeout,
+			Heartbeat:    cfg.heartbeat,
+			Recovery:     rec,
+			Clock:        w.Clock(),
+			CheckedPools: true,
+		})
+		if err != nil {
+			net.Close()
+			return err
+		}
+		defer fw.Close()
+		prog, err := fw.Local()
+		if err != nil {
+			return err
+		}
+		if err := prog.DefineRegion("f", layout); err != nil {
+			return err
+		}
+		if err := fw.Start(); err != nil {
+			return err
+		}
+		if err := app(prog); err != nil {
+			return err
+		}
+		if v := fw.PoolViolations(); len(v) > 0 {
+			return fmt.Errorf("dst: buffer pool violations in %s: %v", program, v)
+		}
+		return fw.Err()
+	}
+
+	exportAll := func(prog *core.Program, done <-chan struct{}) error {
+		var wg sync.WaitGroup
+		perr := make([]error, prog.Procs())
+		for r := 0; r < prog.Procs(); r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				p := prog.Process(r)
+				block, err := p.Block("f")
+				if err != nil {
+					perr[r] = err
+					return
+				}
+				g := decomp.NewGrid(block)
+				for k := 1; k <= cfg.steps; k++ {
+					ts := float64(k)
+					g.Fill(func(r, c int) float64 { return simCell(ts, r, c) })
+					if err := p.Export("f", ts, g.Data); err != nil {
+						perr[r] = err
+						return
+					}
+					if k%cfg.ckptEvery == 0 {
+						if err := p.Checkpoint(uint64(k)); err != nil {
+							perr[r] = err
+							return
+						}
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		for _, e := range perr {
+			if e != nil {
+				return e
+			}
+		}
+		<-done
+		return nil
+	}
+
+	importSteps := func(prog *core.Program, from, to int) error {
+		var wg sync.WaitGroup
+		perr := make([]error, prog.Procs())
+		for r := 0; r < prog.Procs(); r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				p := prog.Process(r)
+				block, err := p.Block("f")
+				if err != nil {
+					perr[r] = err
+					return
+				}
+				dst := make([]float64, block.Area())
+				for k := from; k <= to; k++ {
+					ts := float64(k)
+					res, err := p.Import("f", ts, dst)
+					if err != nil {
+						perr[r] = err
+						return
+					}
+					if !res.Matched || res.MatchTS != ts {
+						perr[r] = fmt.Errorf("dst: recovery import rank %d step %d resolved %+v", r, k, res)
+						return
+					}
+					g := decomp.Grid{Block: block, Data: dst}
+					for rr := block.R0; rr < block.R1; rr++ {
+						for cc := block.C0; cc < block.C1; cc++ {
+							if got, want := g.At(rr, cc), simCell(ts, rr, cc); got != want {
+								perr[r] = fmt.Errorf("dst: recovery data corrupt at (%d,%d)@%g: got %v, want %v",
+									rr, cc, ts, got, want)
+								return
+							}
+						}
+					}
+					out.record(r, k, res.MatchTS, hashBlock(dst))
+					if k%cfg.ckptEvery == 0 {
+						if err := p.Checkpoint(uint64(k)); err != nil {
+							perr[r] = err
+							return
+						}
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		for _, e := range perr {
+			if e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+
+	err := w.Run(func() error {
+		recOpts := func(restore bool) *core.RecoveryOptions {
+			return &core.RecoveryOptions{Store: store, Restore: restore, Every: cfg.ckptEvery}
+		}
+		done := make(chan struct{})
+		var doneOnce sync.Once
+		finish := func() { doneOnce.Do(func() { close(done) }) }
+		defer finish()
+
+		expLayout, err := decomp.NewRowBlock(cfg.gridN, cfg.gridN, cfg.expProcs)
+		if err != nil {
+			return err
+		}
+		impLayout, err := decomp.NewColBlock(cfg.gridN, cfg.gridN, cfg.impProcs)
+		if err != nil {
+			return err
+		}
+
+		expErr := make(chan error, 1)
+		go func() {
+			expErr <- joinSim("F", expLayout, recOpts(false), 0,
+				func(prog *core.Program) error { return exportAll(prog, done) })
+		}()
+
+		impTo := cfg.steps
+		if crash {
+			impTo = cfg.crashAfter
+		}
+		err = joinSim("U", impLayout, recOpts(false), 0,
+			func(prog *core.Program) error { return importSteps(prog, 1, impTo) })
+		if err != nil {
+			return err
+		}
+
+		if crash {
+			// U's first incarnation is gone — framework and endpoints closed.
+			// Restart: load the checkpoint, rebuild the transport session
+			// under the next epoch, restore and finish the workload.
+			ck, err := store.Load("U")
+			if err != nil {
+				return err
+			}
+			if ck == nil {
+				return fmt.Errorf("dst: no checkpoint saved before the crash")
+			}
+			err = joinSim("U", impLayout, recOpts(true), ck.Epoch+1,
+				func(prog *core.Program) error {
+					seq, ok := prog.RestoredSeq()
+					if !ok {
+						return fmt.Errorf("dst: restore did not surface the checkpoint")
+					}
+					return importSteps(prog, int(seq)+1, cfg.steps)
+				})
+			if err != nil {
+				return err
+			}
+		}
+
+		finish()
+		return <-expErr
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := chk.Err(); err != nil {
+		return nil, nil, err
+	}
+	return out, &Result{
+		Seed:      seed,
+		Digest:    out.digest(),
+		Matched:   out.total(),
+		Delivered: w.delivered.Load(),
+		Dropped:   w.dropped.Load(),
+		Delayed:   w.delayed.Load(),
+		Vanished:  w.vanished.Load(),
+	}, nil
+}
+
+// RunKillRestart executes the crash-recovery scenario: a fault-free
+// reference pass and a kill-and-restart pass under the same seed. Every
+// block the recovering run delivers — including the steps re-executed from
+// the last checkpoint — must be byte-identical to the reference pass, and
+// exactly the replayed steps must be delivered twice.
+func RunKillRestart(seed int64) (*Result, error) {
+	cfg := defaultKillRestart()
+	ref, _, err := killRestartPass(seed, cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("dst: reference pass: %w", err)
+	}
+	crash, res, err := killRestartPass(seed, cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("dst: crash pass: %w", err)
+	}
+
+	if want := cfg.impProcs * cfg.steps; len(ref.recs) != want {
+		return nil, fmt.Errorf("dst: reference pass recorded %d import keys, want %d", len(ref.recs), want)
+	}
+	replayed := cfg.crashAfter % cfg.ckptEvery
+	for key, want := range ref.recs {
+		if len(want) != 1 {
+			return nil, fmt.Errorf("dst: reference pass delivered import %s %d times", key, len(want))
+		}
+		copies := crash.recs[key]
+		if len(copies) == 0 {
+			return nil, fmt.Errorf("dst: crash pass never delivered import %s", key)
+		}
+		for i, oc := range copies {
+			if oc != want[0] {
+				return nil, fmt.Errorf("dst: crash pass import %s copy %d = %+v differs from fault-free %+v",
+					key, i, oc, want[0])
+			}
+		}
+	}
+	// The steps between the last checkpoint and the crash are delivered
+	// twice — once per incarnation; every other step exactly once.
+	for r := 0; r < cfg.impProcs; r++ {
+		for k := 1; k <= cfg.steps; k++ {
+			key := fmt.Sprintf("%d/%d", r, k)
+			want := 1
+			if k > cfg.crashAfter-replayed && k <= cfg.crashAfter {
+				want = 2
+			}
+			if n := len(crash.recs[key]); n != want {
+				return nil, fmt.Errorf("dst: crash pass delivered import %s %d times, want %d", key, n, want)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,178 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file checks Evaluate against a brute-force oracle built directly from
+// the model's definition: a request is decided (MATCH or NO MATCH) exactly
+// when no conforming future export could change the winner, and the winner
+// among in-region exports is defined per policy (REGL: largest not exceeding
+// x; REGU: smallest at or above x; REG: minimum |t-x|, ties to the earlier
+// export). The oracle makes no use of Evaluate's incremental reasoning: it
+// enumerates candidate futures on a grid twice as fine as the one every
+// export, request, and tolerance is drawn from, so every decision boundary —
+// region endpoints x±tol, the REG beat threshold, exact ties — lies on the
+// enumeration grid and boundary (exact-tolerance) behaviour is exercised
+// exhaustively rather than by luck.
+
+// oracleGrid is the grid all test timestamps and tolerances live on;
+// oracleHalf is the finer grid future-export witnesses are enumerated on.
+// Both are negative powers of two, so grid arithmetic is exact in float64
+// and boundary comparisons carry no rounding slack.
+const (
+	oracleGrid = 0.25
+	oracleHalf = 0.125
+)
+
+// gridOracleBetter reports whether export a beats export b for a request at x.
+func gridOracleBetter(p Policy, x, a, b float64) bool {
+	switch p {
+	case REGL:
+		return a > b
+	case REGU:
+		return a < b
+	default: // REG
+		da, db := math.Abs(a-x), math.Abs(b-x)
+		if da != db {
+			return da < db
+		}
+		return a < b
+	}
+}
+
+// gridOracleBest picks the winner among candidates by linear scan.
+func gridOracleBest(p Policy, x float64, cands []float64) (float64, bool) {
+	if len(cands) == 0 {
+		return 0, false
+	}
+	best := cands[0]
+	for _, t := range cands[1:] {
+		if gridOracleBetter(p, x, t, best) {
+			best = t
+		}
+	}
+	return best, true
+}
+
+// oracleEvaluate resolves a request by definition: compute the current
+// winner, then try every possible future export (any timestamp greater than
+// the latest seen, enumerated on the half grid up to the region's upper
+// bound — exports beyond it can never enter the region) and see whether one
+// would change the winner. A single future export is a complete witness:
+// any set of future exports changes the winner iff its best element does.
+func oracleEvaluate(p Policy, tol, x float64, exports []float64) Decision {
+	region := p.Region(x, tol)
+	var in []float64
+	for _, t := range exports {
+		if region.Contains(t) {
+			in = append(in, t)
+		}
+	}
+	latest := NoExports
+	if len(exports) > 0 {
+		latest = exports[len(exports)-1]
+	}
+	d := Decision{Latest: latest, Region: region}
+
+	best, has := gridOracleBest(p, x, in)
+	start := region.Lo
+	if latest+oracleHalf > start {
+		start = latest + oracleHalf
+	}
+	for t := start; t <= region.Hi; t += oracleHalf {
+		if !has || gridOracleBetter(p, x, t, best) {
+			d.Result = Pending
+			return d
+		}
+	}
+	if has {
+		d.Result = Match
+		d.MatchTS = best
+		return d
+	}
+	d.Result = NoMatch
+	return d
+}
+
+func compareDecisions(t *testing.T, p Policy, tol, x float64, exports []float64) {
+	t.Helper()
+	got := Evaluate(p, tol, x, exports)
+	want := oracleEvaluate(p, tol, x, exports)
+	if got.Result != want.Result || (got.Result == Match && got.MatchTS != want.MatchTS) {
+		t.Errorf("%s tol=%g x=%g exports=%v:\n  Evaluate: %s\n  oracle:   %s",
+			p, tol, x, exports, got, want)
+	}
+}
+
+// TestEvaluateOracleBoundaries pins the exact-tolerance boundary cases:
+// exports landing precisely on x-tol, x, and x+tol, and latest landing
+// precisely on the region's upper bound.
+func TestEvaluateOracleBoundaries(t *testing.T) {
+	const x, tol = 5, 1
+	cases := [][]float64{
+		{x - tol},                                                       // exactly on the lower bound
+		{x + tol},                                                       // exactly on the upper bound
+		{x},                                                             // exactly on the request
+		{x - tol, x},                                                    // both ends of a REGL region
+		{x - tol, x + tol},                                              // both ends, equidistant (REG tie)
+		{x + tol},                                                       // REGU: first in-region export decides
+		{x - tol - oracleGrid} /* just below */, {x + tol + oracleGrid}, // just above
+		{x - tol, x - tol + oracleGrid, x + tol},
+		{x - 2, x + tol}, // latest exactly at REGL's Hi+tol, REG's Hi
+		{},
+	}
+	for _, p := range []Policy{REGL, REGU, REG} {
+		for _, exports := range cases {
+			compareDecisions(t, p, tol, x, exports)
+		}
+		// Zero tolerance: the region degenerates to the request point.
+		compareDecisions(t, p, 0, x, []float64{x})
+		compareDecisions(t, p, 0, x, []float64{x - oracleGrid})
+		compareDecisions(t, p, 0, x, []float64{x + oracleGrid})
+		compareDecisions(t, p, 0, x, nil)
+	}
+}
+
+// TestEvaluateOracleSweep drives Evaluate through a seeded random sweep of
+// grid-aligned histories and requests. Everything lives on a quarter-step
+// grid while the oracle enumerates futures on an eighth-step grid, so
+// exact-tolerance coincidences (export == x-tol, latest == region.Hi, exact
+// REG ties) occur constantly.
+func TestEvaluateOracleSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tols := []float64{0, oracleGrid, 0.5, 1, 2}
+	for iter := 0; iter < 20000; iter++ {
+		p := Policy(rng.Intn(3))
+		tol := tols[rng.Intn(len(tols))]
+		x := float64(rng.Intn(41)) * oracleGrid // [0, 10]
+
+		n := rng.Intn(9)
+		exports := make([]float64, 0, n)
+		ts := -2.0
+		for i := 0; i < n; i++ {
+			ts += float64(1+rng.Intn(6)) * oracleGrid
+			exports = append(exports, ts)
+		}
+		compareDecisions(t, p, tol, x, exports)
+
+		// Incremental consistency: a decided answer must not change as the
+		// remaining exports stream in (matcher monotonicity, the same
+		// invariant the DST harness checks end to end).
+		decidedAt := -1
+		var decided Decision
+		for k := 0; k <= len(exports); k++ {
+			d := Evaluate(p, tol, x, exports[:k])
+			if decidedAt >= 0 {
+				if d.Result != decided.Result || (d.Result == Match && d.MatchTS != decided.MatchTS) {
+					t.Fatalf("%s tol=%g x=%g exports=%v: decision %s at %d exports changed to %s at %d",
+						p, tol, x, exports, decided, decidedAt, d, k)
+				}
+			} else if d.Result != Pending {
+				decidedAt, decided = k, d
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package recover
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/buffer"
+)
+
+// FuzzCheckpoint hardens the checkpoint codec against corrupt or hostile
+// stores: Decode must never panic, and any checkpoint it accepts must
+// survive an Encode/Decode round trip unchanged (a restore that silently
+// alters state would defeat the byte-identical recovery guarantee).
+func FuzzCheckpoint(f *testing.F) {
+	ck := &Checkpoint{
+		Program: "U", Epoch: 1, Seq: 20,
+		Procs: []ProcState{{
+			Rank: 0,
+			Exports: map[string]buffer.ManagerState{
+				"F.f>U.f": {
+					Exports:  []float64{1, 2, 3.5},
+					Entries:  []buffer.EntryState{{TS: 3.5, Data: []float64{9, 8, 7}, Sent: true}},
+					Requests: []buffer.RequestState{},
+				},
+			},
+			Imports: map[string]ImportState{
+				"F.f>U.f": {Issued: []float64{1, 2, 3}},
+			},
+		}},
+	}
+	if b, err := Encode(ck); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a checkpoint"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > 1<<20 {
+			return // keep adversarial gob allocation bounded
+		}
+		ck, err := Decode(b)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(ck)
+		if err != nil {
+			t.Fatalf("accepted checkpoint does not re-encode: %v", err)
+		}
+		ck2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(ck, ck2) {
+			t.Fatalf("checkpoint changed across re-encode:\n%+v\n%+v", ck, ck2)
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// The framework's own packages draw every timestamp and timer from an
+// injectable clock (package vclock); tests that genuinely need real-time
+// pacing — settling asynchronous teardown, provoking heartbeat expiry over a
+// live transport — go through these helpers so the production trees stay free
+// of direct time.Now/time.Sleep calls.
+
+// Sleep pauses the calling goroutine for d of real time.
+func Sleep(d time.Duration) { vclock.Wall.Sleep(d) }
+
+// Now returns the current wall-clock time.
+func Now() time.Time { return vclock.Wall.Now() }
+
+// Eventually polls cond every few milliseconds until it returns true, failing
+// the test if timeout passes first. It replaces fixed sleeps in tests that
+// wait for an asynchronous effect: the poll returns as soon as the condition
+// holds, and the generous timeout only matters on overloaded machines.
+func Eventually(t testing.TB, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	deadline := Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if Now().After(deadline) {
+			t.Fatalf("condition not reached within %v: "+format, append([]any{timeout}, args...)...)
+		}
+		Sleep(2 * time.Millisecond)
+	}
+}

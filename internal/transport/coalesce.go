@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/vclock"
 	"repro/internal/wire"
 )
 
@@ -40,6 +41,8 @@ type CoalesceConfig struct {
 	// FlushInterval bounds how long a pending message waits for company
 	// (0 means DefaultFlushInterval).
 	FlushInterval time.Duration
+	// Clock drives the flush ticker and receive timeouts (nil = wall clock).
+	Clock vclock.Clock
 	// Disabled turns coalescing off: every message passes straight through.
 	// The layer still counts frames, so a disabled run is the baseline the
 	// frame-reduction experiments compare against.
@@ -60,6 +63,9 @@ type FrameStats struct {
 	// PayloadBytes totals payload bytes handed to the inner network
 	// (envelope payloads count once; sub-message framing is included).
 	PayloadBytes int64
+	// DecodeErrors counts batch envelopes whose payload failed to decode
+	// (protocol corruption; the receiving endpoint is failed).
+	DecodeErrors int64
 }
 
 // CoalescingNetwork batches small messages into one frame per destination
@@ -95,6 +101,7 @@ type CoalescingNetwork struct {
 	cfg   CoalesceConfig
 
 	messages, frames, batches, batched, payloadBytes atomic.Int64
+	decodeErrors                                     atomic.Int64
 
 	mu      sync.Mutex
 	eps     map[Addr]*coalescingEndpoint
@@ -124,6 +131,7 @@ func NewCoalescingNetwork(inner Network, cfg CoalesceConfig) *CoalescingNetwork 
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = DefaultFlushInterval
 	}
+	cfg.Clock = vclock.Or(cfg.Clock)
 	return &CoalescingNetwork{
 		inner:   inner,
 		cfg:     cfg,
@@ -143,6 +151,7 @@ func (n *CoalescingNetwork) Stats() FrameStats {
 		Batches:      n.batches.Load(),
 		Batched:      n.batched.Load(),
 		PayloadBytes: n.payloadBytes.Load(),
+		DecodeErrors: n.decodeErrors.Load(),
 	}
 }
 
@@ -320,11 +329,11 @@ func (n *CoalescingNetwork) flushAllLocked() error {
 // flushLoop is the deadline trigger: every FlushInterval it flushes all
 // pending batches, bounding the wait of an underfull batch.
 func (n *CoalescingNetwork) flushLoop() {
-	t := time.NewTicker(n.cfg.FlushInterval)
+	t := n.cfg.Clock.NewTicker(n.cfg.FlushInterval)
 	defer t.Stop()
 	for {
 		select {
-		case <-t.C:
+		case <-t.C():
 		case <-n.done:
 			return
 		}
@@ -401,8 +410,9 @@ func (e *coalescingEndpoint) recvLoop() {
 			return nil
 		})
 		if err != nil {
-			// A malformed batch is protocol corruption; fail the endpoint
-			// loudly rather than delivering a partial prefix silently.
+			// A malformed batch is protocol corruption; count it and fail the
+			// endpoint loudly rather than delivering a partial prefix silently.
+			e.net.decodeErrors.Add(1)
 			e.fail(err)
 			return
 		}
@@ -442,14 +452,14 @@ func (e *coalescingEndpoint) Recv() (Message, error) {
 }
 
 func (e *coalescingEndpoint) RecvTimeout(d time.Duration) (Message, error) {
-	t := time.NewTimer(d)
+	t := e.net.cfg.Clock.NewTimer(d)
 	defer t.Stop()
 	select {
 	case m := <-e.box:
 		return m, nil
 	case <-e.done:
 		return Message{}, e.closeErr()
-	case <-t.C:
+	case <-t.C():
 		return Message{}, ErrTimeout
 	}
 }

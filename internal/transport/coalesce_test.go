@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"repro/internal/testutil"
 	"sync"
 	"testing"
 	"time"
@@ -242,7 +243,7 @@ func TestCoalesceUnderReliable(t *testing.T) {
 				if err == nil {
 					break
 				}
-				time.Sleep(time.Millisecond)
+				testutil.Sleep(time.Millisecond)
 			}
 		}
 	}()

@@ -3,6 +3,8 @@ package transport
 import (
 	"sync"
 	"time"
+
+	"repro/internal/vclock"
 )
 
 // Dispatcher owns an endpoint's receive loop and fans messages out to
@@ -16,7 +18,8 @@ import (
 // paper's framework likewise decouples request handling from the application
 // loop).
 type Dispatcher struct {
-	ep Endpoint
+	ep    Endpoint
+	clock vclock.Clock
 
 	mu      sync.Mutex
 	queues  map[Kind]*queue
@@ -89,9 +92,14 @@ func (q *queue) pop(deadline <-chan time.Time) (Message, error) {
 }
 
 // NewDispatcher wraps ep and starts its receive loop.
-func NewDispatcher(ep Endpoint) *Dispatcher {
+func NewDispatcher(ep Endpoint) *Dispatcher { return NewDispatcherClock(ep, nil) }
+
+// NewDispatcherClock is NewDispatcher with an injected clock for receive
+// deadlines (nil = wall clock).
+func NewDispatcherClock(ep Endpoint, clock vclock.Clock) *Dispatcher {
 	d := &Dispatcher{
 		ep:      ep,
+		clock:   vclock.Or(clock),
 		queues:  make(map[Kind]*queue),
 		chans:   make(map[Kind]chan Message),
 		stopped: make(chan struct{}),
@@ -165,9 +173,9 @@ func (d *Dispatcher) Recv(kind Kind) (Message, error) {
 
 // RecvTimeout is Recv with a deadline.
 func (d *Dispatcher) RecvTimeout(kind Kind, timeout time.Duration) (Message, error) {
-	t := time.NewTimer(timeout)
+	t := d.clock.NewTimer(timeout)
 	defer t.Stop()
-	return d.queue(kind).pop(t.C)
+	return d.queue(kind).pop(t.C())
 }
 
 // Err returns the error that stopped the receive loop, or nil while running.

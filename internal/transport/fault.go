@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/vclock"
 )
 
 // FaultConfig parameterizes a FaultNetwork. All faults are drawn from one
@@ -13,6 +15,10 @@ import (
 type FaultConfig struct {
 	// Seed seeds the fault RNG (0 behaves like 1).
 	Seed int64
+	// Clock supplies the time source for injected delays (nil = wall clock).
+	// The deterministic simulation harness injects a virtual clock so held
+	// messages are released by simulated time, not host time.
+	Clock vclock.Clock
 	// Drop is the probability an individual message is silently lost.
 	Drop float64
 	// DelayProb is the probability a delivered message is held for a uniform
@@ -62,6 +68,7 @@ func NewFaultNetwork(inner Network, cfg FaultConfig) *FaultNetwork {
 	if cfg.ResetLen <= 0 {
 		cfg.ResetLen = 4
 	}
+	cfg.Clock = vclock.Or(cfg.Clock)
 	return &FaultNetwork{
 		inner: inner,
 		cfg:   cfg,
@@ -142,6 +149,23 @@ type faultMsg struct {
 	msg Message
 }
 
+// holdUntil blocks until the clock reaches due or done closes; it reports
+// false when done won. Shared by the fault and latency pumps.
+func holdUntil(clock vclock.Clock, due time.Time, done <-chan struct{}) bool {
+	wait := clock.Until(due)
+	if wait <= 0 {
+		return true
+	}
+	t := clock.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C():
+		return true
+	case <-done:
+		return false
+	}
+}
+
 // faultEndpoint applies the fault plan on the send side. Surviving messages
 // flow through a single FIFO pump goroutine so injected delays never reorder
 // deliveries from this sender.
@@ -162,12 +186,8 @@ func (e *faultEndpoint) pump() {
 	for {
 		select {
 		case fm := <-e.queue:
-			if wait := time.Until(fm.due); wait > 0 {
-				select {
-				case <-time.After(wait):
-				case <-e.done:
-					return
-				}
+			if !holdUntil(e.net.cfg.Clock, fm.due, e.done) {
+				return
 			}
 			_ = e.inner.Send(fm.msg) // a vanished receiver is just another fault
 		case <-e.done:
@@ -189,7 +209,7 @@ func (e *faultEndpoint) Send(msg Message) error {
 		return nil // silently lost, as the wire would lose it
 	}
 	select {
-	case e.queue <- faultMsg{due: time.Now().Add(v.delay), msg: msg}:
+	case e.queue <- faultMsg{due: e.net.cfg.Clock.Now().Add(v.delay), msg: msg}:
 		return nil
 	case <-e.done:
 		return ErrClosed

@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"repro/internal/testutil"
 	"testing"
 	"time"
 )
@@ -165,12 +166,12 @@ func TestReliableAcksShrinkBuffer(t *testing.T) {
 		}
 	}
 	re := a.(*reliableEndpoint)
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := testutil.Now().Add(5 * time.Second)
 	for re.Unacked() > 0 {
-		if time.Now().After(deadline) {
+		if testutil.Now().After(deadline) {
 			t.Fatalf("resend buffer still holds %d messages after all were delivered", re.Unacked())
 		}
-		time.Sleep(time.Millisecond)
+		testutil.Sleep(time.Millisecond)
 	}
 }
 

@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// newTestFrameReader wraps a byte stream in a frameReader.
+func newTestFrameReader(stream []byte) *frameReader {
+	return &frameReader{r: bufio.NewReader(bytes.NewReader(stream))}
+}
+
+// TestFrameReaderOversizedPrefix pins the hostile-length-prefix behaviour: a
+// claimed frame beyond maxFrameLen must fail with the typed decode error
+// (counted in transport.decode_errors by the read loop), not attempt the
+// allocation.
+func TestFrameReaderOversizedPrefix(t *testing.T) {
+	stream := wire.AppendUvarint(nil, maxFrameLen+1)
+	fr := newTestFrameReader(stream)
+	if _, err := fr.next(); !errors.Is(err, errFrameLength) {
+		t.Fatalf("oversized prefix: got %v, want errFrameLength", err)
+	}
+}
+
+// TestFrameReaderLyingPrefix feeds a prefix claiming half a gigabyte with
+// only a few bytes behind it: the reader must fail on the truncated stream
+// after allocating no more than a growth chunk or so — the geometric-growth
+// policy's whole point is that allocation tracks bytes received, not bytes
+// claimed.
+func TestFrameReaderLyingPrefix(t *testing.T) {
+	stream := wire.AppendUvarint(nil, 512<<20)
+	stream = append(stream, make([]byte, 100)...)
+	fr := newTestFrameReader(stream)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := fr.next()
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("lying prefix: got %v, want unexpected EOF", err)
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 16<<20 {
+		t.Fatalf("lying 512MB prefix allocated %d bytes; growth should track received bytes", grew)
+	}
+}
+
+// TestFrameReaderLargeFrame round-trips a frame bigger than frameAllocChunk
+// through the growth loop, then a second frame through the reuse fast path.
+func TestFrameReaderLargeFrame(t *testing.T) {
+	payload := make([]byte, 2*frameAllocChunk+frameAllocChunk/2)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	msgs := []Message{
+		{Kind: KindData, Src: Proc("F", 0), Dst: Proc("U", 1), Tag: "big", Seq: 9, Payload: payload},
+		{Kind: KindControl, Src: Rep("F"), Dst: Rep("U"), Tag: "small", Seq: 10},
+	}
+	var stream []byte
+	for _, m := range msgs {
+		frame := AppendFrame(nil, m)
+		stream = wire.AppendUvarint(stream, uint64(len(frame)))
+		stream = append(stream, frame...)
+	}
+	fr := newTestFrameReader(stream)
+	for i, want := range msgs {
+		raw, err := fr.next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := DecodeFrame(raw, nil)
+		if err != nil {
+			t.Fatalf("frame %d decode: %v", i, err)
+		}
+		if got.Tag != want.Tag || got.Seq != want.Seq || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d round trip mismatch: got tag=%q seq=%d len=%d", i, got.Tag, got.Seq, len(got.Payload))
+		}
+	}
+	if _, err := fr.next(); err != io.EOF {
+		t.Fatalf("expected EOF after the stream, got %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// Fuzz targets for the wire-facing codecs: whatever bytes arrive, the
+// decoders must return an error rather than panic or mis-parse, and anything
+// they accept must survive a canonical re-encode/decode round trip
+// unchanged. Seed corpora live in testdata/fuzz; CI runs each target for a
+// short budget on every push.
+
+func fuzzMessagesEqual(a, b Message) bool {
+	return a.Kind == b.Kind && a.Seq == b.Seq && a.Trace == b.Trace &&
+		a.Src == b.Src && a.Dst == b.Dst && a.Tag == b.Tag &&
+		bytes.Equal(a.Payload, b.Payload)
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	seeds := []Message{
+		{Kind: KindData, Src: Proc("F", 0), Dst: Proc("U", 1), Tag: "F.f>U.f", Seq: 7,
+			Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Kind: KindControl, Src: Rep("F"), Dst: Rep("U"), Tag: "hello"},
+		{Kind: KindResponse, Src: Proc("F", 3), Dst: Rep("F"), Tag: "resp",
+			Trace: 0xdeadbeef, Payload: []byte("x")},
+	}
+	for _, m := range seeds {
+		f.Add(AppendFrame(nil, m))
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, frameFixedLen-1)) // truncated header
+	full := AppendFrame(nil, seeds[0])
+	f.Add(full[:frameFixedLen+2]) // truncated body
+	flags := append([]byte(nil), full...)
+	flags[1] = 0x7e // unknown flag bits
+	f.Add(flags)
+	traced := append([]byte(nil), AppendFrame(nil, seeds[2])[:frameFixedLen+3]...) // trace flag, short trace word
+	f.Add(traced)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeFrame(b, nil)
+		mi, erri := DecodeFrame(b, wire.NewInterner())
+		if (err == nil) != (erri == nil) {
+			t.Fatalf("interned decode disagrees: %v vs %v", err, erri)
+		}
+		if err != nil {
+			return
+		}
+		if !fuzzMessagesEqual(m, mi) {
+			t.Fatalf("interned decode differs:\n%+v\n%+v", m, mi)
+		}
+		enc := AppendFrame(nil, m)
+		if FrameSize(m) != len(enc) {
+			t.Fatalf("FrameSize %d, encoded %d bytes", FrameSize(m), len(enc))
+		}
+		if FrameSeq(enc) != m.Seq {
+			t.Fatalf("FrameSeq %d, want %d", FrameSeq(enc), m.Seq)
+		}
+		m2, err := DecodeFrame(enc, nil)
+		if err != nil {
+			t.Fatalf("canonical re-encode does not decode: %v", err)
+		}
+		if !fuzzMessagesEqual(m, m2) {
+			t.Fatalf("round trip changed the message:\n%+v\n%+v", m, m2)
+		}
+	})
+}
+
+func FuzzDecodeBatch(f *testing.F) {
+	var valid []byte
+	valid = AppendBatchItem(valid, Message{Kind: KindResponse, Src: Proc("F", 0), Dst: Proc("U", 1),
+		Seq: 3, Tag: "r", Payload: []byte{9, 9}})
+	valid = AppendBatchItem(valid, Message{Kind: KindControl, Src: Rep("F"), Dst: Rep("U"),
+		Seq: 4, Tag: "hb", Trace: 123})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindData) | batchItemTrace}) // trace bit, truncated before everything
+	// Kind bit 0x80 set but the stream ends right after the ranks — no trace
+	// word. Must error, never mis-parse the following fields as the trace.
+	f.Add([]byte{byte(KindData) | batchItemTrace, 0, 0, 0, 0, 1, 0, 0, 0})
+	f.Add(valid[:len(valid)-3]) // truncated final item
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		env := Message{Kind: KindBatch, Src: Rep("F"), Dst: Rep("U"), Payload: payload}
+		var items []Message
+		err := decodeBatch(env, wire.NewInterner(), func(m Message) error {
+			if len(m.Payload) > 0 {
+				m.Payload = append([]byte(nil), m.Payload...)
+			}
+			items = append(items, m)
+			return nil
+		})
+		if err != nil {
+			return
+		}
+		var enc []byte
+		for _, m := range items {
+			if m.Kind&Kind(batchItemTrace) != 0 {
+				t.Fatalf("decoded item kind %#x still carries the trace bit", uint8(m.Kind))
+			}
+			start := len(enc)
+			enc = AppendBatchItem(enc, m)
+			if sz := BatchItemSize(m); len(enc)-start != sz {
+				t.Fatalf("BatchItemSize %d, encoded %d bytes", sz, len(enc)-start)
+			}
+		}
+		var again []Message
+		err = decodeBatch(Message{Kind: KindBatch, Src: env.Src, Dst: env.Dst, Payload: enc},
+			wire.NewInterner(), func(m Message) error {
+				if len(m.Payload) > 0 {
+					m.Payload = append([]byte(nil), m.Payload...)
+				}
+				again = append(again, m)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("canonical re-encode does not decode: %v", err)
+		}
+		if len(again) != len(items) {
+			t.Fatalf("round trip changed item count: %d -> %d", len(items), len(again))
+		}
+		for i := range items {
+			if !fuzzMessagesEqual(items[i], again[i]) {
+				t.Fatalf("round trip changed item %d:\n%+v\n%+v", i, items[i], again[i])
+			}
+		}
+	})
+}

@@ -4,7 +4,22 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/vclock"
 )
+
+// LatencyConfig parameterizes a LatencyNetwork.
+type LatencyConfig struct {
+	// Latency is the fixed one-way delivery delay.
+	Latency time.Duration
+	// Jitter adds a uniform random amount in [0, Jitter) per message.
+	Jitter time.Duration
+	// Seed seeds the jitter RNG (0 behaves like 1), so a scenario seed
+	// reproduces the same jitter sequence run to run.
+	Seed int64
+	// Clock supplies the time source for the delays (nil = wall clock).
+	Clock vclock.Clock
+}
 
 // LatencyNetwork wraps another Network and delays every message by a fixed
 // latency plus optional uniform jitter, preserving per-pair FIFO order. It
@@ -13,22 +28,31 @@ import (
 // latency erodes the buddy-help window: a buddy-help message only saves
 // memcpys if it outruns the slow process's exports.
 type LatencyNetwork struct {
-	inner   Network
-	latency time.Duration
-	jitter  time.Duration
+	inner Network
+	cfg   LatencyConfig
 
 	mu  sync.Mutex
 	rng *rand.Rand
 }
 
 // NewLatencyNetwork wraps inner, delaying each delivery by latency plus a
-// uniform random amount in [0, jitter).
+// uniform random amount in [0, jitter). The jitter RNG is seeded with 1;
+// callers that sweep scenario seeds use NewLatencyNetworkCfg to plumb their
+// own.
 func NewLatencyNetwork(inner Network, latency, jitter time.Duration) *LatencyNetwork {
+	return NewLatencyNetworkCfg(inner, LatencyConfig{Latency: latency, Jitter: jitter})
+}
+
+// NewLatencyNetworkCfg wraps inner with the given latency plan.
+func NewLatencyNetworkCfg(inner Network, cfg LatencyConfig) *LatencyNetwork {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cfg.Clock = vclock.Or(cfg.Clock)
 	return &LatencyNetwork{
-		inner:   inner,
-		latency: latency,
-		jitter:  jitter,
-		rng:     rand.New(rand.NewSource(1)),
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -56,10 +80,10 @@ func (n *LatencyNetwork) Unwrap() Network { return n.inner }
 
 // delay draws one delivery delay.
 func (n *LatencyNetwork) delay() time.Duration {
-	d := n.latency
-	if n.jitter > 0 {
+	d := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
 		n.mu.Lock()
-		d += time.Duration(n.rng.Int63n(int64(n.jitter)))
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
 		n.mu.Unlock()
 	}
 	return d
@@ -85,12 +109,8 @@ func (e *latencyEndpoint) pump() {
 	for {
 		select {
 		case dm := <-e.queue:
-			if wait := time.Until(dm.due); wait > 0 {
-				select {
-				case <-time.After(wait):
-				case <-e.done:
-					return
-				}
+			if !holdUntil(e.net.cfg.Clock, dm.due, e.done) {
+				return
 			}
 			if err := e.inner.Send(dm.msg); err != nil {
 				return
@@ -110,7 +130,7 @@ func (e *latencyEndpoint) Send(msg Message) error {
 	default:
 	}
 	select {
-	case e.queue <- delayedMsg{due: time.Now().Add(e.net.delay()), msg: msg}:
+	case e.queue <- delayedMsg{due: e.net.cfg.Clock.Now().Add(e.net.delay()), msg: msg}:
 		return nil
 	case <-e.done:
 		return ErrClosed

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"repro/internal/testutil"
 	"testing"
 	"time"
 )
@@ -17,7 +18,7 @@ func TestLatencyDelaysDelivery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	start := time.Now()
+	start := testutil.Now()
 	if err := a.Send(Message{Kind: KindPoint, Dst: b.Addr()}); err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestLatencyCloseUnblocks(t *testing.T) {
 		_, err := b.Recv()
 		errc <- err
 	}()
-	time.Sleep(10 * time.Millisecond)
+	testutil.Sleep(10 * time.Millisecond)
 	n.Close()
 	select {
 	case err := <-errc:

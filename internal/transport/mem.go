@@ -3,6 +3,8 @@ package transport
 import (
 	"sync"
 	"time"
+
+	"repro/internal/vclock"
 )
 
 // DefaultMailboxDepth is the buffered-channel depth of each in-memory
@@ -14,6 +16,9 @@ const DefaultMailboxDepth = 1024
 // MemNetwork routes messages through buffered channels inside one OS process.
 // It is the default substrate: a "cluster" of goroutine processes.
 type MemNetwork struct {
+	// Clock drives receive timeouts (nil = wall clock). Set before Register.
+	Clock vclock.Clock
+
 	mu     sync.RWMutex
 	boxes  map[Addr]*memEndpoint
 	seq    map[seqKey]uint64
@@ -146,14 +151,14 @@ func (e *memEndpoint) Recv() (Message, error) {
 }
 
 func (e *memEndpoint) RecvTimeout(d time.Duration) (Message, error) {
-	t := time.NewTimer(d)
+	t := vclock.Or(e.net.Clock).NewTimer(d)
 	defer t.Stop()
 	select {
 	case m := <-e.box:
 		return m, nil
 	case <-e.done:
 		return Message{}, ErrClosed
-	case <-t.C:
+	case <-t.C():
 		return Message{}, ErrTimeout
 	}
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"repro/internal/testutil"
 	"sync"
 	"testing"
 	"time"
@@ -121,7 +122,7 @@ func TestMemRecvTimeout(t *testing.T) {
 	n := NewMemNetwork()
 	defer n.Close()
 	a, _ := n.Register(Proc("P", 0))
-	start := time.Now()
+	start := testutil.Now()
 	_, err := a.RecvTimeout(20 * time.Millisecond)
 	if err != ErrTimeout {
 		t.Fatalf("err = %v, want ErrTimeout", err)
@@ -140,7 +141,7 @@ func TestMemCloseUnblocksRecv(t *testing.T) {
 		_, err := a.Recv()
 		errc <- err
 	}()
-	time.Sleep(5 * time.Millisecond)
+	testutil.Sleep(5 * time.Millisecond)
 	a.Close()
 	select {
 	case err := <-errc:
@@ -246,7 +247,7 @@ func TestDispatcherBuffersBeforeSubscribe(t *testing.T) {
 	d := NewDispatcher(ep)
 	defer d.Close()
 	src.Send(Message{Kind: KindAnswer, Dst: ep.Addr(), Tag: "early"})
-	time.Sleep(10 * time.Millisecond) // let the receive loop queue it
+	testutil.Sleep(10 * time.Millisecond) // let the receive loop queue it
 	m, err := d.RecvTimeout(KindAnswer, time.Second)
 	if err != nil || m.Tag != "early" {
 		t.Fatalf("buffered message lost: %v %+v", err, m)
@@ -263,7 +264,7 @@ func TestDispatcherCloseUnblocks(t *testing.T) {
 		_, err := d.Recv(KindData)
 		errc <- err
 	}()
-	time.Sleep(5 * time.Millisecond)
+	testutil.Sleep(5 * time.Millisecond)
 	d.Close()
 	select {
 	case err := <-errc:

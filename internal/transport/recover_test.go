@@ -187,13 +187,13 @@ func TestTCPStatsCounters(t *testing.T) {
 	}
 	n.ResetConnections()
 	// Both endpoints reconnect; prove liveness, then check the counter.
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := testutil.Now().Add(10 * time.Second)
 	for {
 		a.Send(Message{Kind: KindPoint, Dst: b.Addr(), Tag: "after"})
 		if m, err := b.RecvTimeout(200 * time.Millisecond); err == nil && m.Tag == "after" {
 			break
 		}
-		if time.Now().After(deadline) {
+		if testutil.Now().After(deadline) {
 			t.Fatal("endpoints never recovered from the reset")
 		}
 	}

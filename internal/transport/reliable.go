@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/vclock"
 )
 
 // DefaultResendInterval is the retransmission period of a ReliableNetwork
@@ -29,6 +31,8 @@ type ReliableConfig struct {
 	// session rather than an unfillable gap — that is what lets in-flight
 	// ack state survive a crash+rejoin instead of deadlocking both sides.
 	SessionEpoch uint32
+	// Clock drives the resend ticker and receive timeouts (nil = wall clock).
+	Clock vclock.Clock
 }
 
 // ErrResendBufferFull is returned by Send when ReliableConfig.MaxUnacked
@@ -57,6 +61,7 @@ func NewReliableNetwork(inner Network, cfg ReliableConfig) *ReliableNetwork {
 	if cfg.ResendInterval <= 0 {
 		cfg.ResendInterval = DefaultResendInterval
 	}
+	cfg.Clock = vclock.Or(cfg.Clock)
 	return &ReliableNetwork{inner: inner, cfg: cfg}
 }
 
@@ -285,11 +290,11 @@ func (e *reliableEndpoint) handleAck(m Message) {
 // first, preserving per-pair order. Receiver-side dedup makes spurious
 // retransmits harmless.
 func (e *reliableEndpoint) resendLoop() {
-	t := time.NewTicker(e.net.cfg.ResendInterval)
+	t := e.net.cfg.Clock.NewTicker(e.net.cfg.ResendInterval)
 	defer t.Stop()
 	for {
 		select {
-		case <-t.C:
+		case <-t.C():
 		case <-e.done:
 			return
 		}
@@ -320,14 +325,14 @@ func (e *reliableEndpoint) Recv() (Message, error) {
 }
 
 func (e *reliableEndpoint) RecvTimeout(d time.Duration) (Message, error) {
-	t := time.NewTimer(d)
+	t := e.net.cfg.Clock.NewTimer(d)
 	defer t.Stop()
 	select {
 	case m := <-e.box:
 		return m, nil
 	case <-e.done:
 		return Message{}, e.closeErr()
-	case <-t.C:
+	case <-t.C():
 		return Message{}, ErrTimeout
 	}
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"repro/internal/testutil"
 	"testing"
 	"time"
 )
@@ -51,12 +52,12 @@ func TestReliableResumeGapFreeAfterBufferFull(t *testing.T) {
 		t.Fatal(err)
 	}
 	re := a.(*reliableEndpoint)
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := testutil.Now().Add(5 * time.Second)
 	for re.Unacked() > 0 {
-		if time.Now().After(deadline) {
+		if testutil.Now().After(deadline) {
 			t.Fatalf("resend buffer still holds %d messages", re.Unacked())
 		}
-		time.Sleep(time.Millisecond)
+		testutil.Sleep(time.Millisecond)
 	}
 
 	// Resume: further sends must continue the sequence exactly where the
@@ -73,10 +74,10 @@ func TestReliableResumeGapFreeAfterBufferFull(t *testing.T) {
 			if !errors.Is(err, ErrResendBufferFull) {
 				t.Fatalf("send %d after drain: %v", sent, err)
 			}
-			if time.Now().After(deadline) {
+			if testutil.Now().After(deadline) {
 				t.Fatalf("send %d still rejected at deadline", sent)
 			}
-			time.Sleep(time.Millisecond)
+			testutil.Sleep(time.Millisecond)
 		}
 	}
 	for i := 0; i < total; i++ {

@@ -3,14 +3,16 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
-	"math/rand/v2"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/vclock"
 	"repro/internal/wire"
 )
 
@@ -23,6 +25,17 @@ const (
 // maxFrameLen bounds a single frame so a corrupt or hostile length prefix
 // cannot make a reader allocate unbounded memory.
 const maxFrameLen = 1 << 30
+
+// frameAllocChunk is the initial read-buffer allocation for frames larger
+// than the current buffer: the buffer grows geometrically as the frame's
+// bytes actually arrive, so a lying length prefix costs at most about twice
+// the bytes received, never the full claimed length up front.
+const frameAllocChunk = 1 << 20
+
+// errFrameLength marks a frame whose length prefix exceeds maxFrameLen — a
+// protocol (decode) error, counted in transport.decode_errors, unlike plain
+// socket read failures.
+var errFrameLength = errors.New("transport: frame length exceeds limit")
 
 // The TCP stream is a sequence of length-prefixed binary frames: an outer
 // uvarint frame length followed by the frame encoding of frame.go. Writes
@@ -96,15 +109,35 @@ func (fr *frameReader) next() ([]byte, error) {
 		return nil, err
 	}
 	if n > maxFrameLen {
-		return nil, fmt.Errorf("transport: frame length %d exceeds limit", n)
+		return nil, fmt.Errorf("%w: %d bytes", errFrameLength, n)
 	}
-	if uint64(cap(fr.buf)) < n {
-		fr.buf = make([]byte, n)
+	if uint64(cap(fr.buf)) >= n {
+		buf := fr.buf[:n]
+		if _, err := io.ReadFull(fr.r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
 	}
-	buf := fr.buf[:n]
-	if _, err := io.ReadFull(fr.r, buf); err != nil {
-		return nil, err
+	// The frame outgrows the buffer: grow geometrically, filling each new
+	// stretch from the socket before growing again, so the allocation tracks
+	// bytes that actually arrived rather than the claimed length.
+	var buf []byte
+	for uint64(len(buf)) < n {
+		newCap := uint64(cap(buf)) * 2
+		if newCap < frameAllocChunk {
+			newCap = frameAllocChunk
+		}
+		if newCap > n {
+			newCap = n
+		}
+		grown := make([]byte, newCap)
+		copy(grown, buf)
+		if _, err := io.ReadFull(fr.r, grown[len(buf):]); err != nil {
+			return nil, err
+		}
+		buf = grown
 	}
+	fr.buf = buf
 	return buf, nil
 }
 
@@ -310,6 +343,15 @@ type TCPNetwork struct {
 	RetryBase  time.Duration
 	RetryCap   time.Duration
 
+	// RetrySeed seeds the reconnect-jitter RNG. Zero seeds it from the clock
+	// at first use, decorrelating the processes of a real deployment; test
+	// harnesses that sweep scenario seeds set it so backoff jitter replays.
+	RetrySeed int64
+
+	// Clock drives reconnect backoff waits and receive timeouts
+	// (nil = wall clock).
+	Clock vclock.Clock
+
 	// SessionEpoch, when nonzero, marks this network object as a restarted
 	// incarnation of its addresses: the initial hello carries it, so the
 	// router hands any stale registration of the same address over to the
@@ -326,6 +368,12 @@ type TCPNetwork struct {
 	mu     sync.Mutex
 	eps    []*tcpEndpoint
 	closed bool
+
+	// jrng is the reconnect-jitter RNG, locally seeded from RetrySeed (never
+	// the package-global rand, whose draw order depends on goroutine
+	// interleaving and would break scenario-seed replay).
+	jmu  sync.Mutex
+	jrng *rand.Rand
 }
 
 // TCPStats is a snapshot of a TCPNetwork's error counters.
@@ -365,6 +413,23 @@ func (n *TCPNetwork) retryCap() time.Duration {
 		return n.RetryCap
 	}
 	return DefaultRetryCap
+}
+
+func (n *TCPNetwork) clock() vclock.Clock { return vclock.Or(n.Clock) }
+
+// jitter draws a uniform duration in [0, limit) from the reconnect RNG,
+// lazily seeding it on first use.
+func (n *TCPNetwork) jitter(limit int64) time.Duration {
+	n.jmu.Lock()
+	defer n.jmu.Unlock()
+	if n.jrng == nil {
+		seed := n.RetrySeed
+		if seed == 0 {
+			seed = n.clock().Now().UnixNano() | 1
+		}
+		n.jrng = rand.New(rand.NewSource(seed))
+	}
+	return time.Duration(n.jrng.Int63n(limit))
 }
 
 // Register dials the router and claims addr.
@@ -484,6 +549,10 @@ func (e *tcpEndpoint) readLoop() {
 			// connection is dropped (and reconnected) like a read error, but
 			// the cause is counted separately for /statusz.
 			e.net.decodeErrors.Add(1)
+		} else if errors.Is(err, errFrameLength) {
+			// An impossible length prefix is protocol corruption too, not a
+			// mere socket failure.
+			e.net.decodeErrors.Add(1)
 		}
 		select {
 		case <-e.done: // deliberate Close
@@ -512,11 +581,13 @@ func (e *tcpEndpoint) reconnect(cause error) bool {
 		// Sleep a uniformly random duration in [backoff/2, backoff]: peers
 		// that lost the same router would otherwise retry in lockstep and
 		// keep colliding on every doubled interval.
-		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+		sleep := backoff/2 + e.net.jitter(int64(backoff/2)+1)
+		t := e.net.clock().NewTimer(sleep)
 		select {
 		case <-e.done:
+			t.Stop()
 			return false
-		case <-time.After(sleep):
+		case <-t.C():
 		}
 		if backoff *= 2; backoff > e.net.retryCap() {
 			backoff = e.net.retryCap()
@@ -611,14 +682,14 @@ func (e *tcpEndpoint) Recv() (Message, error) {
 }
 
 func (e *tcpEndpoint) RecvTimeout(d time.Duration) (Message, error) {
-	t := time.NewTimer(d)
+	t := e.net.clock().NewTimer(d)
 	defer t.Stop()
 	select {
 	case m := <-e.box:
 		return m, nil
 	case <-e.done:
 		return Message{}, e.closeErr()
-	case <-t.C:
+	case <-t.C():
 		return Message{}, ErrTimeout
 	}
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"repro/internal/testutil"
 	"strings"
 	"testing"
 	"time"
@@ -134,7 +135,7 @@ func TestTCPCloseUnblocksRecv(t *testing.T) {
 		_, err := a.Recv()
 		errc <- err
 	}()
-	time.Sleep(10 * time.Millisecond)
+	testutil.Sleep(10 * time.Millisecond)
 	a.Close()
 	select {
 	case err := <-errc:
@@ -168,14 +169,14 @@ func TestTCPRecvReportsConnectionError(t *testing.T) {
 	defer n.Close()
 	a, _ := n.Register(Proc("P", 0))
 	r.Close()
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := testutil.Now().Add(5 * time.Second)
 	var err error
 	for {
 		_, err = a.RecvTimeout(100 * time.Millisecond)
 		if err != nil && err != ErrTimeout {
 			break
 		}
-		if time.Now().After(deadline) {
+		if testutil.Now().After(deadline) {
 			t.Fatal("Recv never reported the connection failure")
 		}
 	}
@@ -216,13 +217,13 @@ func TestTCPReconnect(t *testing.T) {
 	// The reconnect races the send; retry until a message gets through the
 	// re-established connection (the reliable layer automates this retry in
 	// production).
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := testutil.Now().Add(10 * time.Second)
 	for {
 		b.Send(Message{Kind: KindPoint, Dst: a.Addr(), Tag: "after"})
 		if m, err := a.RecvTimeout(200 * time.Millisecond); err == nil && m.Tag == "after" {
 			return
 		}
-		if time.Now().After(deadline) {
+		if testutil.Now().After(deadline) {
 			t.Fatal("endpoint never recovered from the connection reset")
 		}
 	}

@@ -1,0 +1,90 @@
+// Package vclock provides the injectable clock the framework's time-driven
+// machinery runs on: heartbeat leases, reliable-layer retransmit tickers,
+// coalescing flush windows, reconnect backoff, fault-injection delays and
+// buffer-retention accounting all draw their notion of "now" and their
+// timers from a Clock instead of the time package directly.
+//
+// Two implementations exist. Wall delegates to the real time package and is
+// the default everywhere — production behavior is unchanged. Virtual is a
+// discrete-event clock owned by the deterministic simulation harness
+// (internal/dst): time advances only when the simulation says so, timers
+// fire in deadline order under a single lock, and a heartbeat interval of
+// 250ms costs no real milliseconds at all. Because every time-driven
+// component reads the same injected clock, a dst run's timer firings are a
+// pure function of the event schedule, not of the host scheduler.
+package vclock
+
+import "time"
+
+// Clock is the time source injected into the framework layers.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks until the clock has advanced by d.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock's time once it has
+	// advanced by d. The underlying timer cannot be stopped; prefer
+	// NewTimer for waits that are usually abandoned.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a timer that fires once, d from now.
+	NewTimer(d time.Duration) Timer
+	// NewTicker returns a ticker firing every d.
+	NewTicker(d time.Duration) Ticker
+	// Since returns the time elapsed on this clock since t.
+	Since(t time.Time) time.Duration
+	// Until returns the duration until t on this clock.
+	Until(t time.Time) time.Duration
+}
+
+// Timer is the clock-agnostic shape of time.Timer.
+type Timer interface {
+	// C returns the channel the timer fires on.
+	C() <-chan time.Time
+	// Stop prevents the timer from firing; it reports whether the call
+	// stopped a pending fire.
+	Stop() bool
+	// Reset re-arms the timer to fire d from now.
+	Reset(d time.Duration) bool
+}
+
+// Ticker is the clock-agnostic shape of time.Ticker.
+type Ticker interface {
+	// C returns the channel the ticker delivers ticks on.
+	C() <-chan time.Time
+	// Stop shuts the ticker down.
+	Stop()
+}
+
+// Wall is the real-time clock: every method delegates to the time package.
+// It is the value every layer falls back to when no clock is injected.
+var Wall Clock = wallClock{}
+
+// Or returns c, or Wall when c is nil — the one-line default every
+// configuration struct resolves its optional clock field with.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Wall
+	}
+	return c
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                         { return time.Now() }
+func (wallClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (wallClock) NewTimer(d time.Duration) Timer         { return wallTimer{time.NewTimer(d)} }
+func (wallClock) NewTicker(d time.Duration) Ticker       { return wallTicker{time.NewTicker(d)} }
+func (wallClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (wallClock) Until(t time.Time) time.Duration        { return time.Until(t) }
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) C() <-chan time.Time        { return w.t.C }
+func (w wallTimer) Stop() bool                 { return w.t.Stop() }
+func (w wallTimer) Reset(d time.Duration) bool { return w.t.Reset(d) }
+
+type wallTicker struct{ t *time.Ticker }
+
+func (w wallTicker) C() <-chan time.Time { return w.t.C }
+func (w wallTicker) Stop()               { w.t.Stop() }

@@ -1,0 +1,235 @@
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Virtual is a discrete-event clock: Now stands still until Advance (or
+// AdvanceTo) moves it, and timers fire synchronously, in deadline order,
+// during that advance. It is safe for concurrent use — application
+// goroutines arm timers and Sleep while the simulation driver advances.
+//
+// Timer channels are buffered (capacity 1) and fired with a non-blocking
+// send, mirroring the time package: a ticker whose consumer lags drops
+// ticks rather than stalling the clock.
+type Virtual struct {
+	mu       sync.Mutex
+	now      time.Time
+	timers   timerHeap
+	seq      uint64
+	sleepers int
+}
+
+// NewVirtual returns a virtual clock reading start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Until implements Clock.
+func (v *Virtual) Until(t time.Time) time.Duration { return t.Sub(v.Now()) }
+
+// Sleep implements Clock: it blocks until the clock advances by d. Sleepers
+// are counted so a simulation driver can tell blocked-on-time goroutines
+// from runnable ones.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := v.NewTimer(d)
+	v.mu.Lock()
+	v.sleepers++
+	v.mu.Unlock()
+	<-t.C()
+	v.mu.Lock()
+	v.sleepers--
+	v.mu.Unlock()
+}
+
+// After implements Clock.
+func (v *Virtual) After(d time.Duration) <-chan time.Time { return v.NewTimer(d).C() }
+
+// NewTimer implements Clock. A non-positive d fires the timer immediately
+// (at the current virtual time), like the time package.
+func (v *Virtual) NewTimer(d time.Duration) Timer {
+	return v.arm(d, 0)
+}
+
+// NewTicker implements Clock. A non-positive period panics, like the time
+// package.
+func (v *Virtual) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("vclock: non-positive ticker period")
+	}
+	return vticker{v.arm(d, d)}
+}
+
+// vticker adapts a periodic vtimer to the Ticker interface (whose Stop has
+// no result).
+type vticker struct{ t *vtimer }
+
+func (k vticker) C() <-chan time.Time { return k.t.ch }
+func (k vticker) Stop()               { k.t.Stop() }
+
+func (v *Virtual) arm(d, period time.Duration) *vtimer {
+	t := &vtimer{clock: v, ch: make(chan time.Time, 1), period: period}
+	v.mu.Lock()
+	v.seq++
+	t.seq = v.seq
+	if d <= 0 {
+		t.ch <- v.now
+	} else {
+		t.when = v.now.Add(d)
+		t.active = true
+		heap.Push(&v.timers, t)
+	}
+	v.mu.Unlock()
+	return t
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// falls within the step, in deadline order.
+func (v *Virtual) Advance(d time.Duration) { v.AdvanceTo(v.Now().Add(d)) }
+
+// AdvanceTo moves the clock forward to t (never backward), firing due
+// timers in deadline order on the way.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.timers) > 0 {
+		next := v.timers[0]
+		if !next.active {
+			heap.Pop(&v.timers)
+			continue
+		}
+		if next.when.After(t) {
+			break
+		}
+		v.now = next.when
+		heap.Pop(&v.timers)
+		select {
+		case next.ch <- next.when:
+		default: // lagging ticker consumer: drop the tick
+		}
+		if next.period > 0 {
+			next.when = next.when.Add(next.period)
+			heap.Push(&v.timers, next)
+		} else {
+			next.active = false
+		}
+	}
+	if t.After(v.now) {
+		v.now = t
+	}
+}
+
+// NextDeadline returns the earliest pending timer deadline, if any.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.timers) > 0 {
+		if !v.timers[0].active {
+			heap.Pop(&v.timers)
+			continue
+		}
+		return v.timers[0].when, true
+	}
+	return time.Time{}, false
+}
+
+// Sleepers returns how many goroutines are currently blocked in Sleep.
+func (v *Virtual) Sleepers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.sleepers
+}
+
+// vtimer is one armed (or fired) timer/ticker on a Virtual clock.
+type vtimer struct {
+	clock  *Virtual
+	ch     chan time.Time
+	when   time.Time
+	period time.Duration
+	seq    uint64 // arm order, tie-breaking equal deadlines deterministically
+	index  int    // heap position
+	inHeap bool
+	active bool
+}
+
+func (t *vtimer) C() <-chan time.Time { return t.ch }
+
+func (t *vtimer) Stop() bool {
+	v := t.clock
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	was := t.active
+	t.active = false // lazy removal: the heap skips inactive nodes
+	return was
+}
+
+func (t *vtimer) Reset(d time.Duration) bool {
+	v := t.clock
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	was := t.active
+	if d <= 0 {
+		t.active = false
+		select {
+		case t.ch <- v.now:
+		default:
+		}
+		return was
+	}
+	t.when = v.now.Add(d)
+	t.active = true
+	v.seq++
+	t.seq = v.seq
+	if t.inHeap {
+		heap.Fix(&v.timers, t.index)
+	} else {
+		heap.Push(&v.timers, t)
+	}
+	return was
+}
+
+// timerHeap orders timers by (deadline, arm sequence).
+type timerHeap []*vtimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*vtimer)
+	t.index = len(*h)
+	t.inHeap = true
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.inHeap = false
+	*h = old[:n-1]
+	return t
+}

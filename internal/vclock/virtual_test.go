@@ -1,0 +1,178 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1000, 0)
+
+func TestVirtualNowAdvance(t *testing.T) {
+	v := NewVirtual(t0)
+	if !v.Now().Equal(t0) {
+		t.Fatalf("Now = %v, want %v", v.Now(), t0)
+	}
+	v.Advance(3 * time.Second)
+	if got, want := v.Now(), t0.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+	if d := v.Since(t0); d != 3*time.Second {
+		t.Fatalf("Since = %v", d)
+	}
+	if d := v.Until(t0.Add(5 * time.Second)); d != 2*time.Second {
+		t.Fatalf("Until = %v", d)
+	}
+}
+
+func TestVirtualTimerFiresInOrder(t *testing.T) {
+	v := NewVirtual(t0)
+	a := v.NewTimer(2 * time.Second)
+	b := v.NewTimer(1 * time.Second)
+	if when, ok := v.NextDeadline(); !ok || !when.Equal(t0.Add(time.Second)) {
+		t.Fatalf("NextDeadline = %v %v", when, ok)
+	}
+	v.Advance(90 * time.Minute)
+	if got := <-b.C(); !got.Equal(t0.Add(1 * time.Second)) {
+		t.Fatalf("b fired at %v", got)
+	}
+	if got := <-a.C(); !got.Equal(t0.Add(2 * time.Second)) {
+		t.Fatalf("a fired at %v", got)
+	}
+}
+
+func TestVirtualTimerStopAndReset(t *testing.T) {
+	v := NewVirtual(t0)
+	a := v.NewTimer(time.Second)
+	if !a.Stop() {
+		t.Fatal("Stop on pending timer = false")
+	}
+	v.Advance(2 * time.Second)
+	select {
+	case <-a.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if a.Reset(time.Second) {
+		t.Fatal("Reset on stopped timer = true")
+	}
+	v.Advance(time.Second)
+	select {
+	case got := <-a.C():
+		if !got.Equal(t0.Add(3 * time.Second)) {
+			t.Fatalf("reset timer fired at %v", got)
+		}
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+	// Reset of an already-armed timer moves the deadline.
+	b := v.NewTimer(time.Minute)
+	b.Reset(time.Second)
+	v.Advance(2 * time.Second)
+	select {
+	case <-b.C():
+	default:
+		t.Fatal("re-armed timer did not fire at its new deadline")
+	}
+	// Stop after Reset must stick (the heap node is shared).
+	c := v.NewTimer(time.Second)
+	c.Reset(2 * time.Second)
+	if !c.Stop() {
+		t.Fatal("Stop after Reset = false")
+	}
+	v.Advance(time.Hour)
+	select {
+	case <-c.C():
+		t.Fatal("stopped-after-reset timer fired")
+	default:
+	}
+}
+
+func TestVirtualImmediateTimer(t *testing.T) {
+	v := NewVirtual(t0)
+	a := v.NewTimer(0)
+	select {
+	case <-a.C():
+	default:
+		t.Fatal("zero-duration timer did not fire immediately")
+	}
+}
+
+func TestVirtualTicker(t *testing.T) {
+	v := NewVirtual(t0)
+	tick := v.NewTicker(time.Second)
+	v.Advance(time.Second)
+	if got := <-tick.C(); !got.Equal(t0.Add(time.Second)) {
+		t.Fatalf("tick 1 at %v", got)
+	}
+	v.Advance(time.Second)
+	if got := <-tick.C(); !got.Equal(t0.Add(2 * time.Second)) {
+		t.Fatalf("tick 2 at %v", got)
+	}
+	// A lagging consumer drops ticks instead of blocking the clock.
+	v.Advance(10 * time.Second)
+	<-tick.C()
+	select {
+	case <-tick.C():
+		t.Fatal("dropped ticks were buffered")
+	default:
+	}
+	tick.Stop()
+	v.Advance(10 * time.Second)
+	select {
+	case <-tick.C():
+		t.Fatal("stopped ticker ticked")
+	default:
+	}
+}
+
+func TestVirtualSleepConcurrent(t *testing.T) {
+	v := NewVirtual(t0)
+	var wg sync.WaitGroup
+	woke := make(chan time.Duration, 4)
+	for i := 1; i <= 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v.Sleep(time.Duration(i) * time.Second)
+			woke <- v.Since(t0)
+		}(i)
+	}
+	// Wait for all four to block, then release them with one advance.
+	deadline := time.Now().Add(5 * time.Second)
+	for v.Sleepers() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d sleepers blocked", v.Sleepers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(10 * time.Second)
+	wg.Wait()
+	close(woke)
+	n := 0
+	for range woke {
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("%d sleepers woke", n)
+	}
+}
+
+func TestWallClockBasics(t *testing.T) {
+	c := Or(nil)
+	start := c.Now()
+	timer := c.NewTimer(time.Millisecond)
+	defer timer.Stop()
+	<-timer.C()
+	if c.Since(start) <= 0 {
+		t.Fatal("wall clock did not advance")
+	}
+	tick := c.NewTicker(time.Millisecond)
+	<-tick.C()
+	tick.Stop()
+	c.Sleep(time.Microsecond)
+	<-c.After(time.Microsecond)
+	if Or(c) != c {
+		t.Fatal("Or(non-nil) changed the clock")
+	}
+}
