@@ -391,6 +391,29 @@ func BenchmarkCollectiveAllReduce(b *testing.B) {
 	}
 }
 
+// BenchmarkCollectiveAllReduceLarge compares the two large-vector AllReduce
+// algorithms head to head at 1 MiB per rank on an 8-rank group (the
+// bandwidth-bound regime where the ring's ~2x-per-rank traffic beats
+// recursive doubling's log2(n)x). One benchmark op is one full group
+// operation; with buffer reuse on, both report 0 allocs/op at steady state.
+// Shared with couplebench -collectives, which records the numbers and the
+// >=2x speedup gate in BENCH_PR8.json.
+func BenchmarkCollectiveAllReduceLarge(b *testing.B) {
+	const ranks, vecLen = 8, 1 << 17
+	b.Run("rd", func(b *testing.B) {
+		harness.CollectiveAllReduceBench(b, ranks, vecLen, collective.RecursiveDoubling)
+	})
+	b.Run("ring", func(b *testing.B) {
+		harness.CollectiveAllReduceBench(b, ranks, vecLen, collective.Ring)
+	})
+}
+
+// BenchmarkCollectiveAllReduceSteady is the zero-allocation hot path: 8 KiB
+// vectors, buffer reuse on, algorithm chosen by the dispatch table.
+func BenchmarkCollectiveAllReduceSteady(b *testing.B) {
+	harness.CollectiveAllReduceBench(b, 8, 1024, collective.Auto)
+}
+
 // BenchmarkRedistribution measures an MxN redistribution (2x2 blocks to 8
 // row bands of a 512x512 array) through Pack/Unpack.
 func BenchmarkRedistribution(b *testing.B) {

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/harness"
+)
+
+// collectivesReport is the schema of the JSON file -collectives writes
+// (BENCH_PR8.json in the repository). It snapshots the collective engine's
+// three headline properties — the ring/Rabenseifner AllReduce beats recursive
+// doubling >= 2x on large vectors with bit-identical results, the steady-state
+// hot path allocates nothing, and the Hunold-style performance guidelines all
+// hold — so CI can verify them without re-deriving.
+type collectivesReport struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	// SteadyState times one full-group in-place AllReduce per op (8 ranks,
+	// 8 KiB vectors, buffer reuse on); AllocsPerOp must be 0 for both
+	// algorithms.
+	SteadyStateRD   benchResult `json:"allreduce_steady_state_rd"`
+	SteadyStateRing benchResult `json:"allreduce_steady_state_ring"`
+
+	// Comparison is the 1 MiB x 8-rank head-to-head; Speedup must be >= 2
+	// and Identical true.
+	Comparison *harness.AllReduceComparison `json:"allreduce_rd_vs_ring"`
+
+	// Guidelines is the performance-guidelines sweep; every entry must hold.
+	Guidelines *harness.GuidelinesReport `json:"guidelines"`
+
+	// TunedTable is the dispatch table produced by the self-tuning sweep on
+	// this machine (informational; the static defaults ship in the binary).
+	TunedTable *collective.Table `json:"tuned_table"`
+}
+
+// runCollectives runs the collective benchmark suite and writes the JSON
+// report to path, failing loudly if any acceptance property regressed.
+func runCollectives(path string) error {
+	probe, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+
+	report := collectivesReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+
+	fmt.Println("steady-state allocation benchmarks (8 ranks x 8 KiB, one group op per benchmark op):")
+	row := func(name string, r benchResult) {
+		fmt.Printf("  %-28s %10d ops   %8d ns/op   %4d allocs/op   %6d B/op\n",
+			name, r.N, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	report.SteadyStateRD = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		harness.CollectiveAllReduceBench(b, 8, 1024, collective.RecursiveDoubling)
+	}))
+	row("allreduce-rd", report.SteadyStateRD)
+	report.SteadyStateRing = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		harness.CollectiveAllReduceBench(b, 8, 1024, collective.Ring)
+	}))
+	row("allreduce-ring", report.SteadyStateRing)
+
+	fmt.Println("rd vs ring AllReduce (1 MiB vectors, 8 ranks):")
+	cmp, err := harness.CompareAllReduce(8, 1<<17, 8, 3)
+	if err != nil {
+		return err
+	}
+	report.Comparison = cmp
+	fmt.Printf("  %s\n", cmp)
+
+	fmt.Println("performance guidelines:")
+	gl, err := harness.RunGuidelines(harness.GuidelinesConfig{})
+	if err != nil {
+		return err
+	}
+	report.Guidelines = gl
+	for _, g := range gl.Guidelines {
+		fmt.Printf("  %s\n", g)
+	}
+
+	fmt.Println("self-tuning sweep (8 ranks):")
+	tuned, err := harness.RunTune(8, collective.TuneConfig{})
+	if err != nil {
+		return err
+	}
+	report.TunedTable = tuned
+	fmt.Printf("  rd->ring crossover: allreduce %d B, reducescatter %d B\n",
+		tuned.AllReduceRingBytes, tuned.ReduceScatterRingBytes)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	// The acceptance gates, checked here so a -collectives run (and the CI
+	// job wrapping it) fails loudly instead of silently recording a
+	// regression in the report.
+	if a := report.SteadyStateRD.AllocsPerOp; a != 0 {
+		return fmt.Errorf("steady-state rd AllReduce allocates %d per op, want 0", a)
+	}
+	if a := report.SteadyStateRing.AllocsPerOp; a != 0 {
+		return fmt.Errorf("steady-state ring AllReduce allocates %d per op, want 0", a)
+	}
+	if !cmp.Identical {
+		return fmt.Errorf("rd and ring AllReduce results are not bit-identical")
+	}
+	if cmp.Speedup < 2.0 {
+		return fmt.Errorf("ring AllReduce speedup %.2fx at %d B x %d ranks, want >= 2.0x",
+			cmp.Speedup, cmp.Bytes, cmp.Ranks)
+	}
+	if !gl.Identical {
+		return fmt.Errorf("guideline algorithm pairs disagree bitwise")
+	}
+	if !gl.Holds() {
+		return fmt.Errorf("performance guidelines violated (see report)")
+	}
+	return nil
+}

@@ -49,6 +49,7 @@ func main() {
 		latsw    = flag.String("latsweep", "", "comma-separated one-way network latencies (e.g. 0,100us,1ms) for the latency ablation")
 		bench    = flag.String("bench", "", "run the allocation/framing benchmark suite and write the JSON report to this file (e.g. BENCH_PR2.json)")
 		overlap  = flag.String("overlap", "", "run the sync-vs-async export overlap comparison and write the JSON report to this file (e.g. BENCH_PR3.json)")
+		collcts  = flag.String("collectives", "", "run the collective-operation benchmark suite (rd vs ring, zero-alloc, guidelines, tuning) and write the JSON report to this file (e.g. BENCH_PR8.json)")
 		recovery = flag.Bool("recovery", false, "run the crash-recovery comparison (checkpoint overhead + kill-and-restart) instead")
 		obsvAddr = flag.String("obsv-addr", "",
 			"serve live introspection of the figure run on this address: /metrics, /trace, /statusz, /debug/pprof (enables span tracing)")
@@ -67,6 +68,14 @@ func main() {
 
 	if *overlap != "" {
 		if err := runOverlap(*overlap); err != nil {
+			fmt.Fprintln(os.Stderr, "couplebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *collcts != "" {
+		if err := runCollectives(*collcts); err != nil {
 			fmt.Fprintln(os.Stderr, "couplebench:", err)
 			os.Exit(1)
 		}

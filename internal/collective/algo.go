@@ -1,0 +1,210 @@
+package collective
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Algo names a collective algorithm. Every public collective has a *With
+// variant accepting an Algo so tests and the tuning harness can force a
+// specific implementation; Auto consults the Comm's dispatch Table. Forcing
+// an algorithm an operation does not implement falls back to its default.
+type Algo uint8
+
+const (
+	// Auto picks by the dispatch table (group size, vector bytes).
+	Auto Algo = iota
+	// RecursiveDoubling is the latency-optimal log2(n)-round pairwise
+	// exchange (AllReduce small vectors, Scan).
+	RecursiveDoubling
+	// Ring is the bandwidth-optimal ring: ReduceScatter+AllGather for
+	// AllReduce (Rabenseifner), block rotation for AllGather.
+	Ring
+	// Binomial is the binomial tree (Bcast, Reduce, Gather, Scatter).
+	Binomial
+	// BinomialSeg is the segmented, pipelined binomial tree (large Bcast).
+	BinomialSeg
+	// Linear is the naive root loop or full exchange, kept as the reference
+	// implementation every other algorithm is property-tested against.
+	Linear
+	// Pairwise is the pairwise exchange (AllToAll): step s trades with
+	// rank±s, spreading load across distinct pairs each round.
+	Pairwise
+	// Dissemination is the dissemination pattern (Barrier).
+	Dissemination
+	// Composed is an operation built from other collectives
+	// (ReduceScatter = Reduce + Scatter reference path).
+	Composed
+
+	numAlgos = int(Composed) + 1
+)
+
+var algoNames = [numAlgos]string{
+	"auto", "rd", "ring", "binomial", "binomial-seg", "linear", "pairwise", "dissem", "composed",
+}
+
+// String returns the short metric-label name ("rd", "ring", ...).
+func (a Algo) String() string {
+	if int(a) < len(algoNames) {
+		return algoNames[a]
+	}
+	return fmt.Sprintf("algo(%d)", uint8(a))
+}
+
+// opID indexes the collective operations for headers and instruments.
+type opID uint8
+
+const (
+	opBarrier opID = iota
+	opBcast
+	opReduce
+	opAllReduce
+	opGather
+	opScatter
+	opAllGather
+	opAllToAll
+	opScan
+	opReduceScatter
+
+	numOps = int(opReduceScatter) + 1
+)
+
+// opTags are the static per-operation transport tags. Operation instances
+// are disambiguated by the payload header (sequence number), not the tag, so
+// no strings are built per call.
+var opTags = [numOps]string{
+	"barrier", "bcast", "reduce", "allreduce", "gather",
+	"scatter", "allgather", "alltoall", "scan", "reducescatter",
+}
+
+// Every collective payload starts with an 8-byte little-endian header:
+//
+//	bits 32..63  operation sequence number (per-Comm counter)
+//	bits 16..31  round within the operation
+//	bits  8..15  opID
+//	bits  0..7   reserved
+//
+// Together with the static tag and source rank this uniquely matches a
+// message to the (operation instance, round) a receiver is waiting on, even
+// when a reordering transport delivers rounds out of order or a rooted
+// operation's source races several operations ahead.
+const hdrLen = 8
+
+func hdr(seq uint32, round int, op opID) uint64 {
+	return uint64(seq)<<32 | uint64(uint16(round))<<16 | uint64(op)<<8
+}
+
+func putHdr(b []byte, h uint64) { binary.LittleEndian.PutUint64(b, h) }
+
+func matchHdr(payload []byte, h uint64) bool {
+	return len(payload) >= hdrLen && binary.LittleEndian.Uint64(payload) == h
+}
+
+// Table is the per-operation algorithm dispatch table. Decisions depend only
+// on values identical on every rank — the group size and, for the symmetric
+// vector operations, the vector byte count — so all ranks independently pick
+// the same algorithm. Thresholds are in bytes of the local vector (8 bytes
+// per float64) or in group size (ranks).
+type Table struct {
+	// AllReduceRingBytes: vectors at least this large use the ring
+	// (Rabenseifner) AllReduce; smaller ones use recursive doubling.
+	AllReduceRingBytes int `json:"allreduce_ring_bytes"`
+	// ReduceScatterRingBytes: inputs at least this large use the ring
+	// reduce-scatter; smaller ones the Reduce+Scatter composition.
+	ReduceScatterRingBytes int `json:"reducescatter_ring_bytes"`
+	// BcastSegBytes: payloads at least this large use the segmented,
+	// pipelined binomial broadcast with BcastSegSize-byte segments.
+	BcastSegBytes int `json:"bcast_seg_bytes"`
+	BcastSegSize  int `json:"bcast_seg_size"`
+	// GatherBinomialSize: groups at least this large use the binomial tree
+	// for Gather and Scatter instead of the linear root loop. The tree pays
+	// log(P) forwarding hops to spare the root its O(P) per-message receive
+	// cost; on the in-process transport a receive is a cheap queue pop, so
+	// the measured crossover sits far higher than LogP intuition suggests —
+	// the default keeps the linear loop for every practical group and leaves
+	// the tree to forcing, tuning, or overhead-bound transports.
+	GatherBinomialSize int `json:"gather_binomial_size"`
+	// AllGatherRingSize: groups at least this large use the ring AllGather.
+	AllGatherRingSize int `json:"allgather_ring_size"`
+	// AllToAllPairwiseSize: groups at least this large use pairwise exchange.
+	AllToAllPairwiseSize int `json:"alltoall_pairwise_size"`
+}
+
+// DefaultTable returns the static thresholds. They are conservative
+// crossovers for the in-memory transport; Tune measures the real ones on the
+// live transport and SetTable installs them.
+func DefaultTable() *Table {
+	return &Table{
+		AllReduceRingBytes:     32 << 10,
+		ReduceScatterRingBytes: 32 << 10,
+		BcastSegBytes:          256 << 10,
+		BcastSegSize:           64 << 10,
+		GatherBinomialSize:     64,
+		AllGatherRingSize:      5,
+		AllToAllPairwiseSize:   4,
+	}
+}
+
+// Save writes the table as JSON (atomically via a temp file would be
+// overkill for a tuning artifact; plain write).
+func (t *Table) Save(path string) error {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return fmt.Errorf("collective: encode table: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadTable reads a table previously written by Save.
+func LoadTable(path string) (*Table, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t := DefaultTable()
+	if err := json.Unmarshal(b, t); err != nil {
+		return nil, fmt.Errorf("collective: decode table %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// maxRingRanks bounds ring round numbers to the header's uint16 round field
+// (2n-2 rounds per operation).
+const maxRingRanks = 32000
+
+func (t *Table) allReduceAlgo(size, bytes int) Algo {
+	if size > 1 && size <= maxRingRanks && bytes >= t.AllReduceRingBytes {
+		return Ring
+	}
+	return RecursiveDoubling
+}
+
+func (t *Table) reduceScatterAlgo(size, bytes int) Algo {
+	if size > 1 && size <= maxRingRanks && bytes >= t.ReduceScatterRingBytes {
+		return Ring
+	}
+	return Composed
+}
+
+func (t *Table) gatherAlgo(size int) Algo {
+	if size >= t.GatherBinomialSize {
+		return Binomial
+	}
+	return Linear
+}
+
+func (t *Table) allGatherAlgo(size int) Algo {
+	if size >= t.AllGatherRingSize && size <= maxRingRanks {
+		return Ring
+	}
+	return Linear
+}
+
+func (t *Table) allToAllAlgo(size int) Algo {
+	if size >= t.AllToAllPairwiseSize {
+		return Pairwise
+	}
+	return Linear
+}

@@ -1,0 +1,470 @@
+package collective
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+// exactVec returns a vector of dyadic rationals whose sums stay exact in
+// float64 under any combining order, so sum/max/min must be bit-identical
+// across algorithms.
+func exactVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Round(rng.Float64()*512-256) / 8
+	}
+	return v
+}
+
+// pow2Vec returns values from {±0.5, ±1, ±2}: their products are powers of
+// two, exact under any combining order (sums of dyadics are not enough for
+// Prod, whose result mantissa grows with every factor).
+func pow2Vec(rng *rand.Rand, n int) []float64 {
+	choices := []float64{0.5, 1, 2, -0.5, -1, -2}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = choices[rng.Intn(len(choices))]
+	}
+	return v
+}
+
+var allOps = []struct {
+	name string
+	op   Op
+}{{"sum", Sum}, {"prod", Prod}, {"max", Max}, {"min", Min}}
+
+// TestAllReduceAlgosBitIdentical pits the ring (Rabenseifner) AllReduce
+// against recursive doubling and the sequential oracle across group sizes
+// (including non-powers-of-two), vector lengths (0, 1, odd, smaller than the
+// group, large) and all operators, with buffer reuse both off and on. The
+// ring's per-block fold is a single chain, so with exact-in-float inputs all
+// results must be bitwise identical on every rank.
+func TestAllReduceAlgosBitIdentical(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 11, 16} {
+		for _, vecLen := range []int{0, 1, 3, 5, 64, 257} {
+			for _, reuse := range []bool{false, true} {
+				n, vecLen, reuse := n, vecLen, reuse
+				t.Run(fmt.Sprintf("n=%d/len=%d/reuse=%v", n, vecLen, reuse), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(n*1000 + vecLen)))
+					contribs := make([][]float64, n)
+					prodContribs := make([][]float64, n)
+					for r := range contribs {
+						contribs[r] = exactVec(rng, vecLen)
+						prodContribs[r] = pow2Vec(rng, vecLen)
+					}
+					for _, tc := range allOps {
+						in := contribs
+						if tc.name == "prod" {
+							in = prodContribs
+						}
+						contribs := in
+						want := oracleFold(contribs, tc.op)
+						runGroup(t, n, func(c *Comm) error {
+							c.SetBufferReuse(reuse)
+							rd, err := c.AllReduceWith(RecursiveDoubling, contribs[c.Rank()], tc.op)
+							if err != nil {
+								return err
+							}
+							ring, err := c.AllReduceWith(Ring, contribs[c.Rank()], tc.op)
+							if err != nil {
+								return err
+							}
+							for i := range want {
+								if rd[i] != want[i] || ring[i] != want[i] {
+									return fmt.Errorf("%s rank %d elem %d: rd=%v ring=%v want %v",
+										tc.name, c.Rank(), i, rd[i], ring[i], want[i])
+								}
+							}
+							return nil
+						})
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReduceScatterRingMatchesComposed checks the ring reduce-scatter
+// against the Reduce+Scatter reference for divisible lengths.
+func TestReduceScatterRingMatchesComposed(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for _, per := range []int{1, 3, 16} {
+			n, per := n, per
+			t.Run(fmt.Sprintf("n=%d/per=%d", n, per), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(100*n + per)))
+				contribs := make([][]float64, n)
+				for r := range contribs {
+					contribs[r] = exactVec(rng, n*per)
+				}
+				full := oracleFold(contribs, Sum)
+				runGroup(t, n, func(c *Comm) error {
+					want := full[c.Rank()*per : (c.Rank()+1)*per]
+					ring, err := c.ReduceScatterWith(Ring, contribs[c.Rank()], Sum)
+					if err != nil {
+						return err
+					}
+					composed, err := c.ReduceScatterWith(Composed, contribs[c.Rank()], Sum)
+					if err != nil {
+						return err
+					}
+					for i := range want {
+						if ring[i] != want[i] || composed[i] != want[i] {
+							return fmt.Errorf("rank %d elem %d: ring=%v composed=%v want %v",
+								c.Rank(), i, ring[i], composed[i], want[i])
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+// TestBcastSegmented drives the pipelined broadcast across segment
+// geometries (payload exactly divisible, with remainder, smaller than one
+// segment, empty) and roots, against the plain binomial result.
+func TestBcastSegmented(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 16} {
+		for _, payloadLen := range []int{0, 1, 63, 64, 65, 1000} {
+			n, payloadLen := n, payloadLen
+			t.Run(fmt.Sprintf("n=%d/len=%d", n, payloadLen), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(n*10000 + payloadLen)))
+				want := make([]byte, payloadLen)
+				rng.Read(want)
+				root := n / 2
+				runGroup(t, n, func(c *Comm) error {
+					tab := *DefaultTable()
+					tab.BcastSegSize = 64
+					c.SetTable(&tab)
+					var in []byte
+					if c.Rank() == root {
+						in = want
+					}
+					out, err := c.BcastWith(BinomialSeg, root, in)
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(out, want) {
+						return fmt.Errorf("rank %d: got %d bytes, want %d", c.Rank(), len(out), len(want))
+					}
+					plain, err := c.BcastWith(Binomial, root, in)
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(plain, want) {
+						return fmt.Errorf("rank %d: binomial got %d bytes", c.Rank(), len(plain))
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+// TestGatherScatterTreeMatchesLinear checks the binomial tree gather and
+// scatter against the linear reference for random (including empty) parts,
+// every root, and non-power-of-two sizes.
+func TestGatherScatterTreeMatchesLinear(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 6, 8, 13} {
+		n := n
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			parts := make([][]byte, n)
+			for r := range parts {
+				parts[r] = make([]byte, rng.Intn(40))
+				rng.Read(parts[r])
+			}
+			for root := 0; root < n; root += 2 {
+				root := root
+				runGroup(t, n, func(c *Comm) error {
+					tree, err := c.GatherWith(Binomial, root, parts[c.Rank()])
+					if err != nil {
+						return err
+					}
+					lin, err := c.GatherWith(Linear, root, parts[c.Rank()])
+					if err != nil {
+						return err
+					}
+					if c.Rank() == root {
+						for r := 0; r < n; r++ {
+							if !bytes.Equal(tree[r], parts[r]) || !bytes.Equal(lin[r], parts[r]) {
+								return fmt.Errorf("root %d slot %d mismatch", root, r)
+							}
+						}
+					} else if tree != nil || lin != nil {
+						return fmt.Errorf("non-root got non-nil")
+					}
+
+					var in [][]byte
+					if c.Rank() == root {
+						in = parts
+					}
+					st, err := c.ScatterWith(Binomial, root, in)
+					if err != nil {
+						return err
+					}
+					sl, err := c.ScatterWith(Linear, root, in)
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(st, parts[c.Rank()]) || !bytes.Equal(sl, parts[c.Rank()]) {
+						return fmt.Errorf("rank %d scatter mismatch", c.Rank())
+					}
+					return nil
+				})
+			}
+		})
+	}
+}
+
+// TestAllGatherAllToAllAlgos checks ring AllGather and pairwise AllToAll
+// against their linear references.
+func TestAllGatherAllToAllAlgos(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		n := n
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(7 * n)))
+			parts := make([][][]byte, n) // parts[src][dst]
+			own := make([][]byte, n)     // allgather contribution per rank
+			for r := range parts {
+				parts[r] = make([][]byte, n)
+				for d := range parts[r] {
+					parts[r][d] = []byte(fmt.Sprintf("%d->%d:%d", r, d, rng.Intn(1000)))
+				}
+				own[r] = make([]byte, rng.Intn(30))
+				rng.Read(own[r])
+			}
+			runGroup(t, n, func(c *Comm) error {
+				ring, err := c.AllGatherWith(Ring, own[c.Rank()])
+				if err != nil {
+					return err
+				}
+				lin, err := c.AllGatherWith(Linear, own[c.Rank()])
+				if err != nil {
+					return err
+				}
+				for r := 0; r < n; r++ {
+					if !bytes.Equal(ring[r], own[r]) || !bytes.Equal(lin[r], own[r]) {
+						return fmt.Errorf("rank %d allgather slot %d mismatch", c.Rank(), r)
+					}
+				}
+				pw, err := c.AllToAllWith(Pairwise, parts[c.Rank()])
+				if err != nil {
+					return err
+				}
+				ll, err := c.AllToAllWith(Linear, parts[c.Rank()])
+				if err != nil {
+					return err
+				}
+				for r := 0; r < n; r++ {
+					if !bytes.Equal(pw[r], parts[r][c.Rank()]) || !bytes.Equal(ll[r], parts[r][c.Rank()]) {
+						return fmt.Errorf("rank %d alltoall from %d mismatch", c.Rank(), r)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestNoAliasContracts pins the ownership contract: slices returned by
+// collectives never alias the caller's inputs, so mutating an input after
+// the call cannot corrupt results.
+func TestNoAliasContracts(t *testing.T) {
+	const n = 4
+	runGroup(t, n, func(c *Comm) error {
+		part := []byte{byte(c.Rank()), 1, 2, 3}
+		all, err := c.Gather(0, part)
+		if err != nil {
+			return err
+		}
+		part[0] = 0xFF // mutate after the call
+		if c.Rank() == 0 && all[0][0] != 0 {
+			return fmt.Errorf("gather root slot aliases caller part")
+		}
+
+		parts := make([][]byte, n)
+		for r := range parts {
+			parts[r] = []byte{byte(c.Rank()), byte(r)}
+		}
+		out, err := c.AllToAll(parts)
+		if err != nil {
+			return err
+		}
+		parts[c.Rank()][0] = 0xEE
+		if out[c.Rank()][0] != byte(c.Rank()) {
+			return fmt.Errorf("alltoall self-entry aliases caller part")
+		}
+
+		mine := []byte{9, byte(c.Rank())}
+		ag, err := c.AllGather(mine)
+		if err != nil {
+			return err
+		}
+		mine[0] = 0
+		if ag[c.Rank()][0] != 9 {
+			return fmt.Errorf("allgather self-entry aliases caller part")
+		}
+
+		var sparts [][]byte
+		if c.Rank() == 1 {
+			sparts = make([][]byte, n)
+			for r := range sparts {
+				sparts[r] = []byte{byte(r), 7}
+			}
+		}
+		sp, err := c.Scatter(1, sparts)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			sparts[1][0] = 0xCC
+		}
+		if sp[0] != byte(c.Rank()) {
+			return fmt.Errorf("scatter root part aliases caller slice")
+		}
+
+		local := []float64{float64(c.Rank()), 1}
+		res, err := c.AllReduce(local, Sum)
+		if err != nil {
+			return err
+		}
+		local[1] = 99
+		if res[1] != n {
+			return fmt.Errorf("allreduce result aliases local input")
+		}
+		return nil
+	})
+}
+
+// TestDispatchByTable verifies Auto dispatch switches algorithms at the
+// table thresholds, observed through the per-op/per-algo instruments.
+func TestDispatchByTable(t *testing.T) {
+	const n = 4
+	reg := obsv.NewRegistry()
+	runGroup(t, n, func(c *Comm) error {
+		c.SetInstruments(NewInstruments(reg, "G"))
+		tab := *DefaultTable()
+		tab.AllReduceRingBytes = 8 * 16 // vectors >= 16 floats go ring
+		c.SetTable(&tab)
+		small := make([]float64, 4)
+		big := make([]float64, 64)
+		if _, err := c.AllReduce(small, Sum); err != nil {
+			return err
+		}
+		if _, err := c.AllReduce(big, Sum); err != nil {
+			return err
+		}
+		return nil
+	})
+	rd := reg.Histogram("collective.allreduce.rd.ns", obsv.L("program", "G")).Count()
+	ring := reg.Histogram("collective.allreduce.ring.ns", obsv.L("program", "G")).Count()
+	if rd != n || ring != n {
+		t.Fatalf("instrument counts rd=%d ring=%d, want %d each", rd, ring, n)
+	}
+}
+
+// TestTune smoke-runs the crossover measurement on a small ladder and
+// checks every rank installs the identical table.
+func TestTune(t *testing.T) {
+	const n = 4
+	tables := make([]*Table, n)
+	runGroup(t, n, func(c *Comm) error {
+		tab, err := c.Tune(TuneConfig{MinBytes: 256, MaxBytes: 2048, Reps: 2})
+		if err != nil {
+			return err
+		}
+		tables[c.Rank()] = tab
+		// The tuned Comm must still reduce correctly.
+		v, err := c.AllReduceScalar(1, Sum)
+		if err != nil {
+			return err
+		}
+		if v != n {
+			return fmt.Errorf("post-tune allreduce: %v", v)
+		}
+		return nil
+	})
+	for r := 1; r < n; r++ {
+		if !reflect.DeepEqual(tables[0], tables[r]) {
+			t.Fatalf("rank %d table %+v differs from rank 0 %+v", r, tables[r], tables[0])
+		}
+	}
+	if tables[0].AllReduceRingBytes <= 0 {
+		t.Fatalf("tuned threshold %d", tables[0].AllReduceRingBytes)
+	}
+}
+
+// TestTableSaveLoad round-trips the dispatch table through its JSON
+// persistence.
+func TestTableSaveLoad(t *testing.T) {
+	tab := DefaultTable()
+	tab.AllReduceRingBytes = 12345
+	tab.BcastSegSize = 777
+	path := filepath.Join(t.TempDir(), "table.json")
+	if err := tab.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab, got) {
+		t.Fatalf("round trip: %+v != %+v", got, tab)
+	}
+	if _, err := LoadTable(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+// TestMixedSequenceForcedAlgos interleaves every operation with forced
+// non-default algorithms to shake out header collisions between rounds of
+// concurrent in-flight operations.
+func TestMixedSequenceForcedAlgos(t *testing.T) {
+	const n = 8
+	runGroup(t, n, func(c *Comm) error {
+		c.SetBufferReuse(true)
+		for i := 0; i < 4; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			vec := []float64{float64(c.Rank()), float64(i), 1}
+			ring, err := c.AllReduceWith(Ring, vec, Sum)
+			if err != nil {
+				return err
+			}
+			if ring[2] != n {
+				return fmt.Errorf("iter %d: ring allreduce %v", i, ring)
+			}
+			out, err := c.BcastWith(BinomialSeg, i%n, bytes.Repeat([]byte{byte(i)}, 100))
+			if err != nil {
+				return err
+			}
+			if len(out) != 100 || out[99] != byte(i) {
+				return fmt.Errorf("iter %d: bcast %d bytes", i, len(out))
+			}
+			g, err := c.GatherWith(Binomial, i%n, []byte{byte(c.Rank())})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == i%n && len(g) != n {
+				return fmt.Errorf("iter %d: gather %d slots", i, len(g))
+			}
+			rs, err := c.ReduceScatterWith(Ring, make([]float64, n), Sum)
+			if err != nil {
+				return err
+			}
+			if len(rs) != 1 {
+				return fmt.Errorf("iter %d: reducescatter %d", i, len(rs))
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,151 @@
+package collective
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// allocGroup spins up a MemNetwork group with pre-spawned per-rank worker
+// goroutines that each run one operation per trigger, so the measurement
+// loop allocates nothing itself (no goroutine spawns per iteration).
+type allocGroup struct {
+	net     *transport.MemNetwork
+	comms   []*Comm
+	trigger []chan struct{}
+	done    chan error
+	wg      sync.WaitGroup
+}
+
+func newAllocGroup(t *testing.T, size int, fn func(c *Comm) error) *allocGroup {
+	t.Helper()
+	g := &allocGroup{
+		net:     transport.NewMemNetwork(),
+		comms:   make([]*Comm, size),
+		trigger: make([]chan struct{}, size),
+		done:    make(chan error, size),
+	}
+	for r := 0; r < size; r++ {
+		ep, err := g.net.Register(transport.Proc("A", r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.comms[r], err = New(transport.NewDispatcher(ep), "A", r, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.comms[r].SetTimeout(30 * time.Second)
+		g.comms[r].SetBufferReuse(true)
+		g.trigger[r] = make(chan struct{})
+	}
+	for r := 0; r < size; r++ {
+		c := g.comms[r]
+		tr := g.trigger[r]
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			for range tr {
+				g.done <- fn(c)
+			}
+		}()
+	}
+	return g
+}
+
+// round triggers one operation on every rank and waits for all to finish.
+func (g *allocGroup) round(t *testing.T) {
+	for _, tr := range g.trigger {
+		tr <- struct{}{}
+	}
+	for range g.comms {
+		if err := <-g.done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func (g *allocGroup) close() {
+	for _, tr := range g.trigger {
+		close(tr)
+	}
+	g.wg.Wait()
+	g.net.Close()
+}
+
+// measureAllocs returns total heap allocations (mallocs) across the whole
+// process during iters rounds.
+func measureAllocs(t *testing.T, g *allocGroup, iters int) uint64 {
+	t.Helper()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		g.round(t)
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestAllReduceSteadyStateZeroAlloc pins the zero-allocation hot path: with
+// buffer reuse on over the in-memory transport, steady-state in-place
+// AllReduce (both algorithms) performs no heap allocations — no per-round
+// tag strings, no encode buffers, no timer, no queue churn. This is the
+// allocs-per-op regression test for the satellite "fix per-round tag
+// allocation churn".
+func TestAllReduceSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	const (
+		ranks  = 4
+		vecLen = 1024
+		iters  = 50
+	)
+	for _, algo := range []Algo{RecursiveDoubling, Ring} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			vecs := make([][]float64, ranks)
+			for r := range vecs {
+				vecs[r] = make([]float64, vecLen)
+			}
+			g := newAllocGroup(t, ranks, func(c *Comm) error {
+				return c.AllReduceInPlaceWith(algo, vecs[c.Rank()], Max)
+			})
+			defer g.close()
+			// Warm up pools, scratch, pending capacity and mailbox seq maps.
+			for i := 0; i < 16; i++ {
+				g.round(t)
+			}
+			mallocs := measureAllocs(t, g, iters)
+			perOp := float64(mallocs) / float64(iters*ranks)
+			t.Logf("%s: %d mallocs over %d ops (%.3f/op)", algo, mallocs, iters*ranks, perOp)
+			// The whole process (all ranks, dispatchers, pumps) gets a tiny
+			// slack for runtime-internal allocations; the collective path
+			// itself must be allocation-free.
+			if mallocs > 10 {
+				t.Fatalf("%s steady-state AllReduce allocated %d times over %d ops (want 0)",
+					algo, mallocs, iters*ranks)
+			}
+		})
+	}
+}
+
+// TestBarrierSteadyStateZeroAlloc extends the regression to the header-only
+// control path.
+func TestBarrierSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	g := newAllocGroup(t, 4, func(c *Comm) error { return c.Barrier() })
+	defer g.close()
+	for i := 0; i < 16; i++ {
+		g.round(t)
+	}
+	mallocs := measureAllocs(t, g, 50)
+	if mallocs > 10 {
+		t.Fatalf("steady-state Barrier allocated %d times over 200 ops (want 0)", mallocs)
+	}
+}

@@ -5,19 +5,27 @@ package collective
 // rank signals (rank + 2^k) mod n and waits for (rank - 2^k) mod n, so no
 // rank can leave before all have arrived.
 func (c *Comm) Barrier() error {
-	tag := c.nextTag("barrier")
+	start := c.obsStart()
+	seq := c.nextSeq()
 	if c.size == 1 {
+		c.obsDone(opBarrier, Dissemination, start)
 		return nil
 	}
+	round := 0
 	for dist := 1; dist < c.size; dist <<= 1 {
+		h := hdr(seq, round, opBarrier)
 		to := (c.rank + dist) % c.size
 		from := (c.rank - dist%c.size + c.size) % c.size
-		if err := c.sendRank(to, tag, nil); err != nil {
+		if err := c.sendBytes(to, opBarrier, h, nil); err != nil {
 			return err
 		}
-		if _, err := c.recvRank(from, tag); err != nil {
+		p, err := c.recv(from, opBarrier, h)
+		if err != nil {
 			return err
 		}
+		c.recycle(p)
+		round++
 	}
+	c.obsDone(opBarrier, Dissemination, start)
 	return nil
 }

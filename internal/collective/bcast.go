@@ -1,48 +1,196 @@
 package collective
 
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// maxBcastSegs bounds segment counts to the header's uint16 round field.
+const maxBcastSegs = 60000
+
 // Bcast copies root's buffer to every rank using a binomial tree
-// (ceil(log2 n) rounds). On the root, data is the source; on other ranks the
-// received copy is returned and data is ignored.
+// (ceil(log2 n) rounds). Payloads past the dispatch table's BcastSegBytes
+// threshold are split into BcastSegSize-byte segments pipelined down the
+// tree, so an interior rank forwards segment s while still receiving segment
+// s+1 and the transfer overlaps across tree levels instead of serializing a
+// full-payload copy per level.
+//
+// On the root, data is the source and is returned as-is; on other ranks the
+// received copy is returned (never aliasing any forwarded buffer) and data
+// is ignored. Only the root consults the algorithm choice: the wire format
+// is self-describing (segment 0 carries total length and segment size), so
+// receivers adapt to whatever the root chose.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
-	tag := c.nextTag("bcast")
+	return c.BcastWith(Auto, root, data)
+}
+
+// BcastWith is Bcast with a forced algorithm on the root (Binomial or
+// BinomialSeg).
+func (c *Comm) BcastWith(algo Algo, root int, data []byte) ([]byte, error) {
+	start := c.obsStart()
+	seq := c.nextSeq()
 	if root < 0 || root >= c.size {
 		return nil, errBadRoot("Bcast", root, c.size)
 	}
 	if c.size == 1 {
+		c.obsDone(opBcast, Binomial, start)
 		return data, nil
 	}
-	rel := (c.rank - root + c.size) % c.size
-
-	// Receive phase: a non-root rank receives from the peer that owns it in
-	// the binomial tree.
-	mask := 1
-	for mask < c.size {
-		if rel&mask != 0 {
-			src := (rel - mask + root) % c.size
-			b, err := c.recvRank(src, tag)
-			if err != nil {
-				return nil, err
-			}
-			data = b
-			break
-		}
-		mask <<= 1
+	out, used, err := c.bcast(seq, root, data, algo)
+	if err != nil {
+		return nil, err
 	}
-	// Forward phase: pass the data down the subtree.
-	mask >>= 1
-	for mask > 0 {
-		if rel+mask < c.size {
-			dst := (rel + mask + root) % c.size
-			if err := c.sendRank(dst, tag, data); err != nil {
-				return nil, err
-			}
-		}
-		mask >>= 1
-	}
-	return data, nil
+	c.obsDone(opBcast, used, start)
+	return out, nil
 }
 
-// BcastFloats broadcasts a float64 slice from root.
+// bcastPrefixLen is the extra segment-0 payload: total length and segment
+// size, both uint32, so receivers can size the result and count segments.
+const bcastPrefixLen = 8
+
+func (c *Comm) bcast(seq uint32, root int, data []byte, algo Algo) ([]byte, Algo, error) {
+	rel := (c.rank - root + c.size) % c.size
+	if rel == 0 {
+		return c.bcastRoot(seq, root, data, algo)
+	}
+
+	// Find the binomial parent: the peer across this rank's lowest set bit.
+	mask := 1
+	for rel&mask == 0 {
+		mask <<= 1
+	}
+	parent := (rel - mask + root) % c.size
+
+	p0, err := c.recv(parent, opBcast, hdr(seq, 0, opBcast))
+	if err != nil {
+		return nil, Auto, err
+	}
+	if len(p0) < hdrLen+bcastPrefixLen {
+		return nil, Auto, fmt.Errorf("collective: bcast segment 0 payload %d bytes", len(p0))
+	}
+	total := int(binary.LittleEndian.Uint32(p0[hdrLen:]))
+	segSize := int(binary.LittleEndian.Uint32(p0[hdrLen+4:]))
+	nseg := 1
+	if segSize > 0 {
+		nseg = (total + segSize - 1) / segSize
+	}
+	if nseg < 1 {
+		nseg = 1
+	}
+	algo = Binomial
+	if nseg > 1 {
+		algo = BinomialSeg
+	}
+
+	// Forward before copying: the sends are cheap enqueues and the children
+	// can start their own forwarding while we assemble locally. Forwarded
+	// payloads go out verbatim (same header, multiple recipients), so they
+	// are never recycled and the local result is assembled into a fresh
+	// buffer rather than aliasing them.
+	out := make([]byte, total)
+	forward := func(p []byte) error {
+		for m := mask >> 1; m > 0; m >>= 1 {
+			if rel+m < c.size {
+				if err := c.sendRaw((rel+m+root)%c.size, opBcast, p); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := forward(p0); err != nil {
+		return nil, algo, err
+	}
+	if err := copySeg(out, 0, segSize, total, p0[hdrLen+bcastPrefixLen:]); err != nil {
+		return nil, algo, err
+	}
+	for s := 1; s < nseg; s++ {
+		p, err := c.recv(parent, opBcast, hdr(seq, s, opBcast))
+		if err != nil {
+			return nil, algo, err
+		}
+		if err := forward(p); err != nil {
+			return nil, algo, err
+		}
+		if err := copySeg(out, s, segSize, total, p[hdrLen:]); err != nil {
+			return nil, algo, err
+		}
+	}
+	return out, algo, nil
+}
+
+func (c *Comm) bcastRoot(seq uint32, root int, data []byte, algo Algo) ([]byte, Algo, error) {
+	total := len(data)
+	segSize := total
+	if algo == BinomialSeg || (algo == Auto && total >= c.table.BcastSegBytes) {
+		segSize = c.table.BcastSegSize
+		algo = BinomialSeg
+	} else {
+		algo = Binomial
+	}
+	if segSize <= 0 || segSize > total {
+		segSize = total
+	}
+	nseg := 1
+	if segSize > 0 {
+		nseg = (total + segSize - 1) / segSize
+	}
+	if nseg > maxBcastSegs {
+		segSize = (total + maxBcastSegs - 1) / maxBcastSegs
+		nseg = (total + segSize - 1) / segSize
+	}
+	if nseg > 1 {
+		algo = BinomialSeg
+	}
+
+	topmask := 1
+	for topmask < c.size {
+		topmask <<= 1
+	}
+	for s := 0; s < nseg; s++ {
+		lo := s * segSize
+		hi := min(lo+segSize, total)
+		var p []byte
+		if s == 0 {
+			p = make([]byte, hdrLen+bcastPrefixLen+hi-lo)
+			putHdr(p, hdr(seq, 0, opBcast))
+			binary.LittleEndian.PutUint32(p[hdrLen:], uint32(total))
+			binary.LittleEndian.PutUint32(p[hdrLen+4:], uint32(segSize))
+			copy(p[hdrLen+bcastPrefixLen:], data[lo:hi])
+		} else {
+			p = make([]byte, hdrLen+hi-lo)
+			putHdr(p, hdr(seq, s, opBcast))
+			copy(p[hdrLen:], data[lo:hi])
+		}
+		// Largest subtree first, so the deepest chain starts earliest.
+		for m := topmask >> 1; m > 0; m >>= 1 {
+			if m < c.size {
+				if err := c.sendRaw((m+root)%c.size, opBcast, p); err != nil {
+					return nil, algo, err
+				}
+			}
+		}
+	}
+	return data, algo, nil
+}
+
+// copySeg places a received segment body into the assembled result,
+// validating its length against the self-describing geometry.
+func copySeg(out []byte, s, segSize, total int, body []byte) error {
+	lo := s * segSize
+	hi := min(lo+segSize, total)
+	if segSize == 0 {
+		lo, hi = 0, 0
+	}
+	if len(body) != hi-lo || lo > total {
+		return fmt.Errorf("collective: bcast segment %d is %d bytes, want %d", s, len(body), hi-lo)
+	}
+	copy(out[lo:hi], body)
+	return nil
+}
+
+// BcastFloats broadcasts a float64 slice from root. On the root the input
+// slice itself is returned.
 func (c *Comm) BcastFloats(root int, vals []float64) ([]float64, error) {
 	var payload []byte
 	if c.rank == root {

@@ -8,6 +8,12 @@
 // made by all members of the group in the same order — exactly the collective
 // property the coupling framework's export/import operations also obey
 // (Property 1 in the paper).
+//
+// The engine is multi-algorithm: each operation carries a latency-optimal and
+// a bandwidth-optimal implementation (see algo.go), dispatched per call on
+// (group size, vector bytes) through a Table that Tune can calibrate against
+// the live transport. Result slices returned by collectives never alias the
+// caller's input slices.
 package collective
 
 import (
@@ -16,6 +22,8 @@ import (
 
 	"repro/internal/obsv"
 	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/wire"
 )
 
 // DefaultTimeout bounds how long a collective waits for a peer message before
@@ -23,22 +31,40 @@ import (
 // legitimately drift apart by long compute phases, so this is generous.
 const DefaultTimeout = 60 * time.Second
 
+// maxFreeBuffers bounds the per-Comm recycled-buffer list.
+const maxFreeBuffers = 32
+
 // Comm is one process's handle on its program's process group.
 type Comm struct {
 	d       *transport.Dispatcher
 	program string
 	rank    int
 	size    int
-	opSeq   uint64
+	opSeq   uint32
 	timeout time.Duration
+	table   *Table
 
 	// pending holds collective messages received out of the order this rank
-	// consumes them (peers may progress into the next operation before this
-	// rank finishes the current one).
+	// consumes them (peers may progress into later rounds or operations
+	// before this rank finishes the current one).
 	pending []transport.Message
 	// pointPending does the same for application point-to-point messages.
 	pointPending []transport.Message
 
+	// timer is the reused receive-deadline timer (allocated on first use
+	// from the dispatcher's clock, re-armed per receive).
+	timer vclock.Timer
+
+	// reuse enables the zero-allocation hot path: send buffers come from
+	// free, and received float-operation payloads — whose ownership
+	// transfers to this rank at delivery — are recycled into it. Safe only
+	// on transports that neither retain sent payloads (resend buffers) nor
+	// deliver one payload to multiple endpoints; see SetBufferReuse.
+	reuse    bool
+	free     [][]byte
+	fscratch []float64
+
+	ins *Instruments
 	// allReduceHist, when set, observes every AllReduce's wall time in
 	// nanoseconds (a nil histogram is a no-op, so the default costs nothing).
 	allReduceHist *obsv.Histogram
@@ -53,7 +79,11 @@ func New(d *transport.Dispatcher, program string, rank, size int) (*Comm, error)
 	if rank < 0 || rank >= size {
 		return nil, fmt.Errorf("collective: rank %d outside group of %d", rank, size)
 	}
-	return &Comm{d: d, program: program, rank: rank, size: size, timeout: DefaultTimeout}, nil
+	return &Comm{
+		d: d, program: program, rank: rank, size: size,
+		timeout: DefaultTimeout,
+		table:   DefaultTable(),
+	}, nil
 }
 
 // Rank returns this process's rank in the group.
@@ -71,45 +101,198 @@ func (c *Comm) SetTimeout(d time.Duration) { c.timeout = d }
 // SetAllReduceHist attaches a latency histogram to AllReduce (nil detaches).
 func (c *Comm) SetAllReduceHist(h *obsv.Histogram) { c.allReduceHist = h }
 
-// nextTag allocates the operation tag for the next collective. Because every
-// rank executes the same collective sequence, the per-Comm counter alone
-// disambiguates concurrent operations.
-func (c *Comm) nextTag(op string) string {
-	c.opSeq++
-	return fmt.Sprintf("%s#%d", op, c.opSeq)
+// SetInstruments attaches per-op/per-algorithm latency histograms (nil
+// detaches).
+func (c *Comm) SetInstruments(ins *Instruments) { c.ins = ins }
+
+// Instruments returns the attached instruments (possibly nil).
+func (c *Comm) Instruments() *Instruments { return c.ins }
+
+// Table returns the dispatch table in effect.
+func (c *Comm) Table() *Table { return c.table }
+
+// SetTable installs a dispatch table (nil restores the defaults). All ranks
+// of a group must install identical tables — dispatch decisions are made
+// independently per rank and must agree.
+func (c *Comm) SetTable(t *Table) {
+	if t == nil {
+		t = DefaultTable()
+	}
+	c.table = t
 }
 
-// sendRank sends a collective message to another rank in the group.
-func (c *Comm) sendRank(to int, tag string, payload []byte) error {
+// SetBufferReuse turns on the allocation-free hot path: wire buffers for
+// collective sends are drawn from a per-Comm free list refilled with the
+// payloads of received float-vector messages, whose ownership transfers to
+// the receiver at delivery.
+//
+// This is safe on the plain in-memory transport, where a payload is passed
+// by reference to exactly one receiver and the sender never touches it
+// again. It is NOT safe under transports that retain sent payloads — the
+// reliable layer keeps them for retransmission until acked — so it defaults
+// to off; benchmarks and single-process in-memory deployments opt in.
+func (c *Comm) SetBufferReuse(on bool) {
+	c.reuse = on
+	if !on {
+		c.free = nil
+	}
+}
+
+// nextSeq advances the per-Comm operation counter. Because every rank
+// executes the same collective sequence, the counter alone identifies the
+// operation instance on all ranks.
+func (c *Comm) nextSeq() uint32 {
+	c.opSeq++
+	return c.opSeq
+}
+
+// buf returns a byte slice of length n, from the free list when reuse is on.
+func (c *Comm) buf(n int) []byte {
+	if c.reuse {
+		for i := len(c.free) - 1; i >= 0; i-- {
+			if cap(c.free[i]) >= n {
+				b := c.free[i][:n]
+				c.free = append(c.free[:i], c.free[i+1:]...)
+				return b
+			}
+		}
+	}
+	return make([]byte, n)
+}
+
+// recycle returns a received payload to the free list. Only call with
+// buffers this rank exclusively owns (point-to-point float-op payloads).
+func (c *Comm) recycle(b []byte) {
+	if !c.reuse || cap(b) == 0 || len(c.free) >= maxFreeBuffers {
+		return
+	}
+	c.free = append(c.free, b)
+}
+
+// scratch returns the reused float64 decode buffer, valid until the next
+// scratch or recvScratch call.
+func (c *Comm) scratch(n int) []float64 {
+	if cap(c.fscratch) < n {
+		c.fscratch = make([]float64, n)
+	}
+	return c.fscratch[:n]
+}
+
+// deadline re-arms the per-Comm receive timer and returns its channel,
+// avoiding a timer allocation per receive.
+func (c *Comm) deadline() <-chan time.Time {
+	if c.timer == nil {
+		c.timer = c.d.Clock().NewTimer(c.timeout)
+		return c.timer.C()
+	}
+	if !c.timer.Stop() {
+		// Drain a stale fire so Reset arms cleanly.
+		select {
+		case <-c.timer.C():
+		default:
+		}
+	}
+	c.timer.Reset(c.timeout)
+	return c.timer.C()
+}
+
+// obsStart begins an operation latency measurement when instrumented.
+func (c *Comm) obsStart() time.Time {
+	if c.ins == nil && c.allReduceHist == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// obsDone records an operation latency under (op, algo).
+func (c *Comm) obsDone(op opID, algo Algo, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	ns := time.Since(start).Nanoseconds()
+	if op == opAllReduce {
+		c.allReduceHist.Observe(ns)
+	}
+	c.ins.observe(op, algo, ns)
+}
+
+// sendRaw sends a preassembled payload (already carrying its header) to
+// another rank. Used when forwarding a received broadcast payload verbatim;
+// the payload may reach several ranks, so it must never be recycled.
+func (c *Comm) sendRaw(to int, op opID, payload []byte) error {
 	return c.d.Send(transport.Message{
 		Kind:    transport.KindCollective,
 		Dst:     transport.Proc(c.program, to),
-		Tag:     tag,
+		Tag:     opTags[op],
 		Payload: payload,
 	})
 }
 
-// recvRank receives the collective message with the given tag from the given
-// rank, buffering any other collective traffic that arrives first.
-func (c *Comm) recvRank(from int, tag string) ([]byte, error) {
+// sendBytes sends header h followed by body.
+func (c *Comm) sendBytes(to int, op opID, h uint64, body []byte) error {
+	b := c.buf(hdrLen + len(body))
+	putHdr(b, h)
+	copy(b[hdrLen:], body)
+	return c.sendRaw(to, op, b)
+}
+
+// sendFloats sends header h followed by the flat float64 encoding of vals.
+func (c *Comm) sendFloats(to int, op opID, h uint64, vals []float64) error {
+	b := c.buf(hdrLen + wire.Float64sSize(len(vals)))
+	putHdr(b, h)
+	wire.AppendFloat64s(b[:hdrLen], vals)
+	return c.sendRaw(to, op, b)
+}
+
+// recv receives the collective payload with header h from rank from,
+// buffering any other collective traffic that arrives first. The returned
+// slice includes the header; the caller owns it.
+func (c *Comm) recv(from int, op opID, h uint64) ([]byte, error) {
 	src := transport.Proc(c.program, from)
-	for i, m := range c.pending {
-		if m.Src == src && m.Tag == tag {
+	tag := opTags[op]
+	for i := range c.pending {
+		m := &c.pending[i]
+		if m.Src == src && m.Tag == tag && matchHdr(m.Payload, h) {
+			p := m.Payload
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
-			return m.Payload, nil
+			return p, nil
 		}
 	}
 	for {
-		m, err := c.d.RecvTimeout(transport.KindCollective, c.timeout)
+		m, err := c.d.RecvDeadline(transport.KindCollective, c.deadline())
 		if err != nil {
-			return nil, fmt.Errorf("collective: %s waiting for %s tag %q: %w",
-				transport.Proc(c.program, c.rank), src, tag, err)
+			return nil, fmt.Errorf("collective: %s waiting for %s op %s seq %d round %d: %w",
+				transport.Proc(c.program, c.rank), src, tag, h>>32, uint16(h>>16), err)
 		}
-		if m.Src == src && m.Tag == tag {
+		if m.Src == src && m.Tag == tag && matchHdr(m.Payload, h) {
 			return m.Payload, nil
 		}
 		c.pending = append(c.pending, m)
 	}
+}
+
+// recvInto receives header h from rank from and decodes exactly len(dst)
+// floats into dst, recycling the transport buffer.
+func (c *Comm) recvInto(from int, op opID, h uint64, dst []float64) error {
+	p, err := c.recv(from, op, h)
+	if err != nil {
+		return err
+	}
+	if err := wire.DecodeFloat64sInto(p[hdrLen:], dst); err != nil {
+		return fmt.Errorf("collective: %s from rank %d: %w", opTags[op], from, err)
+	}
+	c.recycle(p)
+	return nil
+}
+
+// recvScratch is recvInto targeting the Comm's float scratch; the result is
+// valid until the next scratch use, so fold it before receiving again.
+func (c *Comm) recvScratch(from int, op opID, h uint64, n int) ([]float64, error) {
+	s := c.scratch(n)
+	if err := c.recvInto(from, op, h, s); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Send delivers an application payload to another rank (point-to-point,

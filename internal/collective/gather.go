@@ -1,27 +1,111 @@
 package collective
 
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Byte-slice collectives. Parts may have different sizes per rank, so
+// algorithm dispatch keys on group size alone (identical on every rank).
+// Returned slices never alias the caller's inputs: a root's own Gather
+// entry, a Scatter root's part and an AllToAll self-entry are copies, so
+// mutating an input after the call cannot corrupt the result (and vice
+// versa).
+
 // Gather collects each rank's part at root. At root the returned slice has
-// one entry per rank, in rank order (root's own entry aliases part); other
-// ranks get nil. Parts may have different sizes.
+// one entry per rank, in rank order; other ranks get nil.
 func (c *Comm) Gather(root int, part []byte) ([][]byte, error) {
-	tag := c.nextTag("gather")
+	return c.GatherWith(Auto, root, part)
+}
+
+// GatherWith is Gather with a forced algorithm (Linear or Binomial).
+func (c *Comm) GatherWith(algo Algo, root int, part []byte) ([][]byte, error) {
+	start := c.obsStart()
+	seq := c.nextSeq()
 	if root < 0 || root >= c.size {
 		return nil, errBadRoot("Gather", root, c.size)
 	}
+	if algo != Linear && algo != Binomial {
+		algo = c.table.gatherAlgo(c.size)
+	}
+	if c.size == 1 {
+		c.obsDone(opGather, algo, start)
+		return [][]byte{copyBytes(part)}, nil
+	}
+	var (
+		out [][]byte
+		err error
+	)
+	if algo == Binomial {
+		out, err = c.gatherTree(seq, root, part)
+	} else {
+		out, err = c.gatherLinear(seq, root, part)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.obsDone(opGather, algo, start)
+	return out, nil
+}
+
+func (c *Comm) gatherLinear(seq uint32, root int, part []byte) ([][]byte, error) {
+	h := hdr(seq, 0, opGather)
 	if c.rank != root {
-		return nil, c.sendRank(root, tag, part)
+		return nil, c.sendBytes(root, opGather, h, part)
 	}
 	out := make([][]byte, c.size)
-	out[root] = part
+	out[root] = copyBytes(part)
 	for r := 0; r < c.size; r++ {
 		if r == root {
 			continue
 		}
-		b, err := c.recvRank(r, tag)
+		p, err := c.recv(r, opGather, h)
 		if err != nil {
 			return nil, err
 		}
-		out[r] = b
+		out[r] = p[hdrLen:]
+	}
+	return out, nil
+}
+
+// gatherTree runs the binomial-tree gather: leaves send their entry to their
+// parent, interior nodes concatenate their subtree's entries and forward
+// them up, so the root performs ceil(log2 n) receives instead of n-1. The
+// combined payload is a sequence of [rank uint32][len uint32][bytes] entries.
+func (c *Comm) gatherTree(seq uint32, root int, part []byte) ([][]byte, error) {
+	rel := (c.rank - root + c.size) % c.size
+	// M is this node's subtree span: children sit at rel+m for powers of two
+	// m < M (clipped to the group); the parent is across bit M.
+	M := c.size
+	if rel != 0 {
+		M = rel & (-rel)
+	}
+	buf := appendEntry(make([]byte, 0, 16+len(part)), uint32(c.rank), part)
+	h := hdr(seq, 0, opGather)
+	for m := 1; m < M && rel+m < c.size; m <<= 1 {
+		p, err := c.recv((rel+m+root)%c.size, opGather, h)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, p[hdrLen:]...)
+	}
+	if rel != 0 {
+		return nil, c.sendBytes((rel-M+root)%c.size, opGather, h, buf)
+	}
+	out := make([][]byte, c.size)
+	if err := parseEntries(buf, func(r uint32, body []byte) error {
+		if int(r) >= c.size || out[r] != nil {
+			return fmt.Errorf("collective: gather entry for rank %d (group %d)", r, c.size)
+		}
+		out[r] = body
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for r := range out {
+		if out[r] == nil {
+			return nil, fmt.Errorf("collective: gather missing rank %d", r)
+		}
 	}
 	return out, nil
 }
@@ -29,103 +113,325 @@ func (c *Comm) Gather(root int, part []byte) ([][]byte, error) {
 // Scatter distributes parts[r] from root to rank r and returns the local
 // part on every rank. Only root's parts argument is consulted.
 func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
-	tag := c.nextTag("scatter")
+	return c.ScatterWith(Auto, root, parts)
+}
+
+// ScatterWith is Scatter with a forced algorithm (Linear or Binomial).
+func (c *Comm) ScatterWith(algo Algo, root int, parts [][]byte) ([]byte, error) {
+	start := c.obsStart()
+	seq := c.nextSeq()
 	if root < 0 || root >= c.size {
 		return nil, errBadRoot("Scatter", root, c.size)
 	}
+	if c.rank == root && len(parts) != c.size {
+		return nil, errPartCount("Scatter", len(parts), c.size)
+	}
+	if algo != Linear && algo != Binomial {
+		algo = c.table.gatherAlgo(c.size)
+	}
+	if c.size == 1 {
+		c.obsDone(opScatter, algo, start)
+		return copyBytes(parts[root]), nil
+	}
+	var (
+		out []byte
+		err error
+	)
+	if algo == Binomial {
+		out, err = c.scatterTree(seq, root, parts)
+	} else {
+		out, err = c.scatterLinear(seq, root, parts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.obsDone(opScatter, algo, start)
+	return out, nil
+}
+
+func (c *Comm) scatterLinear(seq uint32, root int, parts [][]byte) ([]byte, error) {
+	h := hdr(seq, 0, opScatter)
 	if c.rank == root {
-		if len(parts) != c.size {
-			return nil, errPartCount("Scatter", len(parts), c.size)
-		}
 		for r := 0; r < c.size; r++ {
 			if r == root {
 				continue
 			}
-			if err := c.sendRank(r, tag, parts[r]); err != nil {
+			if err := c.sendBytes(r, opScatter, h, parts[r]); err != nil {
 				return nil, err
 			}
 		}
-		return parts[root], nil
+		return copyBytes(parts[root]), nil
 	}
-	return c.recvRank(root, tag)
+	p, err := c.recv(root, opScatter, h)
+	if err != nil {
+		return nil, err
+	}
+	return p[hdrLen:], nil
 }
 
-// AllGather collects each rank's part on every rank (ring algorithm:
-// n-1 steps, each step passing the next block around the ring).
+// scatterTree is the binomial mirror of gatherTree: the root packs each
+// child's whole-subtree entries into one message, and interior nodes peel
+// off their own entry and repack the remainder for their children.
+func (c *Comm) scatterTree(seq uint32, root int, parts [][]byte) ([]byte, error) {
+	rel := (c.rank - root + c.size) % c.size
+	h := hdr(seq, 0, opScatter)
+	relOf := func(r uint32) int { return (int(r) - root + c.size) % c.size }
+
+	var entries []byte // the entry stream covering this node's subtree
+	var own []byte
+	if rel == 0 {
+		var scratch []byte
+		topmask := 1
+		for topmask < c.size {
+			topmask <<= 1
+		}
+		for m := topmask >> 1; m > 0; m >>= 1 {
+			if m >= c.size {
+				continue
+			}
+			scratch = scratch[:0]
+			for pr := m; pr < min(2*m, c.size); pr++ {
+				r := (pr + root) % c.size
+				scratch = appendEntry(scratch, uint32(r), parts[r])
+			}
+			if err := c.sendBytes((m+root)%c.size, opScatter, h, scratch); err != nil {
+				return nil, err
+			}
+		}
+		return copyBytes(parts[root]), nil
+	}
+
+	M := rel & (-rel)
+	p, err := c.recv((rel-M+root)%c.size, opScatter, h)
+	if err != nil {
+		return nil, err
+	}
+	entries = p[hdrLen:]
+	// Repack per child: child at rel+m owns relative ranks [rel+m, rel+2m).
+	var scratch []byte
+	for m := M >> 1; m > 0; m >>= 1 {
+		if rel+m >= c.size {
+			continue
+		}
+		scratch = scratch[:0]
+		err := parseEntries(entries, func(r uint32, body []byte) error {
+			if pr := relOf(r); pr >= rel+m && pr < rel+2*m {
+				scratch = appendEntry(scratch, r, body)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := c.sendBytes((rel+m+root)%c.size, opScatter, h, scratch); err != nil {
+			return nil, err
+		}
+	}
+	err = parseEntries(entries, func(r uint32, body []byte) error {
+		if int(r) == c.rank {
+			own = body
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if own == nil {
+		return nil, fmt.Errorf("collective: scatter rank %d missing its part", c.rank)
+	}
+	return own, nil
+}
+
+// AllGather collects each rank's part on every rank. Small groups use the
+// linear exchange; larger ones the ring (n-1 steps, each step passing the
+// next block to the right neighbor), which keeps per-rank traffic at the sum
+// of all parts regardless of group size and never funnels through a root.
 func (c *Comm) AllGather(part []byte) ([][]byte, error) {
-	tag := c.nextTag("allgather")
+	return c.AllGatherWith(Auto, part)
+}
+
+// AllGatherWith is AllGather with a forced algorithm (Linear or Ring).
+func (c *Comm) AllGatherWith(algo Algo, part []byte) ([][]byte, error) {
+	start := c.obsStart()
+	seq := c.nextSeq()
+	if algo != Linear && algo != Ring {
+		algo = c.table.allGatherAlgo(c.size)
+	}
 	out := make([][]byte, c.size)
-	out[c.rank] = part
+	out[c.rank] = copyBytes(part)
 	if c.size == 1 {
+		c.obsDone(opAllGather, algo, start)
 		return out, nil
 	}
+	var err error
+	if algo == Ring {
+		err = c.allGatherRing(seq, out)
+	} else {
+		err = c.allGatherLinear(seq, out)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.obsDone(opAllGather, algo, start)
+	return out, nil
+}
+
+func (c *Comm) allGatherLinear(seq uint32, out [][]byte) error {
+	h := hdr(seq, 0, opAllGather)
+	for r := 0; r < c.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		if err := c.sendBytes(r, opAllGather, h, out[c.rank]); err != nil {
+			return err
+		}
+	}
+	for r := 0; r < c.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		p, err := c.recv(r, opAllGather, h)
+		if err != nil {
+			return err
+		}
+		out[r] = p[hdrLen:]
+	}
+	return nil
+}
+
+func (c *Comm) allGatherRing(seq uint32, out [][]byte) error {
 	right := (c.rank + 1) % c.size
 	left := (c.rank - 1 + c.size) % c.size
 	// In step s we forward the block that originated at rank-s (mod n).
 	for s := 0; s < c.size-1; s++ {
+		h := hdr(seq, s, opAllGather)
 		sendOrigin := (c.rank - s + c.size) % c.size
-		if err := c.sendRank(right, stepTag(tag, s), out[sendOrigin]); err != nil {
-			return nil, err
+		if err := c.sendBytes(right, opAllGather, h, out[sendOrigin]); err != nil {
+			return err
 		}
-		b, err := c.recvRank(left, stepTag(tag, s))
+		p, err := c.recv(left, opAllGather, h)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		recvOrigin := (c.rank - s - 1 + c.size) % c.size
-		out[recvOrigin] = b
+		out[recvOrigin] = p[hdrLen:]
 	}
-	return out, nil
+	return nil
 }
 
 // AllToAll delivers parts[r] to rank r from every rank; the returned slice
 // holds, per source rank, the block that source addressed to this rank.
+// Small groups use the linear eager exchange; larger ones pairwise exchange
+// (step s trades with rank±s), which spreads the traffic over disjoint pairs
+// per step instead of all ranks bursting at once.
 func (c *Comm) AllToAll(parts [][]byte) ([][]byte, error) {
-	tag := c.nextTag("alltoall")
+	return c.AllToAllWith(Auto, parts)
+}
+
+// AllToAllWith is AllToAll with a forced algorithm (Linear or Pairwise).
+func (c *Comm) AllToAllWith(algo Algo, parts [][]byte) ([][]byte, error) {
+	start := c.obsStart()
+	seq := c.nextSeq()
 	if len(parts) != c.size {
 		return nil, errPartCount("AllToAll", len(parts), c.size)
 	}
+	if algo != Linear && algo != Pairwise {
+		algo = c.table.allToAllAlgo(c.size)
+	}
 	out := make([][]byte, c.size)
-	out[c.rank] = parts[c.rank]
-	// Linear exchange: send everything, then collect. The dispatcher's
-	// unbounded queues make the eager sends deadlock-free.
-	for r := 0; r < c.size; r++ {
-		if r == c.rank {
-			continue
-		}
-		if err := c.sendRank(r, tag, parts[r]); err != nil {
-			return nil, err
-		}
+	out[c.rank] = copyBytes(parts[c.rank])
+	if c.size == 1 {
+		c.obsDone(opAllToAll, algo, start)
+		return out, nil
 	}
-	for r := 0; r < c.size; r++ {
-		if r == c.rank {
-			continue
-		}
-		b, err := c.recvRank(r, tag)
-		if err != nil {
-			return nil, err
-		}
-		out[r] = b
+	var err error
+	if algo == Pairwise {
+		err = c.allToAllPairwise(seq, parts, out)
+	} else {
+		err = c.allToAllLinear(seq, parts, out)
 	}
+	if err != nil {
+		return nil, err
+	}
+	c.obsDone(opAllToAll, algo, start)
 	return out, nil
 }
 
-func stepTag(tag string, step int) string {
-	// Cheap concatenation; steps are < group size.
-	return tag + "/" + itoa(step)
+func (c *Comm) allToAllLinear(seq uint32, parts, out [][]byte) error {
+	h := hdr(seq, 0, opAllToAll)
+	// Send everything, then collect. The dispatcher's unbounded queues make
+	// the eager sends deadlock-free.
+	for r := 0; r < c.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		if err := c.sendBytes(r, opAllToAll, h, parts[r]); err != nil {
+			return err
+		}
+	}
+	for r := 0; r < c.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		p, err := c.recv(r, opAllToAll, h)
+		if err != nil {
+			return err
+		}
+		out[r] = p[hdrLen:]
+	}
+	return nil
 }
 
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
+func (c *Comm) allToAllPairwise(seq uint32, parts, out [][]byte) error {
+	for s := 1; s < c.size; s++ {
+		h := hdr(seq, s, opAllToAll)
+		to := (c.rank + s) % c.size
+		from := (c.rank - s + c.size) % c.size
+		if err := c.sendBytes(to, opAllToAll, h, parts[to]); err != nil {
+			return err
+		}
+		p, err := c.recv(from, opAllToAll, h)
+		if err != nil {
+			return err
+		}
+		out[from] = p[hdrLen:]
 	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
+	return nil
+}
+
+// copyBytes clones b, preserving nil-ness as an empty (non-nil) slice only
+// when b has bytes; nil and empty both come back empty.
+func copyBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// appendEntry appends one [rank uint32][len uint32][bytes] record.
+func appendEntry(dst []byte, rank uint32, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, rank)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	return append(dst, body...)
+}
+
+// parseEntries walks a [rank uint32][len uint32][bytes] stream. Bodies
+// passed to fn alias the stream.
+func parseEntries(b []byte, fn func(rank uint32, body []byte) error) error {
+	for len(b) > 0 {
+		if len(b) < 8 {
+			return fmt.Errorf("collective: truncated entry header (%d bytes)", len(b))
+		}
+		rank := binary.LittleEndian.Uint32(b)
+		n := int(binary.LittleEndian.Uint32(b[4:]))
+		if n < 0 || len(b)-8 < n {
+			return fmt.Errorf("collective: entry for rank %d claims %d bytes, %d remain", rank, n, len(b)-8)
+		}
+		if err := fn(rank, b[8:8+n]); err != nil {
+			return err
+		}
+		b = b[8+n:]
 	}
-	return string(buf[i:])
+	return nil
 }
 
 func errPartCount(op string, got, want int) error {

@@ -1,0 +1,76 @@
+package collective
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// opAlgoPairs enumerates every (operation, algorithm) combination the engine
+// can execute, i.e. the full instrument catalog.
+var opAlgoPairs = []struct {
+	op   opID
+	algo Algo
+}{
+	{opBarrier, Dissemination},
+	{opBcast, Binomial},
+	{opBcast, BinomialSeg},
+	{opReduce, Binomial},
+	{opAllReduce, RecursiveDoubling},
+	{opAllReduce, Ring},
+	{opGather, Linear},
+	{opGather, Binomial},
+	{opScatter, Linear},
+	{opScatter, Binomial},
+	{opAllGather, Linear},
+	{opAllGather, Ring},
+	{opAllToAll, Linear},
+	{opAllToAll, Pairwise},
+	{opScan, RecursiveDoubling},
+	{opReduceScatter, Composed},
+	{opReduceScatter, Ring},
+}
+
+// Instruments holds the per-operation, per-algorithm latency histograms
+// (instrument names "collective.<op>.<algo>.ns", labeled by program). A nil
+// *Instruments is a no-op, so uninstrumented Comms pay one nil check.
+type Instruments struct {
+	hist [numOps][numAlgos]*obsv.Histogram
+}
+
+// NewInstruments registers (or looks up) the collective instrument catalog
+// for one program in reg. A nil registry yields inert instruments.
+func NewInstruments(reg *obsv.Registry, program string) *Instruments {
+	ins := &Instruments{}
+	for _, p := range opAlgoPairs {
+		name := "collective." + opTags[p.op] + "." + p.algo.String() + ".ns"
+		ins.hist[p.op][p.algo] = reg.Histogram(name, obsv.L("program", program))
+	}
+	return ins
+}
+
+func (ins *Instruments) observe(op opID, algo Algo, ns int64) {
+	if ins == nil {
+		return
+	}
+	ins.hist[op][algo].Observe(ns)
+}
+
+// WriteStatus renders one line per (op, algo) pair that has observations —
+// count and mean latency — for the /statusz collectives section.
+func (ins *Instruments) WriteStatus(w io.Writer) {
+	if ins == nil {
+		return
+	}
+	for _, p := range opAlgoPairs {
+		h := ins.hist[p.op][p.algo]
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		mean := time.Duration(h.Sum() / int64(n))
+		fmt.Fprintf(w, "    %s.%s: n=%d mean=%v\n", opTags[p.op], p.algo, n, mean)
+	}
+}

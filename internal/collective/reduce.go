@@ -2,7 +2,8 @@ package collective
 
 import (
 	"fmt"
-	"time"
+
+	"repro/internal/wire"
 )
 
 func errBadRoot(op string, root, size int) error {
@@ -14,26 +15,25 @@ func errBadRoot(op string, root, size int) error {
 // the same length. The result is returned at root; other ranks get nil. The
 // local slice is not modified.
 func (c *Comm) Reduce(root int, local []float64, op Op) ([]float64, error) {
-	tag := c.nextTag("reduce")
+	start := c.obsStart()
+	seq := c.nextSeq()
 	if root < 0 || root >= c.size {
 		return nil, errBadRoot("Reduce", root, c.size)
 	}
 	acc := make([]float64, len(local))
 	copy(acc, local)
 	if c.size == 1 {
+		c.obsDone(opReduce, Binomial, start)
 		return acc, nil
 	}
 	rel := (c.rank - root + c.size) % c.size
+	round := 0
 	for mask := 1; mask < c.size; mask <<= 1 {
 		if rel&mask == 0 {
 			peerRel := rel | mask
 			if peerRel < c.size {
 				peer := (peerRel + root) % c.size
-				b, err := c.recvRank(peer, tag)
-				if err != nil {
-					return nil, err
-				}
-				vals, err := c.decodeSameLen(b, len(acc))
+				vals, err := c.recvScratch(peer, opReduce, hdr(seq, round, opReduce), len(acc))
 				if err != nil {
 					return nil, err
 				}
@@ -41,17 +41,74 @@ func (c *Comm) Reduce(root int, local []float64, op Op) ([]float64, error) {
 			}
 		} else {
 			peer := (rel - mask + root) % c.size
-			if err := c.sendRank(peer, tag, encodeFloats(acc)); err != nil {
+			if err := c.sendFloats(peer, opReduce, hdr(seq, round, opReduce), acc); err != nil {
 				return nil, err
 			}
+			c.obsDone(opReduce, Binomial, start)
 			return nil, nil // contribution handed off; done
 		}
+		round++
 	}
+	c.obsDone(opReduce, Binomial, start)
 	return acc, nil
 }
 
 // AllReduce folds every rank's local slice and returns the result on all
-// ranks, using recursive doubling for every group size. Power-of-two groups
+// ranks. Small vectors use recursive doubling (latency-optimal, log2(n)
+// rounds, each moving the full vector); vectors past the dispatch table's
+// AllReduceRingBytes threshold use the ring ReduceScatter + ring AllGather
+// (Rabenseifner) algorithm, which moves only ~2·len elements per rank
+// regardless of group size. The local slice is not modified and the result
+// never aliases it.
+func (c *Comm) AllReduce(local []float64, op Op) ([]float64, error) {
+	return c.AllReduceWith(Auto, local, op)
+}
+
+// AllReduceWith is AllReduce with a forced algorithm (RecursiveDoubling or
+// Ring; Auto dispatches by the table).
+func (c *Comm) AllReduceWith(algo Algo, local []float64, op Op) ([]float64, error) {
+	acc := make([]float64, len(local))
+	copy(acc, local)
+	if err := c.AllReduceInPlaceWith(algo, acc, op); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// AllReduceInPlace is AllReduce folding the result into vals, avoiding the
+// result allocation: with buffer reuse enabled on the in-memory transport
+// the steady-state cost is zero allocations per operation.
+func (c *Comm) AllReduceInPlace(vals []float64, op Op) error {
+	return c.AllReduceInPlaceWith(Auto, vals, op)
+}
+
+// AllReduceInPlaceWith is AllReduceInPlace with a forced algorithm.
+func (c *Comm) AllReduceInPlaceWith(algo Algo, vals []float64, op Op) error {
+	start := c.obsStart()
+	seq := c.nextSeq()
+	if c.size == 1 {
+		c.obsDone(opAllReduce, RecursiveDoubling, start)
+		return nil
+	}
+	if algo == Auto {
+		algo = c.table.allReduceAlgo(c.size, wire.Float64sSize(len(vals)))
+	}
+	var err error
+	switch algo {
+	case Ring:
+		err = c.ringAllReduce(seq, vals, op)
+	default:
+		algo = RecursiveDoubling
+		err = c.rdAllReduce(seq, vals, op)
+	}
+	if err != nil {
+		return err
+	}
+	c.obsDone(opAllReduce, algo, start)
+	return nil
+}
+
+// rdAllReduce runs recursive doubling on acc in place. Power-of-two groups
 // run the classic log2(n) sweep of pairwise exchanges directly. Other sizes
 // fold the remainder in first: with pow2 the largest power of two <= n and
 // rem = n - pow2, the first 2*rem ranks pair up — each odd rank hands its
@@ -61,17 +118,10 @@ func (c *Comm) Reduce(root int, local []float64, op Op) ([]float64, error) {
 // extra latencies but keeps every other rank on the single-sweep critical
 // path, unlike the Reduce+Bcast composition it replaces (two full tree
 // traversals for everyone).
-func (c *Comm) AllReduce(local []float64, op Op) ([]float64, error) {
-	if c.allReduceHist != nil {
-		start := time.Now()
-		defer func() { c.allReduceHist.Observe(time.Since(start).Nanoseconds()) }()
-	}
-	tag := c.nextTag("allreduce")
-	acc := make([]float64, len(local))
-	copy(acc, local)
-	if c.size == 1 {
-		return acc, nil
-	}
+//
+// Rounds: 0 = remainder pre-fold, 1+k = sweep over bit k, 63 = post-fold.
+func (c *Comm) rdAllReduce(seq uint32, acc []float64, op Op) error {
+	const postRound = 63
 
 	pow2 := 1
 	for pow2<<1 <= c.size {
@@ -91,17 +141,13 @@ func (c *Comm) AllReduce(local []float64, op Op) ([]float64, error) {
 	newRank := -1
 	switch {
 	case c.rank < 2*rem && c.rank%2 == 1:
-		if err := c.sendRank(c.rank-1, tag, encodeFloats(acc)); err != nil {
-			return nil, err
+		if err := c.sendFloats(c.rank-1, opAllReduce, hdr(seq, 0, opAllReduce), acc); err != nil {
+			return err
 		}
 	case c.rank < 2*rem:
-		b, err := c.recvRank(c.rank+1, tag)
+		vals, err := c.recvScratch(c.rank+1, opAllReduce, hdr(seq, 0, opAllReduce), len(acc))
 		if err != nil {
-			return nil, err
-		}
-		vals, err := c.decodeSameLen(b, len(acc))
-		if err != nil {
-			return nil, err
+			return err
 		}
 		op(acc, vals)
 		newRank = c.rank / 2
@@ -109,49 +155,42 @@ func (c *Comm) AllReduce(local []float64, op Op) ([]float64, error) {
 		newRank = c.rank - rem
 	}
 
-	// Doubling sweep over the pow2 active ranks: in round k every active
+	// Doubling sweep over the pow2 active ranks: in round 1+k every active
 	// rank swaps its partial accumulation with the peer across bit k and
 	// folds it in. Sends are queued by the transport, so both partners may
-	// send before receiving without deadlock. Each pair meets in exactly one
-	// round (mask = XOR of their ranks), so one tag serves the whole sweep.
+	// send before receiving without deadlock.
 	if newRank >= 0 {
+		round := 1
 		for mask := 1; mask < pow2; mask <<= 1 {
 			peer := toGroup(newRank ^ mask)
-			if err := c.sendRank(peer, tag, encodeFloats(acc)); err != nil {
-				return nil, err
+			h := hdr(seq, round, opAllReduce)
+			if err := c.sendFloats(peer, opAllReduce, h, acc); err != nil {
+				return err
 			}
-			b, err := c.recvRank(peer, tag)
+			vals, err := c.recvScratch(peer, opAllReduce, h, len(acc))
 			if err != nil {
-				return nil, err
-			}
-			vals, err := c.decodeSameLen(b, len(acc))
-			if err != nil {
-				return nil, err
+				return err
 			}
 			op(acc, vals)
+			round++
 		}
 	}
 
 	// Post-fold: even ranks of the paired prefix return the full result to
 	// the neighbor that sat the sweep out.
 	if c.rank < 2*rem {
+		h := hdr(seq, postRound, opAllReduce)
 		if c.rank%2 == 0 {
-			if err := c.sendRank(c.rank+1, tag, encodeFloats(acc)); err != nil {
-				return nil, err
+			if err := c.sendFloats(c.rank+1, opAllReduce, h, acc); err != nil {
+				return err
 			}
 		} else {
-			b, err := c.recvRank(c.rank-1, tag)
-			if err != nil {
-				return nil, err
+			if err := c.recvInto(c.rank-1, opAllReduce, h, acc); err != nil {
+				return err
 			}
-			vals, err := c.decodeSameLen(b, len(acc))
-			if err != nil {
-				return nil, err
-			}
-			copy(acc, vals)
 		}
 	}
-	return acc, nil
+	return nil
 }
 
 // ReduceScalar reduces a single float64 to root (result valid at root only).

@@ -1,37 +1,41 @@
 package collective
 
+import "repro/internal/wire"
+
 // Scan computes the inclusive prefix reduction: rank r receives
 // op(local_0, ..., local_r). It uses the recursive-distance algorithm
 // (ceil(log2 n) rounds): in round k each rank sends its running value to
-// rank+2^k and folds the value received from rank-2^k.
+// rank+2^k and folds the value received from rank-2^k. The result never
+// aliases local.
 func (c *Comm) Scan(local []float64, op Op) ([]float64, error) {
-	tag := c.nextTag("scan")
+	start := c.obsStart()
+	seq := c.nextSeq()
 	acc := make([]float64, len(local))
 	copy(acc, local)
 	if c.size == 1 {
+		c.obsDone(opScan, RecursiveDoubling, start)
 		return acc, nil
 	}
-	// carry is the partial prefix received so far; acc = op(carry, local..).
+	round := 0
 	for dist := 1; dist < c.size; dist <<= 1 {
+		h := hdr(seq, round, opScan)
 		// Send first, then receive: the dispatcher's unbounded queues make
 		// the eager send safe.
 		if peer := c.rank + dist; peer < c.size {
-			if err := c.sendRank(peer, stepTag(tag, dist), encodeFloats(acc)); err != nil {
+			if err := c.sendFloats(peer, opScan, h, acc); err != nil {
 				return nil, err
 			}
 		}
 		if peer := c.rank - dist; peer >= 0 {
-			b, err := c.recvRank(peer, stepTag(tag, dist))
-			if err != nil {
-				return nil, err
-			}
-			vals, err := c.decodeSameLen(b, len(acc))
+			vals, err := c.recvScratch(peer, opScan, h, len(acc))
 			if err != nil {
 				return nil, err
 			}
 			op(acc, vals)
 		}
+		round++
 	}
+	c.obsDone(opScan, RecursiveDoubling, start)
 	return acc, nil
 }
 
@@ -47,13 +51,58 @@ func (c *Comm) ScanScalar(v float64, op Op) (float64, error) {
 // ReduceScatter reduces every rank's length-n*size slice elementwise and
 // scatters the result: rank r receives elements [r*n, (r+1)*n) of the global
 // reduction, where n = len(local)/size (len(local) must divide evenly).
-// Implemented as reduce-to-root plus scatter, which is bandwidth-optimal
-// enough for the control-plane uses in this repo.
+// Small inputs run the Reduce+Scatter composition (kept as the reference);
+// large ones the ring reduce-scatter, which moves ~len elements per rank
+// instead of funneling the full vector through a root twice.
 func (c *Comm) ReduceScatter(local []float64, op Op) ([]float64, error) {
+	return c.ReduceScatterWith(Auto, local, op)
+}
+
+// ReduceScatterWith is ReduceScatter with a forced algorithm (Composed or
+// Ring).
+func (c *Comm) ReduceScatterWith(algo Algo, local []float64, op Op) ([]float64, error) {
 	if len(local)%c.size != 0 {
 		return nil, errf("collective: ReduceScatter input length %d not divisible by group size %d",
 			len(local), c.size)
 	}
+	if algo != Composed && algo != Ring {
+		algo = c.table.reduceScatterAlgo(c.size, wire.Float64sSize(len(local)))
+	}
+	if c.size == 1 {
+		start := c.obsStart()
+		c.nextSeq()
+		out := make([]float64, len(local))
+		copy(out, local)
+		c.obsDone(opReduceScatter, algo, start)
+		return out, nil
+	}
+	if algo == Ring {
+		return c.reduceScatterRing(local, op)
+	}
+	return c.reduceScatterComposed(local, op)
+}
+
+// reduceScatterRing runs the reduce-scatter half of the ring on a working
+// copy and returns this rank's fully reduced block.
+func (c *Comm) reduceScatterRing(local []float64, op Op) ([]float64, error) {
+	start := c.obsStart()
+	seq := c.nextSeq()
+	acc := make([]float64, len(local))
+	copy(acc, local)
+	if err := c.ringReduceScatterPhase(seq, opReduceScatter, acc, op); err != nil {
+		return nil, err
+	}
+	lo, hi := blockRange(len(acc), c.size, c.rank)
+	out := make([]float64, hi-lo)
+	copy(out, acc[lo:hi])
+	c.obsDone(opReduceScatter, Ring, start)
+	return out, nil
+}
+
+// reduceScatterComposed is the Reduce-to-root + Scatter reference
+// composition (the inner collectives record their own instruments).
+func (c *Comm) reduceScatterComposed(local []float64, op Op) ([]float64, error) {
+	start := c.obsStart()
 	n := len(local) / c.size
 	full, err := c.Reduce(0, local, op)
 	if err != nil {
@@ -70,5 +119,10 @@ func (c *Comm) ReduceScatter(local []float64, op Op) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.decodeSameLen(b, n)
+	out, err := c.decodeSameLen(b, n)
+	if err != nil {
+		return nil, err
+	}
+	c.obsDone(opReduceScatter, Composed, start)
+	return out, nil
 }

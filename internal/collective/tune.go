@@ -1,0 +1,101 @@
+package collective
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// TuneConfig bounds the Tune measurement sweep.
+type TuneConfig struct {
+	// MinBytes..MaxBytes is the geometric (×2) vector-size ladder swept for
+	// the AllReduce algorithm crossover. Defaults: 1 KiB .. 256 KiB.
+	MinBytes int
+	MaxBytes int
+	// Reps is the number of operations timed per (size, algorithm) point
+	// (default 8, after 2 warmup operations).
+	Reps int
+}
+
+// Tune measures the recursive-doubling vs ring AllReduce crossover on the
+// live transport and installs a dispatch table using it (for both AllReduce
+// and ReduceScatter byte thresholds). It is itself a collective: every rank
+// must call it at the same point in the collective sequence. Rank 0's
+// measurements decide; the chosen threshold is broadcast so all ranks
+// install an identical table, and the installed table is returned (callers
+// may persist it with Table.Save).
+func (c *Comm) Tune(cfg TuneConfig) (*Table, error) {
+	if cfg.MinBytes <= 0 {
+		cfg.MinBytes = 1 << 10
+	}
+	if cfg.MaxBytes < cfg.MinBytes {
+		cfg.MaxBytes = 256 << 10
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 8
+	}
+	if c.size == 1 {
+		return c.table, nil
+	}
+
+	// Never-crossed sentinel: past the ladder, stick with recursive doubling.
+	crossover := cfg.MaxBytes * 2
+	found := false
+	for bytes := cfg.MinBytes; bytes <= cfg.MaxBytes; bytes *= 2 {
+		vec := make([]float64, bytes/8)
+		for i := range vec {
+			vec[i] = float64(i % 7)
+		}
+		rd, err := c.timeAlgo(RecursiveDoubling, vec, cfg.Reps)
+		if err != nil {
+			return nil, fmt.Errorf("collective: tune rd %dB: %w", bytes, err)
+		}
+		ring, err := c.timeAlgo(Ring, vec, cfg.Reps)
+		if err != nil {
+			return nil, fmt.Errorf("collective: tune ring %dB: %w", bytes, err)
+		}
+		if !found && ring < rd {
+			crossover = bytes
+			found = true
+		}
+	}
+
+	// Rank 0's decision wins; everyone installs the same table.
+	dec, err := c.BcastFloats(0, []float64{float64(crossover)})
+	if err != nil {
+		return nil, err
+	}
+	chosen := int(dec[0])
+	if chosen <= 0 || chosen > math.MaxInt32 {
+		return nil, fmt.Errorf("collective: tune produced threshold %v", dec[0])
+	}
+	t := *c.table
+	t.AllReduceRingBytes = chosen
+	t.ReduceScatterRingBytes = chosen
+	c.SetTable(&t)
+	return c.table, nil
+}
+
+// timeAlgo times reps forced-algorithm AllReduce operations after a barrier
+// and 2 warmup operations. Max keeps the vector values stable across
+// repeated in-place folding.
+func (c *Comm) timeAlgo(algo Algo, vec []float64, reps int) (time.Duration, error) {
+	for i := 0; i < 2; i++ {
+		if err := c.AllReduceInPlaceWith(algo, vec, Max); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := c.AllReduceInPlaceWith(algo, vec, Max); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -236,6 +237,18 @@ func (f *Framework) writeStatus(w io.Writer) {
 						proc.addr(), ec.key, ps.QueueDepth, ps.PeakQueueDepth,
 						ps.Jobs, ps.DataSends, ps.Flushes,
 						time.Duration(ps.ExportStallNanos).Round(time.Microsecond))
+				}
+			}
+		}
+		// Per-op/per-algo collective timings (the histograms are shared by
+		// every process of the program, so one comm's view covers all).
+		if len(p.procs) > 0 {
+			if ins := p.procs[0].comm.Instruments(); ins != nil {
+				var buf bytes.Buffer
+				ins.WriteStatus(&buf)
+				if buf.Len() > 0 {
+					fmt.Fprintf(w, "  collectives:\n")
+					w.Write(buf.Bytes())
 				}
 			}
 		}

@@ -673,6 +673,13 @@ func TestIntraProgramCollectives(t *testing.T) {
 		}
 		return nil
 	})
+	// The per-op/per-algo instruments observed the operation and surface it
+	// in the framework's /statusz section.
+	var b strings.Builder
+	f.Obsv().WriteStatus(&b)
+	if !strings.Contains(b.String(), "collectives:") || !strings.Contains(b.String(), "allreduce.") {
+		t.Errorf("statusz missing collectives section:\n%s", b.String())
+	}
 }
 
 // TestExportTotals aggregates across processes and connections.

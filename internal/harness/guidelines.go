@@ -1,0 +1,327 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/wire"
+)
+
+// Performance guidelines for the collective engine, after Hunold et al.'s
+// self-consistent MPI performance guidelines: a specialized collective must
+// not be slower than the obvious composition of more general ones (modulo a
+// slack factor for measurement noise), and growing the problem must not make
+// it faster. Violations mean the algorithm selection table is mis-tuned —
+// the dispatcher picked an algorithm that loses to a composition the caller
+// could have written by hand.
+
+// Guideline is one measured inequality LHS <= Slack * RHS.
+type Guideline struct {
+	Name   string  `json:"name"`
+	Detail string  `json:"detail"`
+	LHSNs  int64   `json:"lhs_ns"`
+	RHSNs  int64   `json:"rhs_ns"`
+	Ratio  float64 `json:"ratio"` // LHS / RHS
+	Slack  float64 `json:"slack"`
+	Holds  bool    `json:"holds"`
+}
+
+func (g Guideline) String() string {
+	verdict := "holds"
+	if !g.Holds {
+		verdict = "VIOLATED"
+	}
+	return fmt.Sprintf("%-24s %v vs %v (ratio %.2f, slack %.1f): %s",
+		g.Name, time.Duration(g.LHSNs), time.Duration(g.RHSNs), g.Ratio, g.Slack, verdict)
+}
+
+// GuidelinesReport is the result of one RunGuidelines sweep.
+type GuidelinesReport struct {
+	Ranks       int         `json:"ranks"`
+	GatherRanks int         `json:"gather_ranks"`
+	VectorLen   int         `json:"vector_len"`
+	Reps        int         `json:"reps"`
+	Identical   bool        `json:"results_identical"`
+	Guidelines  []Guideline `json:"guidelines"`
+}
+
+// Holds reports whether every measured guideline held.
+func (r *GuidelinesReport) Holds() bool {
+	for _, g := range r.Guidelines {
+		if !g.Holds {
+			return false
+		}
+	}
+	return true
+}
+
+// GuidelinesConfig bounds the guideline measurements.
+type GuidelinesConfig struct {
+	Ranks       int     // AllReduce group size (default 8)
+	GatherRanks int     // group size for the tree-vs-linear Gather guideline (default 24)
+	VectorLen   int     // float64s per rank for the reduction guidelines (default 16384 = 128 KiB)
+	Reps        int     // operations per timing pass (default 8)
+	Attempts    int     // timing passes per side, best-of (default 3)
+	Slack       float64 // allowed LHS/RHS ratio (default 1.5)
+}
+
+func (c *GuidelinesConfig) defaults() {
+	if c.Ranks <= 0 {
+		c.Ranks = 8
+	}
+	if c.GatherRanks <= 0 {
+		c.GatherRanks = 24
+	}
+	if c.VectorLen <= 0 {
+		c.VectorLen = 16384
+	}
+	if c.Reps <= 0 {
+		c.Reps = 8
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.Slack <= 0 {
+		c.Slack = 1.5
+	}
+}
+
+// RunGuidelines measures the performance guidelines on a live in-memory
+// group and verifies that the algorithms are interchangeable bit-for-bit:
+//
+//	allreduce        <= slack * (reduce ; bcast)             (mock-up composition)
+//	allreduce(ring)  <= slack * (reducescatter ; allgather)
+//	allreduce(len L) <= slack * allreduce(len 4L)            (size monotonicity)
+//	gather(auto)     <= slack * min(gather(linear), gather(tree))
+//	                                       (dispatch self-consistency at GatherRanks)
+func RunGuidelines(cfg GuidelinesConfig) (*GuidelinesReport, error) {
+	cfg.defaults()
+	rep := &GuidelinesReport{
+		Ranks:       cfg.Ranks,
+		GatherRanks: cfg.GatherRanks,
+		VectorLen:   cfg.VectorLen,
+		Reps:        cfg.Reps,
+	}
+
+	g, err := newCollGroup(cfg.Ranks, true)
+	if err != nil {
+		return nil, err
+	}
+	defer g.close()
+
+	identical, err := checkIdentical(g, cfg.VectorLen)
+	if err != nil {
+		return nil, err
+	}
+	rep.Identical = identical
+
+	vecs := make([][]float64, cfg.Ranks)
+	for r := range vecs {
+		vecs[r] = exactContrib(r, cfg.VectorLen)
+	}
+	timeFn := func(fn func(*collective.Comm) error) (time.Duration, error) {
+		return g.timeOp(2, cfg.Reps, cfg.Attempts, fn)
+	}
+	add := func(name, detail string, lhs, rhs time.Duration, slack float64) {
+		gl := Guideline{
+			Name:   name,
+			Detail: detail,
+			LHSNs:  lhs.Nanoseconds() / int64(cfg.Reps),
+			RHSNs:  rhs.Nanoseconds() / int64(cfg.Reps),
+			Slack:  slack,
+		}
+		if gl.RHSNs > 0 {
+			gl.Ratio = float64(gl.LHSNs) / float64(gl.RHSNs)
+		}
+		gl.Holds = float64(gl.LHSNs) <= slack*float64(gl.RHSNs)
+		rep.Guidelines = append(rep.Guidelines, gl)
+	}
+
+	// Guideline 1: AllReduce must not lose to its Reduce+Bcast mock-up.
+	allred, err := timeFn(func(c *collective.Comm) error {
+		return c.AllReduceInPlace(vecs[c.Rank()], collective.Max)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: guideline allreduce: %w", err)
+	}
+	mockup, err := timeFn(func(c *collective.Comm) error {
+		red, err := c.Reduce(0, vecs[c.Rank()], collective.Max)
+		if err != nil {
+			return err
+		}
+		_, err = c.BcastFloats(0, red) // red is nil off-root; BcastFloats ignores it there
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: guideline reduce+bcast: %w", err)
+	}
+	add("allreduce<=reduce+bcast",
+		fmt.Sprintf("%d ranks, %d floats", cfg.Ranks, cfg.VectorLen), allred, mockup, cfg.Slack)
+
+	// Guideline 2: the fused ring AllReduce must not lose to its own
+	// ReduceScatter + AllGather composition.
+	ring, err := timeFn(func(c *collective.Comm) error {
+		return c.AllReduceInPlaceWith(collective.Ring, vecs[c.Rank()], collective.Max)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: guideline ring allreduce: %w", err)
+	}
+	rsag, err := timeFn(func(c *collective.Comm) error {
+		block, err := c.ReduceScatterWith(collective.Ring, vecs[c.Rank()], collective.Max)
+		if err != nil {
+			return err
+		}
+		_, err = c.AllGatherWith(collective.Ring, wire.AppendFloat64s(nil, block))
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: guideline rs+ag: %w", err)
+	}
+	add("allreduce<=rs+ag",
+		fmt.Sprintf("%d ranks, %d floats, ring both sides", cfg.Ranks, cfg.VectorLen), ring, rsag, cfg.Slack)
+
+	// Guideline 4 (same group): growing the vector must not make AllReduce
+	// faster.
+	smallLen := cfg.VectorLen / 4
+	if smallLen < 1 {
+		smallLen = 1
+	}
+	smalls := make([][]float64, cfg.Ranks)
+	for r := range smalls {
+		smalls[r] = exactContrib(r, smallLen)
+	}
+	tSmall, err := timeFn(func(c *collective.Comm) error {
+		return c.AllReduceInPlace(smalls[c.Rank()], collective.Max)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: guideline monotonicity small: %w", err)
+	}
+	add("allreduce-monotonic",
+		fmt.Sprintf("%d ranks, %d vs %d floats", cfg.Ranks, smallLen, cfg.VectorLen), tSmall, allred, cfg.Slack)
+
+	// Guideline 3: dispatch self-consistency — the table's automatic choice
+	// must not lose to any algorithm the caller could force by hand
+	// (separate, wider group; small payloads, where a mis-set gather
+	// threshold hurts most).
+	gg, err := newCollGroup(cfg.GatherRanks, true)
+	if err != nil {
+		return nil, err
+	}
+	defer gg.close()
+	part := make([]byte, 64)
+	timeGather := func(algo collective.Algo) (time.Duration, error) {
+		return gg.timeOp(2, cfg.Reps, cfg.Attempts, func(c *collective.Comm) error {
+			_, err := c.GatherWith(algo, 0, part)
+			return err
+		})
+	}
+	auto, err := timeGather(collective.Auto)
+	if err != nil {
+		return nil, fmt.Errorf("harness: guideline gather auto: %w", err)
+	}
+	tree, err := timeGather(collective.Binomial)
+	if err != nil {
+		return nil, fmt.Errorf("harness: guideline gather tree: %w", err)
+	}
+	linear, err := timeGather(collective.Linear)
+	if err != nil {
+		return nil, fmt.Errorf("harness: guideline gather linear: %w", err)
+	}
+	add("gather-auto<=forced",
+		fmt.Sprintf("%d ranks, %d B parts; linear %v, tree %v", cfg.GatherRanks, len(part), linear, tree),
+		auto, min(linear, tree), cfg.Slack)
+
+	return rep, nil
+}
+
+// checkIdentical runs every algorithm pair that must be interchangeable and
+// compares results bitwise across algorithms and ranks: rd vs ring AllReduce,
+// segmented vs whole-payload Bcast, tree vs linear Gather.
+func checkIdentical(g *collGroup, vecLen int) (bool, error) {
+	ranks := len(g.comms)
+	ok := true
+
+	// AllReduce: one bitwise answer from both algorithms on every rank.
+	var ref []byte
+	for _, algo := range []collective.Algo{collective.RecursiveDoubling, collective.Ring} {
+		algo := algo
+		outs := make([][]byte, ranks)
+		if err := g.run(func(c *collective.Comm) error {
+			got, err := c.AllReduceWith(algo, exactContrib(c.Rank(), vecLen), collective.Sum)
+			if err != nil {
+				return err
+			}
+			outs[c.Rank()] = wire.AppendFloat64s(nil, got)
+			return nil
+		}); err != nil {
+			return false, fmt.Errorf("harness: identical allreduce %v: %w", algo, err)
+		}
+		if ref == nil {
+			ref = outs[0]
+		}
+		for r := 0; r < ranks; r++ {
+			if !bytes.Equal(outs[r], ref) {
+				ok = false
+			}
+		}
+	}
+
+	// Bcast: segmented delivery must reassemble the root's exact bytes.
+	payload := make([]byte, 100_003)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	for _, algo := range []collective.Algo{collective.Binomial, collective.BinomialSeg} {
+		algo := algo
+		if err := g.run(func(c *collective.Comm) error {
+			var in []byte
+			if c.Rank() == 0 {
+				in = payload
+			}
+			got, err := c.BcastWith(algo, 0, in)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, payload) {
+				return fmt.Errorf("bcast %v: rank %d got %d bytes, want %d", algo, c.Rank(), len(got), len(payload))
+			}
+			return nil
+		}); err != nil {
+			return false, err
+		}
+	}
+
+	// Gather: the tree must deliver exactly what the linear loop delivers.
+	byAlgo := map[collective.Algo][][]byte{}
+	for _, algo := range []collective.Algo{collective.Linear, collective.Binomial} {
+		algo := algo
+		var got [][]byte
+		if err := g.run(func(c *collective.Comm) error {
+			part := wire.AppendFloat64s(nil, exactContrib(c.Rank(), 7))
+			parts, err := c.GatherWith(algo, 0, part)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				got = parts
+			}
+			return nil
+		}); err != nil {
+			return false, fmt.Errorf("harness: identical gather %v: %w", algo, err)
+		}
+		byAlgo[algo] = got
+	}
+	lin, tree := byAlgo[collective.Linear], byAlgo[collective.Binomial]
+	if len(lin) != len(tree) {
+		ok = false
+	} else {
+		for r := range lin {
+			if !bytes.Equal(lin[r], tree[r]) {
+				ok = false
+			}
+		}
+	}
+	return ok, nil
+}

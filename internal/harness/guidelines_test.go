@@ -1,0 +1,54 @@
+package harness
+
+import "testing"
+
+// TestGuidelinesHold is the tier-1 performance-guidelines gate: the
+// specialized collectives must not lose to their compositions, growing the
+// vector must not make AllReduce faster, and every interchangeable algorithm
+// pair must produce bit-identical results. Timing guidelines are measured
+// best-of-N with slack and the whole sweep retried, so scheduler noise on a
+// loaded CI machine does not flake the build; a persistent violation fails.
+func TestGuidelinesHold(t *testing.T) {
+	cfg := GuidelinesConfig{
+		Ranks:       8,
+		GatherRanks: 16,
+		VectorLen:   8192,
+		Reps:        6,
+		Attempts:    3,
+		Slack:       2.0,
+	}
+	var rep *GuidelinesReport
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		rep, err = RunGuidelines(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Identical {
+			t.Fatal("algorithm pairs disagree bitwise (not a timing issue; no retry)")
+		}
+		if rep.Holds() {
+			break
+		}
+	}
+	for _, g := range rep.Guidelines {
+		t.Log(g)
+	}
+	if !rep.Holds() {
+		t.Fatal("performance guidelines violated after 3 attempts")
+	}
+}
+
+// TestCompareAllReduceIdentical pins the bit-identity half of the
+// rd-vs-ring comparison (the speedup half is asserted by couplebench
+// -collectives, which runs on an idle machine and writes BENCH_PR8.json).
+func TestCompareAllReduceIdentical(t *testing.T) {
+	cmp, err := CompareAllReduce(8, 4096, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(cmp)
+	if !cmp.Identical {
+		t.Fatal("rd and ring AllReduce results are not bit-identical")
+	}
+}

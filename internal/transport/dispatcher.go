@@ -29,10 +29,16 @@ type Dispatcher struct {
 	stopped chan struct{}
 }
 
-// queue is an unbounded FIFO with blocking receive.
+// queue is an unbounded FIFO with blocking receive. The backing store is a
+// ring buffer rather than an append/reslice slice: a steady-state
+// producer/consumer pair reuses the same array forever instead of leaking
+// capacity off the front and reallocating on every wrap, which keeps the
+// collective hot path allocation-free.
 type queue struct {
 	mu     sync.Mutex
-	items  []Message
+	buf    []Message
+	head   int           // index of the oldest message
+	n      int           // live messages
 	signal chan struct{} // capacity 1; poked on push and on close
 	closed bool
 }
@@ -43,7 +49,15 @@ func newQueue() *queue {
 
 func (q *queue) push(m Message) {
 	q.mu.Lock()
-	q.items = append(q.items, m)
+	if q.n == len(q.buf) {
+		grown := make([]Message, max(16, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = m
+	q.n++
 	q.mu.Unlock()
 	q.poke()
 }
@@ -68,14 +82,19 @@ func (q *queue) close() {
 func (q *queue) pop(deadline <-chan time.Time) (Message, error) {
 	for {
 		q.mu.Lock()
-		if len(q.items) > 0 {
-			m := q.items[0]
-			q.items = q.items[1:]
-			if len(q.items) > 0 {
-				// More waiting: re-poke for other blocked receivers.
-				defer q.poke()
-			}
+		if q.n > 0 {
+			m := q.buf[q.head]
+			q.buf[q.head] = Message{} // drop payload reference for the GC
+			q.head = (q.head + 1) % len(q.buf)
+			q.n--
+			again := q.n > 0
 			q.mu.Unlock()
+			if again {
+				// More waiting: re-poke for other blocked receivers.
+				// (Not a defer: a defer inside a loop heap-allocates its
+				// record, which would put one malloc on every hot-path pop.)
+				q.poke()
+			}
 			return m, nil
 		}
 		if q.closed {
@@ -177,6 +196,17 @@ func (d *Dispatcher) RecvTimeout(kind Kind, timeout time.Duration) (Message, err
 	defer t.Stop()
 	return d.queue(kind).pop(t.C())
 }
+
+// RecvDeadline is Recv against a caller-owned deadline channel (typically a
+// reused timer's C()), so hot paths can avoid allocating a timer per receive.
+// A nil deadline blocks indefinitely.
+func (d *Dispatcher) RecvDeadline(kind Kind, deadline <-chan time.Time) (Message, error) {
+	return d.queue(kind).pop(deadline)
+}
+
+// Clock returns the clock receive deadlines are measured on, so callers can
+// build reusable timers against the same (possibly virtual) time base.
+func (d *Dispatcher) Clock() vclock.Clock { return d.clock }
 
 // Err returns the error that stopped the receive loop, or nil while running.
 func (d *Dispatcher) Err() error {
