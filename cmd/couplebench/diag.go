@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/harness"
+	"repro/internal/obsv/diag"
+)
+
+// diagReport is the schema of the JSON file -diag writes (BENCH_PR9.json in
+// the repository). It snapshots the coupling-aware diagnosis acceptance
+// properties — one delayed rank is fingered as the straggler for >= 95% of
+// operations, the attribution trailer costs <= 5% on the headline AllReduce
+// latency, and with diagnosis off the steady-state hot path still allocates
+// nothing — so CI can verify them without re-deriving.
+type diagReport struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	// Diag is the attribution accuracy + trailer overhead measurement.
+	Diag *harness.DiagReport `json:"diag"`
+
+	// SteadyStateOff re-checks the PR 8 baseline with diagnosis off:
+	// AllocsPerOp must stay 0.
+	SteadyStateOff benchResult `json:"allreduce_steady_state_diag_off"`
+}
+
+// runDiagBench runs the diagnosis benchmark suite, writes the JSON report to
+// path and the sample flight dump to flightOut (skipped when empty), failing
+// loudly if an acceptance gate regressed.
+func runDiagBench(path, flightOut string) error {
+	probe, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+
+	report := diagReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+
+	fmt.Println("straggler attribution + trailer overhead (8 ranks x 8 KiB, rank 5 delayed 1ms):")
+	rep, err := harness.RunDiag(harness.DiagConfig{FlightOut: flightOut})
+	if err != nil {
+		return err
+	}
+	report.Diag = rep
+	fmt.Printf("  %s\n", rep)
+	if flightOut != "" {
+		fmt.Printf("  sample flight dump written to %s\n", flightOut)
+	}
+
+	fmt.Println("steady-state AllReduce with diagnosis off (the PR 8 zero-alloc baseline):")
+	report.SteadyStateOff = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		harness.CollectiveAllReduceBench(b, 8, 1024, collective.RecursiveDoubling)
+	}))
+	fmt.Printf("  %-28s %10d ops   %8d ns/op   %4d allocs/op\n",
+		"allreduce-rd-diag-off", report.SteadyStateOff.N,
+		report.SteadyStateOff.NsPerOp, report.SteadyStateOff.AllocsPerOp)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	// Acceptance gates.
+	if rep.Fraction < 0.95 {
+		return fmt.Errorf("slow rank fingered in %.1f%% of attributed ops, want >= 95%%", 100*rep.Fraction)
+	}
+	if rep.TopRank != rep.SlowRank {
+		return fmt.Errorf("top straggler rank %d, want the delayed rank %d", rep.TopRank, rep.SlowRank)
+	}
+	if rep.OverheadPct > 5.0 {
+		return fmt.Errorf("attribution trailer costs %.1f%% on the headline AllReduce, want <= 5%%", rep.OverheadPct)
+	}
+	if a := report.SteadyStateOff.AllocsPerOp; a != 0 {
+		return fmt.Errorf("with diagnosis off the steady-state AllReduce allocates %d per op, want 0", a)
+	}
+	return nil
+}
+
+// runCoupleflight is the `couplebench coupleflight <dump.cpfl>...` decoder:
+// it reads each flight dump and prints one merged timeline, ordered by the
+// recorders' (virtual or wall) clock across programs and ranks.
+func runCoupleflight(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: couplebench coupleflight <dump.cpfl>...")
+	}
+	dumps := make([]*diag.Dump, 0, len(paths))
+	for _, path := range paths {
+		d, err := diag.ReadDump(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		dumps = append(dumps, d)
+	}
+	return diag.WriteTimeline(os.Stdout, dumps...)
+}

@@ -37,8 +37,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/config"
@@ -81,6 +83,11 @@ func main() {
 			"record protocol spans (dump at /trace or with -trace-out; piggybacks trace IDs on the wire)")
 		traceOut = flag.String("trace-out", "",
 			"write the recorded span trace as Chrome trace JSON to this file on exit (implies -obsv-trace)")
+		diagOn = flag.Bool("diag", false,
+			"enable coupling-aware diagnosis: per-collective straggler attribution (/diag/stragglers, "+
+				"statusz diag: section) and a crash-safe flight recorder (dumped on peer death or SIGQUIT)")
+		flightDir = flag.String("flight-dir", "",
+			"directory for flight-recorder dumps (with -diag; default: the OS temp directory)")
 	)
 	flag.Parse()
 	if *listen != "" {
@@ -98,7 +105,8 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*cfgPath, *program, *router, *gridN, *steps, *every, *buddy, *verbose, *hb, *retries,
-		*ckptDir, *ckptEvery, *restore, *obsvAddr, *obsvTrace || *traceOut != "", *traceOut); err != nil {
+		*ckptDir, *ckptEvery, *restore, *obsvAddr, *obsvTrace || *traceOut != "", *traceOut,
+		*diagOn, *flightDir); err != nil {
 		fmt.Fprintln(os.Stderr, "coupled:", err)
 		os.Exit(1)
 	}
@@ -140,12 +148,15 @@ func contains(xs []string, s string) bool {
 
 func run(cfgPath, program, router string, gridN, steps, every int, buddy, verbose bool,
 	heartbeat time.Duration, maxRetries int, ckptDir string, ckptEvery int, restore bool,
-	obsvAddr string, tracing bool, traceOut string) error {
+	obsvAddr string, tracing bool, traceOut string, diagOn bool, flightDir string) error {
 	cfg, err := config.ParseFile(cfgPath)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{BuddyHelp: buddy, Timeout: 2 * time.Minute, Heartbeat: heartbeat}
+	opts := core.Options{
+		BuddyHelp: buddy, Timeout: 2 * time.Minute, Heartbeat: heartbeat,
+		Diag: diagOn, FlightDir: flightDir,
+	}
 	// Restart epoch: 0 for a fresh start; a restore learns it from the saved
 	// checkpoint before the transport session is built, so peers can tell the
 	// new incarnation's session from the dead one's.
@@ -211,6 +222,26 @@ func run(cfgPath, program, router string, gridN, steps, every int, buddy, verbos
 		return err
 	}
 	defer fw.Close()
+
+	if diagOn {
+		// SIGQUIT preserves its kill semantics but writes the flight rings
+		// first: the crashed run's last protocol events, decodable with
+		// `couplebench coupleflight <files>`.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGQUIT)
+		defer signal.Stop(sigc)
+		go func() {
+			<-sigc
+			paths, err := fw.DumpFlight("SIGQUIT")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "coupled: flight dump:", err)
+			}
+			for _, p := range paths {
+				fmt.Fprintf(os.Stderr, "coupled: flight dump written to %s\n", p)
+			}
+			os.Exit(2)
+		}()
+	}
 
 	roles := rolesOf(cfg)
 	if program != "" {

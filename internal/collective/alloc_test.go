@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obsv/diag"
 	"repro/internal/transport"
 )
 
@@ -130,6 +131,41 @@ func TestAllReduceSteadyStateZeroAlloc(t *testing.T) {
 					algo, mallocs, iters*ranks)
 			}
 		})
+	}
+}
+
+// TestDiagOnSteadyStateZeroAlloc extends the zero-alloc regression to the
+// diagnosis path: the attribution trailer (stamping, folding, board votes)
+// must not allocate either — it reuses the payload buffer, reads the clock,
+// and votes through atomics.
+func TestDiagOnSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	const (
+		ranks  = 8
+		vecLen = 1024
+		iters  = 50
+	)
+	vecs := make([][]float64, ranks)
+	for r := range vecs {
+		vecs[r] = make([]float64, vecLen)
+	}
+	g := newAllocGroup(t, ranks, func(c *Comm) error {
+		return c.AllReduceInPlaceWith(RecursiveDoubling, vecs[c.Rank()], Max)
+	})
+	defer g.close()
+	b := diag.NewBoard("A", ranks)
+	for _, c := range g.comms {
+		c.SetDiag(b, nil)
+	}
+	for i := 0; i < 16; i++ {
+		g.round(t)
+	}
+	mallocs := measureAllocs(t, g, iters)
+	if mallocs > 10 {
+		t.Fatalf("steady-state AllReduce with diagnosis on allocated %d times over %d ops (want 0)",
+			mallocs, iters*ranks)
 	}
 }
 

@@ -65,11 +65,11 @@ func (c *Comm) bcast(seq uint32, root int, data []byte, algo Algo) ([]byte, Algo
 	if err != nil {
 		return nil, Auto, err
 	}
-	if len(p0) < hdrLen+bcastPrefixLen {
+	if len(p0) < c.hlen+bcastPrefixLen {
 		return nil, Auto, fmt.Errorf("collective: bcast segment 0 payload %d bytes", len(p0))
 	}
-	total := int(binary.LittleEndian.Uint32(p0[hdrLen:]))
-	segSize := int(binary.LittleEndian.Uint32(p0[hdrLen+4:]))
+	total := int(binary.LittleEndian.Uint32(p0[c.hlen:]))
+	segSize := int(binary.LittleEndian.Uint32(p0[c.hlen+4:]))
 	nseg := 1
 	if segSize > 0 {
 		nseg = (total + segSize - 1) / segSize
@@ -86,9 +86,28 @@ func (c *Comm) bcast(seq uint32, root int, data []byte, algo Algo) ([]byte, Algo
 	// can start their own forwarding while we assemble locally. Forwarded
 	// payloads go out verbatim (same header, multiple recipients), so they
 	// are never recycled and the local result is assembled into a fresh
-	// buffer rather than aliasing them.
+	// buffer rather than aliasing them. With diagnosis on, the trailer must
+	// carry this hop's fold word and send time instead of the parent's —
+	// but the received payload may still back a retransmit buffer upstream,
+	// so it is re-stamped on a copy, never in place.
+	hasChild := false
+	for m := mask >> 1; m > 0; m >>= 1 {
+		if rel+m < c.size {
+			hasChild = true
+			break
+		}
+	}
 	out := make([]byte, total)
 	forward := func(p []byte) error {
+		if !hasChild {
+			return nil
+		}
+		if c.diagEnabled() {
+			fp := make([]byte, len(p))
+			copy(fp, p)
+			c.stamp(fp)
+			p = fp
+		}
 		for m := mask >> 1; m > 0; m >>= 1 {
 			if rel+m < c.size {
 				if err := c.sendRaw((rel+m+root)%c.size, opBcast, p); err != nil {
@@ -101,7 +120,7 @@ func (c *Comm) bcast(seq uint32, root int, data []byte, algo Algo) ([]byte, Algo
 	if err := forward(p0); err != nil {
 		return nil, algo, err
 	}
-	if err := copySeg(out, 0, segSize, total, p0[hdrLen+bcastPrefixLen:]); err != nil {
+	if err := copySeg(out, 0, segSize, total, p0[c.hlen+bcastPrefixLen:]); err != nil {
 		return nil, algo, err
 	}
 	for s := 1; s < nseg; s++ {
@@ -112,7 +131,7 @@ func (c *Comm) bcast(seq uint32, root int, data []byte, algo Algo) ([]byte, Algo
 		if err := forward(p); err != nil {
 			return nil, algo, err
 		}
-		if err := copySeg(out, s, segSize, total, p[hdrLen:]); err != nil {
+		if err := copySeg(out, s, segSize, total, p[c.hlen:]); err != nil {
 			return nil, algo, err
 		}
 	}
@@ -152,15 +171,19 @@ func (c *Comm) bcastRoot(seq uint32, root int, data []byte, algo Algo) ([]byte, 
 		hi := min(lo+segSize, total)
 		var p []byte
 		if s == 0 {
-			p = make([]byte, hdrLen+bcastPrefixLen+hi-lo)
+			p = make([]byte, c.hlen+bcastPrefixLen+hi-lo)
 			putHdr(p, hdr(seq, 0, opBcast))
-			binary.LittleEndian.PutUint32(p[hdrLen:], uint32(total))
-			binary.LittleEndian.PutUint32(p[hdrLen+4:], uint32(segSize))
-			copy(p[hdrLen+bcastPrefixLen:], data[lo:hi])
+			binary.LittleEndian.PutUint32(p[c.hlen:], uint32(total))
+			binary.LittleEndian.PutUint32(p[c.hlen+4:], uint32(segSize))
+			copy(p[c.hlen+bcastPrefixLen:], data[lo:hi])
 		} else {
-			p = make([]byte, hdrLen+hi-lo)
+			p = make([]byte, c.hlen+hi-lo)
 			putHdr(p, hdr(seq, s, opBcast))
-			copy(p[hdrLen:], data[lo:hi])
+			copy(p[c.hlen:], data[lo:hi])
+		}
+		if c.diagEnabled() {
+			// Stamped once, before the first send, while exclusively owned.
+			c.stamp(p)
 		}
 		// Largest subtree first, so the deepest chain starts earliest.
 		for m := topmask >> 1; m > 0; m >>= 1 {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/obsv"
+	"repro/internal/obsv/diag"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 	"repro/internal/wire"
@@ -68,6 +69,16 @@ type Comm struct {
 	// allReduceHist, when set, observes every AllReduce's wall time in
 	// nanoseconds (a nil histogram is a no-op, so the default costs nothing).
 	allReduceHist *obsv.Histogram
+
+	// Diagnosis state (see diag.go). hlen is the per-payload prefix length:
+	// hdrLen normally, hdrLen+trailerLen when critical-path attribution is
+	// on and every payload carries the piggybacked fold trailer.
+	hlen    int
+	board   *diag.Board
+	flight  *diag.Recorder
+	dclk    vclock.Clock
+	minWait int64
+	dstate  diagState
 }
 
 // New returns the Comm for rank within a size-process group named program.
@@ -83,6 +94,7 @@ func New(d *transport.Dispatcher, program string, rank, size int) (*Comm, error)
 		d: d, program: program, rank: rank, size: size,
 		timeout: DefaultTimeout,
 		table:   DefaultTable(),
+		hlen:    hdrLen,
 	}, nil
 }
 
@@ -143,6 +155,9 @@ func (c *Comm) SetBufferReuse(on bool) {
 // operation instance on all ranks.
 func (c *Comm) nextSeq() uint32 {
 	c.opSeq++
+	if c.diagEnabled() {
+		c.dstate = diagState{active: true, maxRank: -1}
+	}
 	return c.opSeq
 }
 
@@ -204,8 +219,12 @@ func (c *Comm) obsStart() time.Time {
 	return time.Now()
 }
 
-// obsDone records an operation latency under (op, algo).
+// obsDone records an operation latency under (op, algo) and, with
+// diagnosis on, flushes the operation's straggler attribution.
 func (c *Comm) obsDone(op opID, algo Algo, start time.Time) {
+	if c.dstate.active {
+		c.diagEnd(op)
+	}
 	if start.IsZero() {
 		return
 	}
@@ -228,19 +247,26 @@ func (c *Comm) sendRaw(to int, op opID, payload []byte) error {
 	})
 }
 
-// sendBytes sends header h followed by body.
+// sendBytes sends header h (plus the diagnosis trailer when attached)
+// followed by body.
 func (c *Comm) sendBytes(to int, op opID, h uint64, body []byte) error {
-	b := c.buf(hdrLen + len(body))
+	b := c.buf(c.hlen + len(body))
 	putHdr(b, h)
-	copy(b[hdrLen:], body)
+	if c.hlen != hdrLen {
+		c.stamp(b)
+	}
+	copy(b[c.hlen:], body)
 	return c.sendRaw(to, op, b)
 }
 
 // sendFloats sends header h followed by the flat float64 encoding of vals.
 func (c *Comm) sendFloats(to int, op opID, h uint64, vals []float64) error {
-	b := c.buf(hdrLen + wire.Float64sSize(len(vals)))
+	b := c.buf(c.hlen + wire.Float64sSize(len(vals)))
 	putHdr(b, h)
-	wire.AppendFloat64s(b[:hdrLen], vals)
+	if c.hlen != hdrLen {
+		c.stamp(b)
+	}
+	wire.AppendFloat64s(b[:c.hlen], vals)
 	return c.sendRaw(to, op, b)
 }
 
@@ -255,8 +281,17 @@ func (c *Comm) recv(from int, op opID, h uint64) ([]byte, error) {
 		if m.Src == src && m.Tag == tag && matchHdr(m.Payload, h) {
 			p := m.Payload
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			if c.hlen != hdrLen {
+				// The payload arrived while this rank was posted on some
+				// other receive: no wait measurement, fold word only.
+				c.diagFold(from, p, false, 0, 0)
+			}
 			return p, nil
 		}
+	}
+	var postNS int64
+	if c.hlen != hdrLen {
+		postNS = c.nowNS()
 	}
 	for {
 		m, err := c.d.RecvDeadline(transport.KindCollective, c.deadline())
@@ -265,6 +300,9 @@ func (c *Comm) recv(from int, op opID, h uint64) ([]byte, error) {
 				transport.Proc(c.program, c.rank), src, tag, h>>32, uint16(h>>16), err)
 		}
 		if m.Src == src && m.Tag == tag && matchHdr(m.Payload, h) {
+			if c.hlen != hdrLen {
+				c.diagFold(from, m.Payload, true, postNS, c.nowNS())
+			}
 			return m.Payload, nil
 		}
 		c.pending = append(c.pending, m)
@@ -278,7 +316,7 @@ func (c *Comm) recvInto(from int, op opID, h uint64, dst []float64) error {
 	if err != nil {
 		return err
 	}
-	if err := wire.DecodeFloat64sInto(p[hdrLen:], dst); err != nil {
+	if err := wire.DecodeFloat64sInto(p[c.hlen:], dst); err != nil {
 		return fmt.Errorf("collective: %s from rank %d: %w", opTags[op], from, err)
 	}
 	c.recycle(p)

@@ -63,7 +63,7 @@ func (c *Comm) gatherLinear(seq uint32, root int, part []byte) ([][]byte, error)
 		if err != nil {
 			return nil, err
 		}
-		out[r] = p[hdrLen:]
+		out[r] = p[c.hlen:]
 	}
 	return out, nil
 }
@@ -87,7 +87,7 @@ func (c *Comm) gatherTree(seq uint32, root int, part []byte) ([][]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		buf = append(buf, p[hdrLen:]...)
+		buf = append(buf, p[c.hlen:]...)
 	}
 	if rel != 0 {
 		return nil, c.sendBytes((rel-M+root)%c.size, opGather, h, buf)
@@ -166,7 +166,7 @@ func (c *Comm) scatterLinear(seq uint32, root int, parts [][]byte) ([]byte, erro
 	if err != nil {
 		return nil, err
 	}
-	return p[hdrLen:], nil
+	return p[c.hlen:], nil
 }
 
 // scatterTree is the binomial mirror of gatherTree: the root packs each
@@ -206,7 +206,7 @@ func (c *Comm) scatterTree(seq uint32, root int, parts [][]byte) ([]byte, error)
 	if err != nil {
 		return nil, err
 	}
-	entries = p[hdrLen:]
+	entries = p[c.hlen:]
 	// Repack per child: child at rel+m owns relative ranks [rel+m, rel+2m).
 	var scratch []byte
 	for m := M >> 1; m > 0; m >>= 1 {
@@ -294,7 +294,7 @@ func (c *Comm) allGatherLinear(seq uint32, out [][]byte) error {
 		if err != nil {
 			return err
 		}
-		out[r] = p[hdrLen:]
+		out[r] = p[c.hlen:]
 	}
 	return nil
 }
@@ -314,7 +314,7 @@ func (c *Comm) allGatherRing(seq uint32, out [][]byte) error {
 			return err
 		}
 		recvOrigin := (c.rank - s - 1 + c.size) % c.size
-		out[recvOrigin] = p[hdrLen:]
+		out[recvOrigin] = p[c.hlen:]
 	}
 	return nil
 }
@@ -377,7 +377,7 @@ func (c *Comm) allToAllLinear(seq uint32, parts, out [][]byte) error {
 		if err != nil {
 			return err
 		}
-		out[r] = p[hdrLen:]
+		out[r] = p[c.hlen:]
 	}
 	return nil
 }
@@ -394,7 +394,7 @@ func (c *Comm) allToAllPairwise(seq uint32, parts, out [][]byte) error {
 		if err != nil {
 			return err
 		}
-		out[from] = p[hdrLen:]
+		out[from] = p[c.hlen:]
 	}
 	return nil
 }

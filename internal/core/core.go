@@ -26,6 +26,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/decomp"
 	"repro/internal/obsv"
+	"repro/internal/obsv/diag"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 )
@@ -130,6 +131,21 @@ type Options struct {
 	// of corrupting freelists, and PoolViolations reports them. Simulation
 	// harness only — it costs a map operation per pooled Get/Put.
 	CheckedPools bool
+	// Diag enables coupling-aware diagnosis: every hosted program gets a
+	// straggler board fed by per-collective critical-path attribution
+	// (collective payloads grow a 16-byte trailer; see package collective)
+	// and a crash-safe flight recorder of protocol events. Surfaced as the
+	// collective.<op>.straggler.* instruments, the /diag/stragglers endpoint
+	// and a diag: block in /statusz; DumpFlight (and peer-death detection)
+	// writes the flight rings to FlightDir. Off by default — the collective
+	// hot path then keeps its 0 allocs/op guarantee.
+	Diag bool
+	// FlightDir is where flight-recorder dumps are written ("" = the OS temp
+	// directory). Only meaningful with Diag.
+	FlightDir string
+	// FlightEvents sizes each program's flight-recorder ring (0 =
+	// diag.DefaultEvents). Only meaningful with Diag.
+	FlightEvents int
 }
 
 // Framework hosts one coupled run — either every program of the
@@ -206,6 +222,51 @@ func (f *Framework) initObsv() {
 	f.obs.AddStatus(f.statusName(), f.writeStatus)
 }
 
+// initDiag mounts the /diag/stragglers endpoint once the hosted programs —
+// and so their straggler boards — exist. The boards slice is fixed at build
+// time (the program set never changes after New/Join), so the per-request
+// closure reads immutable state.
+func (f *Framework) initDiag() {
+	if !f.opts.Diag {
+		return
+	}
+	boards := make([]*diag.Board, 0, len(f.programs))
+	for _, p := range f.programs {
+		boards = append(boards, p.board)
+	}
+	f.obs.Handle("/diag/stragglers", diag.Handler(5, func() []*diag.Board { return boards }))
+}
+
+// flightRecorders returns the hosted programs' flight recorders in name
+// order (empty unless Options.Diag).
+func (f *Framework) flightRecorders() []*diag.Recorder {
+	names := make([]string, 0, len(f.programs))
+	for name := range f.programs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var recs []*diag.Recorder
+	for _, name := range names {
+		if r := f.programs[name].flight; r != nil {
+			recs = append(recs, r)
+		}
+	}
+	return recs
+}
+
+// DumpFlight writes every hosted program's flight-recorder ring to
+// Options.FlightDir ("" = the OS temp directory), one self-describing
+// .cpfl file per program, and returns the file paths. Called on SIGQUIT by
+// cmd/coupled; the framework itself also dumps on heartbeat-declared peer
+// death. A no-op (nil, nil) unless Options.Diag.
+func (f *Framework) DumpFlight(reason string) ([]string, error) {
+	recs := f.flightRecorders()
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	return diag.DumpAll(f.opts.FlightDir, reason, recs...)
+}
+
 // writeStatus renders the /statusz section: per-connection pipeline state of
 // every hosted process and the heartbeat view of every hosted rep.
 func (f *Framework) writeStatus(w io.Writer) {
@@ -252,6 +313,10 @@ func (f *Framework) writeStatus(w io.Writer) {
 				}
 			}
 		}
+		if p.board != nil {
+			fmt.Fprintf(w, "  diag:\n")
+			p.board.WriteStatus(w)
+		}
 		if hb := f.opts.Heartbeat; hb > 0 {
 			for _, st := range p.rep.fd.peers() {
 				state := "alive"
@@ -297,6 +362,7 @@ func New(cfg *config.Config, opts Options) (*Framework, error) {
 		}
 		f.programs[pc.Name] = p
 	}
+	f.initDiag()
 	return f, nil
 }
 
@@ -338,6 +404,7 @@ func Join(cfg *config.Config, program string, opts Options) (*Framework, error) 
 		return nil, err
 	}
 	f.programs[pc.Name] = p
+	f.initDiag()
 	return f, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/match"
 	"repro/internal/obsv"
+	"repro/internal/obsv/diag"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -311,6 +312,9 @@ func newProcess(p *Program, rank int, d *transport.Dispatcher) (*Process, error)
 	comm.SetAllReduceHist(p.fw.obs.Registry.Histogram("collective.allreduce.ns", obsv.L("program", p.name)))
 	comm.SetInstruments(collective.NewInstruments(p.fw.obs.Registry, p.name))
 	comm.SetTimeout(p.fw.opts.Timeout)
+	if p.board != nil {
+		comm.SetDiag(p.board, p.flight)
+	}
 	return proc, nil
 }
 
@@ -871,7 +875,14 @@ func (p *Process) acquirePermit(ec *exportConn) bool {
 	start := clock.Now()
 	select {
 	case ec.permits <- struct{}{}:
-		ec.stall.Add(uint64(clock.Since(start).Nanoseconds()))
+		stallNS := clock.Since(start).Nanoseconds()
+		ec.stall.Add(uint64(stallNS))
+		if stallNS > 0 {
+			p.prog.flight.Record(diag.Event{
+				Kind: diag.KindExportStall, Rank: int32(p.rank),
+				A1: stallNS, Note: ec.key,
+			})
+		}
 		return true
 	case <-p.abort:
 		return false

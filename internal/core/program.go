@@ -7,6 +7,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/config"
 	"repro/internal/decomp"
+	"repro/internal/obsv/diag"
 	"repro/internal/transport"
 )
 
@@ -30,6 +31,10 @@ type Program struct {
 	proto   protoCounters
 	// rec is the program's recovery state (nil unless Options.Recovery).
 	rec *progRecovery
+	// board and flight are the program's straggler board and flight recorder
+	// (nil unless Options.Diag).
+	board  *diag.Board
+	flight *diag.Recorder
 
 	errMu    sync.Mutex
 	firstErr error
@@ -42,6 +47,11 @@ func newProgram(f *Framework, pc config.Program) (*Program, error) {
 		n:       pc.Procs,
 		regions: make(map[string]regionDef),
 		proto:   newProtoCounters(f.obs.Registry, pc.Name),
+	}
+	if f.opts.Diag {
+		p.board = diag.NewBoard(pc.Name, pc.Procs)
+		p.flight = diag.NewRecorder(pc.Name, f.opts.FlightEvents, f.opts.Clock)
+		p.flight.SetRegistry(f.obs.Registry)
 	}
 	if ro := f.opts.Recovery; ro != nil {
 		rec, err := newProgRecovery(ro, f.obs.Registry, pc.Name)
@@ -135,6 +145,12 @@ func (p *Program) fail(err error) {
 // and the rejoin handshake revives the coupling.
 func (p *Program) peerDown(err *PeerDownError) {
 	p.proto.peerDown.Inc()
+	if p.flight != nil {
+		// A declared-dead peer is exactly the moment the flight recorder
+		// exists for: preserve the last protocol events around the death.
+		p.flight.Record(diag.Event{Kind: diag.KindPeerDown, Rank: -1, Note: err.Peer})
+		p.flight.DumpFile(p.fw.opts.FlightDir, "peer down: "+err.Error())
+	}
 	if p.rec != nil {
 		p.rec.suspends.Inc()
 		return

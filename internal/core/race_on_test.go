@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceDetectorOn reports whether the race detector is compiled in; its
+// scheduling overhead drowns the timing signals the diag accuracy
+// assertions depend on.
+func raceDetectorOn() bool { return true }

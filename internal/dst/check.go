@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/match"
+	"repro/internal/obsv/diag"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -40,6 +41,13 @@ type Checker struct {
 	lastPending map[string]int
 	lastDecided map[string]int
 	firstErr    error
+
+	// flightDir/flightRecs: when SetFlight armed them, the first violation
+	// records a KindViolation event in every recorder and dumps them all —
+	// the deterministic world's last protocol events around the bug.
+	flightDir  string
+	flightRecs []*diag.Recorder
+	flightOut  []string
 }
 
 // NewChecker returns an empty invariant monitor.
@@ -61,7 +69,29 @@ func (c *Checker) Err() error {
 func (c *Checker) fail(format string, args ...any) {
 	if c.firstErr == nil {
 		c.firstErr = fmt.Errorf("dst: invariant violation: "+format, args...)
+		if len(c.flightRecs) > 0 {
+			for _, r := range c.flightRecs {
+				r.Record(diag.Event{Kind: diag.KindViolation, Rank: -1, Note: c.firstErr.Error()})
+			}
+			c.flightOut, _ = diag.DumpAll(c.flightDir, c.firstErr.Error(), c.flightRecs...)
+		}
 	}
+}
+
+// SetFlight arms crash-safe flight dumps: when the first invariant violation
+// is latched, every recorder gets a KindViolation event and all are dumped
+// to dir ("" = the OS temp directory). FlightDumps returns the files.
+func (c *Checker) SetFlight(dir string, recs ...*diag.Recorder) {
+	c.mu.Lock()
+	c.flightDir, c.flightRecs = dir, recs
+	c.mu.Unlock()
+}
+
+// FlightDumps returns the dump files written when a violation was latched.
+func (c *Checker) FlightDumps() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.flightOut...)
 }
 
 // Wrap layers the checker over a framework's outermost network.

@@ -1,0 +1,271 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/obsv/diag"
+)
+
+// This file holds the coupling-aware diagnosis benchmark: the acceptance
+// scenario for per-collective critical-path attribution (one delayed rank
+// must be fingered as the straggler for >= 95% of operations) and the
+// overhead measurement of the attribution trailer against the PR 8 zero-alloc
+// baseline. Shared by couplebench's -diag mode and the harness tests.
+
+// DiagConfig tunes RunDiag. Zero values pick the acceptance scenario: 8
+// ranks, 1 KiB float64 vectors, 40 operations per algorithm, rank 5 sleeping
+// 1ms before every operation.
+type DiagConfig struct {
+	Ranks    int
+	VecLen   int
+	Ops      int
+	SlowRank int
+	Delay    time.Duration
+	// Reps/Attempts shape the overhead timing (reps per pass, best of
+	// attempts passes).
+	Reps     int
+	Attempts int
+	// FlightOut, when set, writes the attribution run's flight ring to this
+	// file — the sample dump CI archives and coupleflight decodes.
+	FlightOut string
+}
+
+func (c DiagConfig) withDefaults() DiagConfig {
+	if c.Ranks == 0 {
+		c.Ranks = 8
+	}
+	if c.VecLen == 0 {
+		c.VecLen = 1024
+	}
+	if c.Ops == 0 {
+		c.Ops = 40
+	}
+	if c.SlowRank == 0 {
+		c.SlowRank = c.Ranks - 3
+	}
+	if c.Delay == 0 {
+		c.Delay = time.Millisecond
+	}
+	if c.Reps == 0 {
+		c.Reps = 8
+	}
+	if c.Attempts == 0 {
+		c.Attempts = 192
+	}
+	return c
+}
+
+// DiagReport is RunDiag's result (and part of the -diag JSON report).
+type DiagReport struct {
+	Ranks     int   `json:"ranks"`
+	VectorLen int   `json:"vector_len"`
+	Ops       int   `json:"ops"`
+	SlowRank  int   `json:"slow_rank"`
+	DelayNS   int64 `json:"delay_ns"`
+
+	// Attribution accuracy: of the attributed operations, the share whose
+	// per-op consensus blamed the slow rank (acceptance: >= 0.95), plus the
+	// board's top straggler.
+	AttributedOps uint64  `json:"attributed_ops"`
+	Fraction      float64 `json:"slow_rank_fraction"`
+	TopRank       int     `json:"top_rank"`
+	TopWaitNS     int64   `json:"top_wait_ns"`
+	FlightEvents  int     `json:"flight_events"`
+
+	// Overhead: steady-state AllReduce ns/op with the attribution trailer
+	// off vs on, same group shape, no injected delay.
+	BaseNsPerOp int64   `json:"base_ns_per_op"`
+	DiagNsPerOp int64   `json:"diag_ns_per_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+func (r *DiagReport) String() string {
+	return fmt.Sprintf("%d ranks x %d B, %d ops, rank %d +%v: fingered %.1f%% (top=rank %d, wait=%v); overhead %v -> %v/op (%+.1f%%)",
+		r.Ranks, 8*r.VectorLen, r.Ops, r.SlowRank, time.Duration(r.DelayNS),
+		100*r.Fraction, r.TopRank, time.Duration(r.TopWaitNS),
+		time.Duration(r.BaseNsPerOp), time.Duration(r.DiagNsPerOp), r.OverheadPct)
+}
+
+// RunDiag measures critical-path attribution end to end on an in-memory
+// group. Phase one runs cfg.Ops AllReduces per algorithm with diagnosis on
+// and cfg.SlowRank sleeping cfg.Delay before each, then reads the straggler
+// board; phase two times the steady-state AllReduce with the trailer off and
+// on to price the diagnosis hot path.
+func RunDiag(cfg DiagConfig) (*DiagReport, error) {
+	cfg = cfg.withDefaults()
+	report := &DiagReport{
+		Ranks: cfg.Ranks, VectorLen: cfg.VecLen, Ops: 2 * cfg.Ops,
+		SlowRank: cfg.SlowRank, DelayNS: cfg.Delay.Nanoseconds(),
+	}
+
+	// Phase 1: attribution accuracy under an injected straggler.
+	g, err := newCollGroup(cfg.Ranks, true)
+	if err != nil {
+		return nil, err
+	}
+	board := diag.NewBoard("bench", cfg.Ranks)
+	flight := diag.NewRecorder("bench", 0, nil)
+	for _, c := range g.comms {
+		c.SetDiag(board, flight)
+	}
+	for _, algo := range []collective.Algo{collective.RecursiveDoubling, collective.Ring} {
+		algo := algo
+		vecs := make([][]float64, cfg.Ranks)
+		for r := range vecs {
+			vecs[r] = exactContrib(r, cfg.VecLen)
+		}
+		for i := 0; i < cfg.Ops; i++ {
+			if err := g.run(func(c *collective.Comm) error {
+				if c.Rank() == cfg.SlowRank {
+					time.Sleep(cfg.Delay)
+				}
+				return c.AllReduceInPlaceWith(algo, vecs[c.Rank()], collective.Max)
+			}); err != nil {
+				g.close()
+				return nil, err
+			}
+		}
+	}
+	s := board.Snapshot()
+	report.AttributedOps = s.Attributed()
+	report.Fraction = s.Fraction(cfg.SlowRank)
+	if top := s.Top(1); len(top) > 0 {
+		report.TopRank, report.TopWaitNS = top[0].Rank, top[0].WaitNS
+	} else {
+		report.TopRank = -1
+	}
+	report.FlightEvents = flight.Len()
+	if cfg.FlightOut != "" {
+		f, err := os.Create(cfg.FlightOut)
+		if err != nil {
+			g.close()
+			return nil, err
+		}
+		if err := flight.Dump(f, "diag benchmark sample"); err != nil {
+			f.Close()
+			g.close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			g.close()
+			return nil, err
+		}
+	}
+	g.close()
+
+	// Phase 2: trailer overhead on the steady-state hot path, no straggler.
+	// Every attempt builds a FRESH pair of groups (one plain, one with the
+	// trailer), times both back to back, and contributes one paired ratio;
+	// the overhead estimate is the median ratio. Fresh pairs matter: a
+	// long-lived group keeps its goroutine placement for the whole run, a
+	// persistent few-percent bias no repetition averages away — re-rolling
+	// the placement per attempt turns that bias into noise the median
+	// strips. Creation and measurement order alternate so second-pass
+	// effects (frequency scaling, timer coalescing) cancel too.
+	vecs := make([][]float64, cfg.Ranks)
+	for r := range vecs {
+		vecs[r] = exactContrib(r, cfg.VecLen)
+	}
+	op := func(c *collective.Comm) error {
+		return c.AllReduceInPlaceWith(collective.RecursiveDoubling, vecs[c.Rank()], collective.Max)
+	}
+	b := diag.NewBoard("bench", cfg.Ranks)
+	newPair := func(diagFirst bool) (gOff, gOn *collGroup, err error) {
+		mk := func(on bool) (*collGroup, error) {
+			g, err := newCollGroup(cfg.Ranks, true)
+			if err != nil {
+				return nil, err
+			}
+			if on {
+				for _, c := range g.comms {
+					c.SetDiag(b, nil)
+				}
+			}
+			return g, nil
+		}
+		if diagFirst {
+			gOn, err = mk(true)
+			if err == nil {
+				gOff, err = mk(false)
+			}
+		} else {
+			gOff, err = mk(false)
+			if err == nil {
+				gOn, err = mk(true)
+			}
+		}
+		if err != nil {
+			if gOff != nil {
+				gOff.close()
+			}
+			if gOn != nil {
+				gOn.close()
+			}
+			return nil, nil, err
+		}
+		return gOff, gOn, nil
+	}
+	var base, withDiag time.Duration
+	ratios := make([]float64, 0, cfg.Attempts)
+	for a := 0; a < cfg.Attempts; a++ {
+		gOff, gOn, err := newPair(a%2 == 1)
+		if err != nil {
+			return nil, err
+		}
+		// ABBA within the attempt cancels linear load drift: the ratio uses
+		// the sums, so a machine that speeds up or slows down monotonically
+		// over the four passes biases neither side.
+		measure := func(first, second *collGroup) (t1, t2, t3, t4 time.Duration, err error) {
+			if t1, err = first.timeOp(4, cfg.Reps, 1, op); err != nil {
+				return
+			}
+			if t2, err = second.timeOp(4, cfg.Reps, 1, op); err != nil {
+				return
+			}
+			if t3, err = second.timeOp(0, cfg.Reps, 1, op); err != nil {
+				return
+			}
+			t4, err = first.timeOp(0, cfg.Reps, 1, op)
+			return
+		}
+		var tb, td time.Duration
+		if a%2 == 0 {
+			b1, d1, d2, b2, merr := measure(gOff, gOn)
+			err, tb, td = merr, b1+b2, d1+d2
+		} else {
+			d1, b1, b2, d2, merr := measure(gOn, gOff)
+			err, tb, td = merr, b1+b2, d1+d2
+		}
+		gOff.close()
+		gOn.close()
+		if err != nil {
+			return nil, err
+		}
+		tb /= 2
+		td /= 2
+		if a == 0 || tb < base {
+			base = tb
+		}
+		if a == 0 || td < withDiag {
+			withDiag = td
+		}
+		if tb > 0 {
+			ratios = append(ratios, float64(td)/float64(tb))
+		}
+	}
+	report.BaseNsPerOp = base.Nanoseconds() / int64(cfg.Reps)
+	report.DiagNsPerOp = withDiag.Nanoseconds() / int64(cfg.Reps)
+	// Overhead is the median of the paired per-attempt ratios, not the ratio
+	// of the minimums: each pair ran back to back under the same transient
+	// load, so its ratio isolates the trailer cost even when the absolute
+	// pass times swing by tens of percent between attempts.
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		report.OverheadPct = 100 * (ratios[len(ratios)/2] - 1)
+	}
+	return report, nil
+}

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obsv/diag"
+)
+
+// TestRunDiag is the acceptance scenario: 8 ranks, rank 5 sleeping 1ms per
+// op, the straggler board must finger it for >= 95% of attributed ops, and
+// the flight sample must decode.
+func TestRunDiag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "flight-sample.cpfl")
+	rep, err := RunDiag(DiagConfig{
+		Ops: 20, Delay: time.Millisecond, Reps: 16, Attempts: 2, FlightOut: out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.SlowRank != 5 || rep.Ranks != 8 {
+		t.Fatalf("defaults wrong: %+v", rep)
+	}
+	if rep.AttributedOps == 0 {
+		t.Fatal("no attributed ops")
+	}
+	if !raceDetectorOn() {
+		if rep.Fraction < 0.95 {
+			t.Fatalf("slow rank fingered in %.1f%% of attributed ops, want >= 95%%", 100*rep.Fraction)
+		}
+		if rep.TopRank != rep.SlowRank {
+			t.Fatalf("top straggler rank %d, want %d", rep.TopRank, rep.SlowRank)
+		}
+	}
+	if rep.FlightEvents == 0 {
+		t.Fatal("flight recorder saw nothing")
+	}
+	d, err := diag.ReadDump(out)
+	if err != nil {
+		t.Fatalf("flight sample does not decode: %v", err)
+	}
+	if d.Program != "bench" || len(d.Events) == 0 {
+		t.Fatalf("flight sample: program=%q events=%d", d.Program, len(d.Events))
+	}
+	if rep.BaseNsPerOp <= 0 || rep.DiagNsPerOp <= 0 {
+		t.Fatalf("overhead timing missing: %+v", rep)
+	}
+}

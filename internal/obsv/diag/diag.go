@@ -1,0 +1,198 @@
+// Package diag is the coupling-aware diagnosis layer: it turns the flat
+// latency histograms of the observability layer into answers to "who was the
+// straggler and where did the time go".
+//
+// Two pieces live here. The straggler Board accumulates the per-collective
+// critical-path attribution that internal/collective piggybacks on its own
+// round payloads (zero extra messages): for every finished operation each
+// rank learns the blamed rank and its wait/transfer split, and Note()s them
+// here. The flight Recorder is a fixed-size lock-free ring of recent
+// protocol, collective and recovery events that Dump()s to a self-describing
+// binary file on panic, invariant violation, heartbeat-declared peer death
+// or SIGQUIT — the crashed process's last seconds, decodable offline with
+// the coupleflight subcommand of cmd/couplebench.
+//
+// The package sits beside obsv (instruments) and below core/collective/dst;
+// it imports only obsv and vclock, so every layer can record into it.
+package diag
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/vclock"
+)
+
+// Kind classifies a flight-recorder event.
+type Kind uint8
+
+const (
+	// KindCollective: one collective operation finished on a rank. Seq/Op/
+	// Round identify it; A1 is the blamed straggler rank (-1 none), A2 the
+	// rank's accumulated wait nanoseconds for the op.
+	KindCollective Kind = iota
+	// KindExportStall: an export blocked on the bounded send queue; A1 is
+	// the stall nanoseconds.
+	KindExportStall
+	// KindCheckpoint: a checkpoint contribution completed; Seq is the
+	// checkpoint sequence, A1 the encoded byte count.
+	KindCheckpoint
+	// KindRejoin: a peer's rejoin announcement was handled; Rank is the
+	// rejoining rank, A1 its restart epoch.
+	KindRejoin
+	// KindPeerDown: the failure detector declared a peer dead; Rank is the
+	// dead rank.
+	KindPeerDown
+	// KindViolation: a protocol invariant check failed (DST); Note carries
+	// the violation text.
+	KindViolation
+	// KindPanic: recorded by DumpOnPanic just before re-panicking.
+	KindPanic
+	// KindMark: free-form annotation.
+	KindMark
+
+	numKinds = int(KindMark) + 1
+)
+
+var kindNames = [numKinds]string{
+	"collective", "export-stall", "checkpoint", "rejoin",
+	"peer-down", "violation", "panic", "mark",
+}
+
+// String returns the event-kind name used in dumps and timelines.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Event is one flight-recorder record. The fixed fields serialize to 36
+// bytes; Note is truncated to 255 bytes on dump.
+type Event struct {
+	TS    int64  // nanoseconds on the recorder's clock (stamped by Record)
+	Seq   uint32 // operation / checkpoint sequence, 0 when not applicable
+	Kind  Kind
+	Op    uint8  // collective op index (see OpNames), 0 otherwise
+	Round uint16 // round within the operation, 0 otherwise
+	Rank  int32  // rank the event belongs to; -1 = representative/process
+	A1    int64  // kind-specific scalar
+	A2    int64  // kind-specific scalar
+	Note  string // short free-form detail
+}
+
+// Recorder is the per-program flight recorder: a fixed-size ring written
+// with the same lock-free claim-then-publish pattern as the span Ring, so
+// any goroutine can record without coordination and a dump never stops the
+// world. A nil *Recorder no-ops on every method.
+type Recorder struct {
+	program string
+	clock   vclock.Clock
+	opNames []string
+	next    atomic.Uint64
+	slots   []atomic.Pointer[Event]
+
+	events *obsv.Counter // diag.flight.events
+	dumps  *obsv.Counter // diag.flight.dumps
+}
+
+// DefaultEvents is the ring capacity when NewRecorder is given zero.
+const DefaultEvents = 1 << 12
+
+// NewRecorder returns a flight recorder for one program holding the most
+// recent size events. The clock orders the timeline across ranks — pass the
+// framework clock, which is the virtual clock under DST, so merged dumps
+// sort by simulated time (nil means wall time).
+func NewRecorder(program string, size int, clock vclock.Clock) *Recorder {
+	if size <= 0 {
+		size = DefaultEvents
+	}
+	return &Recorder{
+		program: program,
+		clock:   vclock.Or(clock),
+		slots:   make([]atomic.Pointer[Event], size),
+	}
+}
+
+// SetRegistry registers the diag.flight.{events,dumps} counters in reg.
+func (r *Recorder) SetRegistry(reg *obsv.Registry) {
+	if r == nil {
+		return
+	}
+	r.events = reg.Counter("diag.flight.events", obsv.L("program", r.program))
+	r.dumps = reg.Counter("diag.flight.dumps", obsv.L("program", r.program))
+}
+
+// SetOpNames installs the table mapping Event.Op indexes to operation names
+// embedded in dumps (internal/collective passes its op tags).
+func (r *Recorder) SetOpNames(names []string) {
+	if r != nil {
+		r.opNames = names
+	}
+}
+
+// Program returns the program this recorder belongs to.
+func (r *Recorder) Program() string {
+	if r == nil {
+		return ""
+	}
+	return r.program
+}
+
+// Clock returns the clock events are stamped on (Wall for a nil recorder).
+func (r *Recorder) Clock() vclock.Clock {
+	if r == nil {
+		return vclock.Wall
+	}
+	return r.clock
+}
+
+// Now returns the current nanosecond timestamp on the recorder's clock.
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return time.Now().UnixNano()
+	}
+	return r.clock.Now().UnixNano()
+}
+
+// Record stamps e with the recorder's clock and appends it, overwriting the
+// oldest event once the ring wraps. Safe on a nil recorder and from any
+// goroutine.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	e.TS = r.Now()
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(&e)
+	r.events.Inc()
+}
+
+// Len returns the number of events currently held (≤ ring capacity).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Snapshot copies out the published events sorted by timestamp (best effort
+// while writers are active).
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, r.Len())
+	for i := range r.slots {
+		if e := r.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	sortEvents(out)
+	return out
+}

@@ -1,0 +1,354 @@
+package diag
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Dump file format (all integers little-endian):
+//
+//	magic   "CPLFLT01"                                  8 bytes
+//	program u16 length + bytes
+//	rank    i32 (-1: recorder covers a whole program)
+//	dumped  i64 nanoseconds on the recorder's clock
+//	reason  u16 length + bytes
+//	kinds   u8 count, then count × (u16 length + bytes) — Kind name table
+//	ops     u8 count, then count × (u16 length + bytes) — Op name table
+//	count   u32
+//	records count × fixed 36 bytes (TS i64, Seq u32, Kind u8, Op u8,
+//	        Round u16, Rank i32, A1 i64, A2 i64) + u8 note length + note
+//
+// The embedded name tables make the file self-describing: a decoder built
+// against a different (older or newer) Kind/Op enumeration still prints the
+// names the writer knew.
+const dumpMagic = "CPLFLT01"
+
+const eventFixedLen = 8 + 4 + 1 + 1 + 2 + 4 + 8 + 8
+
+// maxNoteLen bounds the free-form note persisted per event.
+const maxNoteLen = 255
+
+// Dump is a decoded flight-recorder file.
+type Dump struct {
+	Program   string
+	Rank      int // -1 when the recorder covers every local rank
+	DumpedAt  int64
+	Reason    string
+	KindNames []string
+	OpNames   []string
+	Events    []Event // sorted by TS
+}
+
+// KindName resolves an event kind against the dump's embedded name table.
+func (d *Dump) KindName(k Kind) string {
+	if int(k) < len(d.KindNames) {
+		return d.KindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// OpName resolves an event's collective op index against the dump's table.
+func (d *Dump) OpName(op uint8) string {
+	if int(op) < len(d.OpNames) {
+		return d.OpNames[op]
+	}
+	return fmt.Sprintf("op(%d)", op)
+}
+
+func putStr(b []byte, s string) []byte {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func getStr(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("diag: truncated string length")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("diag: truncated string body (%d < %d)", len(b), n)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// Dump writes the recorder's current contents to w, tagged with reason.
+func (r *Recorder) Dump(w io.Writer, reason string) error {
+	if r == nil {
+		return nil
+	}
+	events := r.Snapshot()
+	b := make([]byte, 0, len(dumpMagic)+64+len(events)*(eventFixedLen+1))
+	b = append(b, dumpMagic...)
+	b = putStr(b, r.program)
+	ownerRank := int32(-1)
+	b = binary.LittleEndian.AppendUint32(b, uint32(ownerRank))
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.Now()))
+	b = putStr(b, reason)
+	b = append(b, byte(numKinds))
+	for _, n := range kindNames {
+		b = putStr(b, n)
+	}
+	ops := r.opNames
+	if len(ops) > 255 {
+		ops = ops[:255]
+	}
+	b = append(b, byte(len(ops)))
+	for _, n := range ops {
+		b = putStr(b, n)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(events)))
+	for _, e := range events {
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.TS))
+		b = binary.LittleEndian.AppendUint32(b, e.Seq)
+		b = append(b, byte(e.Kind), e.Op)
+		b = binary.LittleEndian.AppendUint16(b, e.Round)
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.Rank))
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.A1))
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.A2))
+		note := e.Note
+		if len(note) > maxNoteLen {
+			note = note[:maxNoteLen]
+		}
+		b = append(b, byte(len(note)))
+		b = append(b, note...)
+	}
+	_, err := w.Write(b)
+	if err == nil {
+		r.dumps.Inc()
+	}
+	return err
+}
+
+// DumpFile writes a dump into dir (created if missing) and returns the file
+// path. File names are "flight-<program>-*.cpfl" with a unique suffix, so
+// several recorders — or several dumps of one recorder — never collide.
+func (r *Recorder) DumpFile(dir, reason string) (string, error) {
+	if r == nil {
+		return "", nil
+	}
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	f, err := os.CreateTemp(dir, "flight-"+r.program+"-*.cpfl")
+	if err != nil {
+		return "", err
+	}
+	if err := r.Dump(f, reason); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+}
+
+// DumpAll dumps every non-nil recorder into dir and returns the file paths.
+func DumpAll(dir, reason string, recs ...*Recorder) ([]string, error) {
+	var paths []string
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		p, err := r.DumpFile(dir, reason)
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// DumpOnPanic is a defer helper: if the goroutine is panicking it records a
+// KindPanic event, dumps every recorder into dir, and re-panics.
+//
+//	defer diag.DumpOnPanic(dir, rec)
+func DumpOnPanic(dir string, recs ...*Recorder) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	msg := fmt.Sprint(v)
+	for _, r := range recs {
+		r.Record(Event{Kind: KindPanic, Rank: -1, Note: msg})
+	}
+	DumpAll(dir, "panic: "+msg, recs...)
+	panic(v)
+}
+
+// DecodeDump parses a flight-recorder dump from raw bytes.
+func DecodeDump(b []byte) (*Dump, error) {
+	if len(b) < len(dumpMagic) || string(b[:len(dumpMagic)]) != dumpMagic {
+		return nil, fmt.Errorf("diag: not a flight-recorder dump (bad magic)")
+	}
+	b = b[len(dumpMagic):]
+	d := &Dump{}
+	var err error
+	if d.Program, b, err = getStr(b); err != nil {
+		return nil, err
+	}
+	if len(b) < 4+8 {
+		return nil, fmt.Errorf("diag: truncated dump header")
+	}
+	d.Rank = int(int32(binary.LittleEndian.Uint32(b)))
+	d.DumpedAt = int64(binary.LittleEndian.Uint64(b[4:]))
+	b = b[12:]
+	if d.Reason, b, err = getStr(b); err != nil {
+		return nil, err
+	}
+	for _, table := range []*[]string{&d.KindNames, &d.OpNames} {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("diag: truncated name table")
+		}
+		n := int(b[0])
+		b = b[1:]
+		for i := 0; i < n; i++ {
+			var s string
+			if s, b, err = getStr(b); err != nil {
+				return nil, err
+			}
+			*table = append(*table, s)
+		}
+	}
+	if len(b) < 4 {
+		return nil, fmt.Errorf("diag: truncated record count")
+	}
+	count := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	d.Events = make([]Event, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < eventFixedLen+1 {
+			return nil, fmt.Errorf("diag: truncated record %d/%d", i, count)
+		}
+		e := Event{
+			TS:    int64(binary.LittleEndian.Uint64(b)),
+			Seq:   binary.LittleEndian.Uint32(b[8:]),
+			Kind:  Kind(b[12]),
+			Op:    b[13],
+			Round: binary.LittleEndian.Uint16(b[14:]),
+			Rank:  int32(binary.LittleEndian.Uint32(b[16:])),
+			A1:    int64(binary.LittleEndian.Uint64(b[20:])),
+			A2:    int64(binary.LittleEndian.Uint64(b[28:])),
+		}
+		nlen := int(b[eventFixedLen])
+		b = b[eventFixedLen+1:]
+		if len(b) < nlen {
+			return nil, fmt.Errorf("diag: truncated note in record %d", i)
+		}
+		e.Note = string(b[:nlen])
+		b = b[nlen:]
+		d.Events = append(d.Events, e)
+	}
+	sortEvents(d.Events)
+	return d, nil
+}
+
+// ReadDump reads and decodes a flight-recorder dump file.
+func ReadDump(path string) (*Dump, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d, err := DecodeDump(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// TimelineEntry is one event of a merged cross-rank timeline, carrying the
+// dump it came from for name resolution.
+type TimelineEntry struct {
+	Dump  *Dump
+	Event Event
+}
+
+// MergeTimeline interleaves the events of several dumps into one timeline
+// ordered by timestamp (the recorders' shared clock — virtual time under
+// DST, wall time otherwise), breaking ties by program then rank then seq so
+// the merge is deterministic.
+func MergeTimeline(dumps ...*Dump) []TimelineEntry {
+	var out []TimelineEntry
+	for _, d := range dumps {
+		if d == nil {
+			continue
+		}
+		for _, e := range d.Events {
+			out = append(out, TimelineEntry{Dump: d, Event: e})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Event.TS != b.Event.TS {
+			return a.Event.TS < b.Event.TS
+		}
+		if a.Dump.Program != b.Dump.Program {
+			return a.Dump.Program < b.Dump.Program
+		}
+		if a.Event.Rank != b.Event.Rank {
+			return a.Event.Rank < b.Event.Rank
+		}
+		return a.Event.Seq < b.Event.Seq
+	})
+	return out
+}
+
+// WriteTimeline renders the merged timeline of several dumps as one line
+// per event: relative milliseconds, program:rank lane, kind, and the
+// kind-specific fields. This is what the coupleflight subcommand prints.
+func WriteTimeline(w io.Writer, dumps ...*Dump) error {
+	entries := MergeTimeline(dumps...)
+	if len(entries) == 0 {
+		_, err := fmt.Fprintln(w, "(no events)")
+		return err
+	}
+	epoch := entries[0].Event.TS
+	for _, d := range dumps {
+		if d != nil {
+			fmt.Fprintf(w, "# %s: %d events, dumped: %s\n", d.Program, len(d.Events), d.Reason)
+		}
+	}
+	for _, en := range entries {
+		e := en.Event
+		lane := fmt.Sprintf("%s:%d", en.Dump.Program, e.Rank)
+		if e.Rank < 0 {
+			lane = en.Dump.Program + ":rep"
+		}
+		line := fmt.Sprintf("%12.3fms  %-8s %-12s", float64(e.TS-epoch)/1e6, lane, en.Dump.KindName(e.Kind))
+		switch e.Kind {
+		case KindCollective:
+			line += fmt.Sprintf(" op=%s seq=%d blamed=%d wait=%dns", en.Dump.OpName(e.Op), e.Seq, e.A1, e.A2)
+		case KindExportStall:
+			line += fmt.Sprintf(" stall=%dns", e.A1)
+		case KindCheckpoint:
+			line += fmt.Sprintf(" seq=%d bytes=%d", e.Seq, e.A1)
+		case KindRejoin:
+			line += fmt.Sprintf(" epoch=%d", e.A1)
+		default:
+			if e.Seq != 0 {
+				line += fmt.Sprintf(" seq=%d", e.Seq)
+			}
+		}
+		if e.Note != "" {
+			line += " " + e.Note
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+}

@@ -1,0 +1,106 @@
+package obsv
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsGolden pins the Prometheus exposition byte-for-byte: stable
+// instrument ordering (sorted by name, label sets contiguous under one TYPE
+// header), cumulative histogram buckets, and the name/label mangling. Run
+// with -update to rewrite the golden file after an intentional change.
+func TestMetricsGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.export.skips", L("program", "F")).Add(3)
+	r.Counter("core.export.skips", L("program", "U")).Add(1)
+	r.Counter("transport.frames.sent").Add(128)
+	r.Gauge("core.export.queue.depth", L("conn", "F>U")).Set(7)
+	r.GaugeFunc("buffer.pool.bytes", func() float64 { return 4096 })
+	h := r.Histogram("collective.allreduce.ns", L("program", "F"))
+	for _, v := range []int64{500, 1500, 3000, 3000, 1 << 40} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// The ordering must also be deterministic across registries built in a
+	// different wiring order.
+	r2 := NewRegistry()
+	r2.Histogram("collective.allreduce.ns", L("program", "F"))
+	r2.GaugeFunc("buffer.pool.bytes", func() float64 { return 4096 })
+	r2.Gauge("core.export.queue.depth", L("conn", "F>U")).Set(7)
+	r2.Counter("transport.frames.sent").Add(128)
+	r2.Counter("core.export.skips", L("program", "U")).Add(1)
+	r2.Counter("core.export.skips", L("program", "F")).Add(3)
+	h2 := r2.Histogram("collective.allreduce.ns", L("program", "F"))
+	for _, v := range []int64{500, 1500, 3000, 3000, 1 << 40} {
+		h2.Observe(v)
+	}
+	var buf2 bytes.Buffer
+	if err := r2.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), want) {
+		t.Errorf("exposition depends on wiring order\n--- got ---\n%s", buf2.Bytes())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile")
+	}
+	h := NewHistogram(nil)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile")
+	}
+	// 100 observations of ~2µs and one 10ms outlier: p50/p95 sit in the
+	// 2µs bucket, p99+ must not be dragged past the outlier's bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1800)
+	}
+	h.Observe(10_000_000)
+	if q := h.Quantile(0.50); q != 2000 {
+		t.Fatalf("p50 = %d, want 2000", q)
+	}
+	if q := h.Quantile(0.95); q != 2000 {
+		t.Fatalf("p95 = %d, want 2000", q)
+	}
+	if q := h.Quantile(1.0); q < 10_000_000 || q > 20_000_000 {
+		t.Fatalf("p100 = %d, want the outlier's bucket bound", q)
+	}
+	// Out-of-range q clamps instead of misbehaving.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile clamping broken")
+	}
+	// Everything beyond the last bound reports the last finite bound.
+	small := NewHistogram([]int64{10, 20})
+	small.Observe(1000)
+	if q := small.Quantile(0.99); q != 20 {
+		t.Fatalf("+Inf-bucket quantile = %d, want last bound 20", q)
+	}
+}

@@ -2,6 +2,7 @@ package obsv
 
 import (
 	"io"
+	"net/http"
 	"sort"
 	"sync"
 )
@@ -22,18 +23,66 @@ type Observer struct {
 	Registry *Registry
 	Tracer   *Tracer
 
-	mu     sync.Mutex
-	status map[string]func(io.Writer)
+	mu       sync.Mutex
+	status   map[string]func(io.Writer)
+	handlers map[string]http.Handler
 }
 
 // New returns an Observer with a fresh registry, plus a tracer when
 // cfg.Tracing is set.
 func New(cfg Config) *Observer {
-	o := &Observer{Registry: NewRegistry(), status: make(map[string]func(io.Writer))}
+	o := &Observer{
+		Registry: NewRegistry(),
+		status:   make(map[string]func(io.Writer)),
+		handlers: make(map[string]http.Handler),
+	}
 	if cfg.Tracing {
 		o.Tracer = NewTracer(cfg.RingSize)
 	}
 	return o
+}
+
+// Handle registers (or replaces) an HTTP handler the introspection server
+// exposes at path (exact match, e.g. "/diag/stragglers"). Lookups happen per
+// request, so handlers wired after Serve started — a framework built later
+// in main — still appear. A nil handler removes the registration.
+func (o *Observer) Handle(path string, h http.Handler) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	if h == nil {
+		delete(o.handlers, path)
+	} else {
+		o.handlers[path] = h
+	}
+	o.mu.Unlock()
+}
+
+// HandlerFor returns the handler registered at path, or nil.
+func (o *Observer) HandlerFor(path string) http.Handler {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.handlers[path]
+}
+
+// handlerPaths returns the registered handler paths, sorted (for the index
+// page).
+func (o *Observer) handlerPaths() []string {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	paths := make([]string, 0, len(o.handlers))
+	for p := range o.handlers {
+		paths = append(paths, p)
+	}
+	o.mu.Unlock()
+	sort.Strings(paths)
+	return paths
 }
 
 // AddStatus registers (or replaces) a named /statusz section. The function

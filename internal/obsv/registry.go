@@ -15,6 +15,7 @@ package obsv
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -168,6 +169,38 @@ func (h *Histogram) Sum() int64 {
 		return 0
 	}
 	return h.sum.Load()
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in [0,1]):
+// the smallest bucket bound whose cumulative count reaches q of the total.
+// Observations in the implicit +Inf bucket report the last finite bound, so
+// the estimate never invents values beyond the layout. Returns 0 on an
+// empty (or nil) histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return b
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // instrument kinds for exposition.
@@ -348,8 +381,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Unlock()
 	// Group by name so instruments that share a metric name (different
 	// labels) render contiguously under one TYPE header, as the format
-	// requires.
-	sort.SliceStable(instruments, func(i, j int) bool { return instruments[i].name < instruments[j].name })
+	// requires; within a name, order by label set so the exposition does
+	// not depend on wiring order (pinned by the golden test).
+	sort.SliceStable(instruments, func(i, j int) bool {
+		if instruments[i].name != instruments[j].name {
+			return instruments[i].name < instruments[j].name
+		}
+		return key(instruments[i].name, instruments[i].labels) < key(instruments[j].name, instruments[j].labels)
+	})
 	lastName := ""
 	for _, ins := range instruments {
 		name := promName(ins.name)

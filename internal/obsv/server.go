@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -13,10 +14,12 @@ import (
 // text), /trace (Chrome trace_event JSON), /statusz (human-readable runtime
 // state), and the standard net/http/pprof handlers under /debug/pprof/.
 type Server struct {
-	obs  *Observer
-	ln   net.Listener
-	srv  *http.Server
-	done chan struct{}
+	obs       *Observer
+	ln        net.Listener
+	srv       *http.Server
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Serve starts the introspection server on addr (e.g. "localhost:6060" or
@@ -44,10 +47,21 @@ func Serve(addr string, obs *Observer) (*Server, error) {
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
+			// Dynamically registered handlers (e.g. /diag/stragglers) are
+			// resolved per request so frameworks wired after Serve started
+			// still get their endpoints.
+			if h := obs.HandlerFor(r.URL.Path); h != nil {
+				h.ServeHTTP(w, r)
+				return
+			}
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "endpoints: /metrics /trace /statusz /debug/pprof/\n")
+		fmt.Fprint(w, "endpoints: /metrics /trace /statusz /debug/pprof/")
+		for _, p := range obs.handlerPaths() {
+			fmt.Fprint(w, " "+p)
+		}
+		fmt.Fprintln(w)
 	})
 	// The pprof handlers are registered on our private mux by hand so we
 	// never touch http.DefaultServeMux (tests run many servers in-process).
@@ -78,18 +92,23 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close shuts the server down and waits for the serve goroutine to exit.
-// Safe on a nil server.
+// Close gracefully shuts the server down — the listener stops accepting,
+// in-flight requests get a 2-second drain, stragglers are cut — and waits
+// for the serve goroutine to exit, so callers observe no goroutine leak.
+// Safe on a nil server and idempotent: repeated calls return the first
+// outcome.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	err := s.srv.Shutdown(ctx)
-	if err != nil {
-		s.srv.Close()
-	}
-	<-s.done
-	return err
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		s.closeErr = s.srv.Shutdown(ctx)
+		if s.closeErr != nil {
+			s.srv.Close()
+		}
+		<-s.done
+	})
+	return s.closeErr
 }

@@ -74,8 +74,45 @@ func TestServerCloseIsIdempotentAndNilSafe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.Close(); err != nil {
+	// Repeated Close must drain the listener exactly once, leak nothing,
+	// and keep returning the first outcome.
+	for i := 0; i < 3; i++ {
+		if err := srv.Close(); err != nil {
+			t.Fatalf("close #%d: %v", i+1, err)
+		}
+	}
+}
+
+func TestServerDynamicHandlers(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	obs := obsv.New(obsv.Config{})
+	srv, err := obsv.Serve("127.0.0.1:0", obs)
+	if err != nil {
 		t.Fatal(err)
+	}
+	defer func() {
+		srv.Close()
+		http.DefaultClient.CloseIdleConnections()
+	}()
+	base := "http://" + srv.Addr()
+
+	if code, _ := get(t, base+"/diag/stragglers"); code != 404 {
+		t.Fatalf("unregistered path code=%d, want 404", code)
+	}
+	// Registration after Serve started must take effect (frameworks are
+	// usually built after the introspection server binds).
+	obs.Handle("/diag/stragglers", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "stragglers here")
+	}))
+	if code, body := get(t, base+"/diag/stragglers"); code != 200 || body != "stragglers here" {
+		t.Fatalf("registered path code=%d body=%q", code, body)
+	}
+	if code, body := get(t, base+"/"); code != 200 || !strings.Contains(body, "/diag/stragglers") {
+		t.Fatalf("index missing handler path: code=%d body=%q", code, body)
+	}
+	obs.Handle("/diag/stragglers", nil)
+	if code, _ := get(t, base+"/diag/stragglers"); code != 404 {
+		t.Fatalf("removed path still served")
 	}
 }
 
