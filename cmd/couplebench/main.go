@@ -61,6 +61,7 @@ func main() {
 		collcts   = flag.String("collectives", "", "run the collective-operation benchmark suite (rd vs ring, zero-alloc, guidelines, tuning) and write the JSON report to this file (e.g. BENCH_PR8.json)")
 		recovery  = flag.Bool("recovery", false, "run the crash-recovery comparison (checkpoint overhead + kill-and-restart) instead")
 		diagRpt   = flag.String("diag", "", "run the coupling-aware diagnosis suite (straggler attribution accuracy, trailer overhead, diag-off zero-alloc) and write the JSON report to this file (e.g. BENCH_PR9.json)")
+		ftRpt     = flag.String("ft", "", "run the fault-tolerant-collectives suite (detection/agreement/shrink latency, mid-agreement kill, shrunk zero-alloc) and write the JSON report to this file (e.g. BENCH_PR10.json)")
 		flightOut = flag.String("flight-out", "", "with -diag: also write a sample flight-recorder dump to this file (decode with `couplebench coupleflight`)")
 		obsvAddr  = flag.String("obsv-addr", "",
 			"serve live introspection of the figure run on this address: /metrics, /trace, /statusz, /debug/pprof (enables span tracing)")
@@ -103,6 +104,14 @@ func main() {
 
 	if *diagRpt != "" {
 		if err := runDiagBench(*diagRpt, *flightOut); err != nil {
+			fmt.Fprintln(os.Stderr, "couplebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *ftRpt != "" {
+		if err := runFT(*ftRpt); err != nil {
 			fmt.Fprintln(os.Stderr, "couplebench:", err)
 			os.Exit(1)
 		}

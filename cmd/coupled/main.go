@@ -351,6 +351,11 @@ func run(cfgPath, program, router string, gridN, steps, every int, buddy, verbos
 		if ev := prog.Evictions(); ev > 0 {
 			line += fmt.Sprintf(", %d versions evicted for dead peers", ev)
 		}
+		fc := prog.Process(0).Comm().Instruments().FailureCounts()
+		if fc["agreed"] > 0 || fc["revokes"] > 0 || fc["shrinks"] > 0 {
+			line += fmt.Sprintf(", rank failures: %d agreed / %d revokes / %d shrinks",
+				fc["agreed"], fc["revokes"], fc["shrinks"])
+		}
 		fmt.Println(line)
 	}
 	if traceOut != "" {

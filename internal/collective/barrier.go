@@ -5,6 +5,9 @@ package collective
 // rank signals (rank + 2^k) mod n and waits for (rank - 2^k) mod n, so no
 // rank can leave before all have arrived.
 func (c *Comm) Barrier() error {
+	if c.revoked {
+		return ErrRevoked
+	}
 	start := c.obsStart()
 	seq := c.nextSeq()
 	if c.size == 1 {
@@ -13,7 +16,7 @@ func (c *Comm) Barrier() error {
 	}
 	round := 0
 	for dist := 1; dist < c.size; dist <<= 1 {
-		h := hdr(seq, round, opBarrier)
+		h := c.hdr(seq, round, opBarrier)
 		to := (c.rank + dist) % c.size
 		from := (c.rank - dist%c.size + c.size) % c.size
 		if err := c.sendBytes(to, opBarrier, h, nil); err != nil {

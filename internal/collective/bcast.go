@@ -27,6 +27,9 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // BcastWith is Bcast with a forced algorithm on the root (Binomial or
 // BinomialSeg).
 func (c *Comm) BcastWith(algo Algo, root int, data []byte) ([]byte, error) {
+	if c.revoked {
+		return nil, ErrRevoked
+	}
 	start := c.obsStart()
 	seq := c.nextSeq()
 	if root < 0 || root >= c.size {
@@ -61,7 +64,7 @@ func (c *Comm) bcast(seq uint32, root int, data []byte, algo Algo) ([]byte, Algo
 	}
 	parent := (rel - mask + root) % c.size
 
-	p0, err := c.recv(parent, opBcast, hdr(seq, 0, opBcast))
+	p0, err := c.recv(parent, opBcast, c.hdr(seq, 0, opBcast))
 	if err != nil {
 		return nil, Auto, err
 	}
@@ -124,7 +127,7 @@ func (c *Comm) bcast(seq uint32, root int, data []byte, algo Algo) ([]byte, Algo
 		return nil, algo, err
 	}
 	for s := 1; s < nseg; s++ {
-		p, err := c.recv(parent, opBcast, hdr(seq, s, opBcast))
+		p, err := c.recv(parent, opBcast, c.hdr(seq, s, opBcast))
 		if err != nil {
 			return nil, algo, err
 		}
@@ -172,13 +175,13 @@ func (c *Comm) bcastRoot(seq uint32, root int, data []byte, algo Algo) ([]byte, 
 		var p []byte
 		if s == 0 {
 			p = make([]byte, c.hlen+bcastPrefixLen+hi-lo)
-			putHdr(p, hdr(seq, 0, opBcast))
+			putHdr(p, c.hdr(seq, 0, opBcast))
 			binary.LittleEndian.PutUint32(p[c.hlen:], uint32(total))
 			binary.LittleEndian.PutUint32(p[c.hlen+4:], uint32(segSize))
 			copy(p[c.hlen+bcastPrefixLen:], data[lo:hi])
 		} else {
 			p = make([]byte, c.hlen+hi-lo)
-			putHdr(p, hdr(seq, s, opBcast))
+			putHdr(p, c.hdr(seq, s, opBcast))
 			copy(p[c.hlen:], data[lo:hi])
 		}
 		if c.diagEnabled() {

@@ -17,6 +17,7 @@
 package collective
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -34,6 +35,12 @@ const DefaultTimeout = 60 * time.Second
 
 // maxFreeBuffers bounds the per-Comm recycled-buffer list.
 const maxFreeBuffers = 32
+
+// defaultPendingCap bounds the parked out-of-order frame list: frames from a
+// failed or stale rank must not accumulate forever, so past the cap the
+// oldest parked frame is evicted (and counted). Legitimate traffic never
+// comes close — a group's skew is bounded by rounds in flight.
+const defaultPendingCap = 4096
 
 // Comm is one process's handle on its program's process group.
 type Comm struct {
@@ -53,8 +60,26 @@ type Comm struct {
 	pointPending []transport.Message
 
 	// timer is the reused receive-deadline timer (allocated on first use
-	// from the dispatcher's clock, re-armed per receive).
-	timer vclock.Timer
+	// from the dispatcher's clock, re-armed per receive). armedAt records
+	// the clock reading at the latest re-arm so receive loops can tell a
+	// genuine deadline from a stale fire (see deadline).
+	timer   vclock.Timer
+	clk     vclock.Clock
+	armedAt time.Time
+
+	// Fault tolerance (fault.go). epoch stamps the low header byte so a
+	// shrunk group's frames never match a stale group's; peers maps
+	// current-group ranks to base transport ranks after shrinks (nil =
+	// identity); suspects is the local failure detector's output; revoked
+	// poisons the Comm; agreeSeq counts AgreeFailures episodes; pendingCap
+	// bounds the parked-frame list.
+	epoch      uint8
+	peers      []int
+	suspects   rankSet
+	deadSet    rankSet
+	revoked    bool
+	agreeSeq   uint32
+	pendingCap int
 
 	// reuse enables the zero-allocation hot path: send buffers come from
 	// free, and received float-operation payloads — whose ownership
@@ -92,9 +117,10 @@ func New(d *transport.Dispatcher, program string, rank, size int) (*Comm, error)
 	}
 	return &Comm{
 		d: d, program: program, rank: rank, size: size,
-		timeout: DefaultTimeout,
-		table:   DefaultTable(),
-		hlen:    hdrLen,
+		timeout:    DefaultTimeout,
+		table:      DefaultTable(),
+		hlen:       hdrLen,
+		pendingCap: defaultPendingCap,
 	}, nil
 }
 
@@ -195,9 +221,23 @@ func (c *Comm) scratch(n int) []float64 {
 
 // deadline re-arms the per-Comm receive timer and returns its channel,
 // avoiding a timer allocation per receive.
+//
+// Invariant (the classic time.Timer re-arm pattern): the timer channel is
+// only ever consumed by the single goroutine driving this Comm, so after
+// Stop reports false the one buffered fire — if it already landed — is
+// drained by the non-blocking select and Reset arms cleanly. The remaining
+// race (pre-Go 1.23 runtimes): a fire in flight between the drain and the
+// Reset lands *after* re-arming, so the next wait can pop a tick that
+// predates its arming. That stale tick is unavoidable here, which is why
+// armedAt records each arming and every receive loop treats a timeout whose
+// elapsed time (on the same clock) is short of the configured deadline as
+// spurious, re-arming instead of suspecting a peer. TestDeadlineTimerHammer
+// exercises this back-to-back.
 func (c *Comm) deadline() <-chan time.Time {
 	if c.timer == nil {
-		c.timer = c.d.Clock().NewTimer(c.timeout)
+		c.clk = c.d.Clock()
+		c.armedAt = c.clk.Now()
+		c.timer = c.clk.NewTimer(c.timeout)
 		return c.timer.C()
 	}
 	if !c.timer.Stop() {
@@ -207,6 +247,7 @@ func (c *Comm) deadline() <-chan time.Time {
 		default:
 		}
 	}
+	c.armedAt = c.clk.Now()
 	c.timer.Reset(c.timeout)
 	return c.timer.C()
 }
@@ -237,14 +278,22 @@ func (c *Comm) obsDone(op opID, algo Algo, start time.Time) {
 
 // sendRaw sends a preassembled payload (already carrying its header) to
 // another rank. Used when forwarding a received broadcast payload verbatim;
-// the payload may reach several ranks, so it must never be recycled.
+// the payload may reach several ranks, so it must never be recycled. A
+// transport that knows the destination is gone (raw in-memory endpoints
+// report ErrUnknownAddr; the reliable layer absorbs errors into its resend
+// loop) turns into an immediate suspicion instead of a generic send error.
 func (c *Comm) sendRaw(to int, op opID, payload []byte) error {
-	return c.d.Send(transport.Message{
+	err := c.d.Send(transport.Message{
 		Kind:    transport.KindCollective,
-		Dst:     transport.Proc(c.program, to),
+		Dst:     c.addr(to),
 		Tag:     opTags[op],
 		Payload: payload,
 	})
+	if err != nil && errors.Is(err, transport.ErrUnknownAddr) {
+		c.markDead(to)
+		return &RankFailedError{Program: c.program, Rank: to, Op: opTags[op], Seq: c.opSeq}
+	}
+	return err
 }
 
 // sendBytes sends header h (plus the diagnosis trailer when attached)
@@ -273,8 +322,20 @@ func (c *Comm) sendFloats(to int, op opID, h uint64, vals []float64) error {
 // recv receives the collective payload with header h from rank from,
 // buffering any other collective traffic that arrives first. The returned
 // slice includes the header; the caller owns it.
+//
+// Failure semantics: a revoked Comm fails immediately with ErrRevoked, as
+// does the arrival of a current-epoch revocation frame; a deadline expiry
+// (or waiting on an already-suspected rank) yields a RankFailedError naming
+// the peer. Frames from older epochs are dropped, frames from future epochs
+// — survivors that already shrunk — are parked for the successor Comm.
 func (c *Comm) recv(from int, op opID, h uint64) ([]byte, error) {
-	src := transport.Proc(c.program, from)
+	if c.revoked {
+		return nil, ErrRevoked
+	}
+	if c.suspects != nil && c.suspects.has(from) {
+		return nil, c.failedErr(from, op, h)
+	}
+	src := c.addr(from)
 	tag := opTags[op]
 	for i := range c.pending {
 		m := &c.pending[i]
@@ -296,8 +357,15 @@ func (c *Comm) recv(from int, op opID, h uint64) ([]byte, error) {
 	for {
 		m, err := c.d.RecvDeadline(transport.KindCollective, c.deadline())
 		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				if c.clk.Since(c.armedAt) < c.timeout {
+					continue // stale timer fire; see deadline
+				}
+				c.suspect(from)
+				return nil, c.failedErr(from, op, h)
+			}
 			return nil, fmt.Errorf("collective: %s waiting for %s op %s seq %d round %d: %w",
-				transport.Proc(c.program, c.rank), src, tag, h>>32, uint16(h>>16), err)
+				c.addr(c.rank), src, tag, h>>32, uint16(h>>16), err)
 		}
 		if m.Src == src && m.Tag == tag && matchHdr(m.Payload, h) {
 			if c.hlen != hdrLen {
@@ -305,7 +373,21 @@ func (c *Comm) recv(from int, op opID, h uint64) ([]byte, error) {
 			}
 			return m.Payload, nil
 		}
-		c.pending = append(c.pending, m)
+		switch d := epochDelta(m.Payload, c.epoch); {
+		case m.Tag == tagRevoke:
+			if d == 0 {
+				c.markRevoked()
+				return nil, fmt.Errorf("collective: %s op %s seq %d round %d: %w",
+					c.addr(c.rank), tag, h>>32, uint16(h>>16), ErrRevoked)
+			}
+			if d > 0 {
+				c.park(m)
+			}
+		case d < 0:
+			c.ins.incFailure(ctrStaleDropped)
+		default:
+			c.park(m)
+		}
 	}
 }
 
@@ -338,7 +420,7 @@ func (c *Comm) recvScratch(from int, op opID, h uint64, n int) ([]float64, error
 func (c *Comm) Send(to int, tag string, payload []byte) error {
 	return c.d.Send(transport.Message{
 		Kind:    transport.KindPoint,
-		Dst:     transport.Proc(c.program, to),
+		Dst:     c.addr(to),
 		Tag:     tag,
 		Payload: payload,
 	})
@@ -347,7 +429,7 @@ func (c *Comm) Send(to int, tag string, payload []byte) error {
 // Recv receives the application payload with the given tag from the given
 // rank, buffering mismatched point-to-point traffic.
 func (c *Comm) Recv(from int, tag string) ([]byte, error) {
-	src := transport.Proc(c.program, from)
+	src := c.addr(from)
 	for i, m := range c.pointPending {
 		if m.Src == src && m.Tag == tag {
 			c.pointPending = append(c.pointPending[:i], c.pointPending[i+1:]...)
@@ -358,7 +440,7 @@ func (c *Comm) Recv(from int, tag string) ([]byte, error) {
 		m, err := c.d.RecvTimeout(transport.KindPoint, c.timeout)
 		if err != nil {
 			return nil, fmt.Errorf("collective: %s waiting for point msg from %s tag %q: %w",
-				transport.Proc(c.program, c.rank), src, tag, err)
+				c.addr(c.rank), src, tag, err)
 		}
 		if m.Src == src && m.Tag == tag {
 			return m.Payload, nil

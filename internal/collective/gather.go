@@ -20,6 +20,9 @@ func (c *Comm) Gather(root int, part []byte) ([][]byte, error) {
 
 // GatherWith is Gather with a forced algorithm (Linear or Binomial).
 func (c *Comm) GatherWith(algo Algo, root int, part []byte) ([][]byte, error) {
+	if c.revoked {
+		return nil, ErrRevoked
+	}
 	start := c.obsStart()
 	seq := c.nextSeq()
 	if root < 0 || root >= c.size {
@@ -49,7 +52,7 @@ func (c *Comm) GatherWith(algo Algo, root int, part []byte) ([][]byte, error) {
 }
 
 func (c *Comm) gatherLinear(seq uint32, root int, part []byte) ([][]byte, error) {
-	h := hdr(seq, 0, opGather)
+	h := c.hdr(seq, 0, opGather)
 	if c.rank != root {
 		return nil, c.sendBytes(root, opGather, h, part)
 	}
@@ -81,7 +84,7 @@ func (c *Comm) gatherTree(seq uint32, root int, part []byte) ([][]byte, error) {
 		M = rel & (-rel)
 	}
 	buf := appendEntry(make([]byte, 0, 16+len(part)), uint32(c.rank), part)
-	h := hdr(seq, 0, opGather)
+	h := c.hdr(seq, 0, opGather)
 	for m := 1; m < M && rel+m < c.size; m <<= 1 {
 		p, err := c.recv((rel+m+root)%c.size, opGather, h)
 		if err != nil {
@@ -118,6 +121,9 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 
 // ScatterWith is Scatter with a forced algorithm (Linear or Binomial).
 func (c *Comm) ScatterWith(algo Algo, root int, parts [][]byte) ([]byte, error) {
+	if c.revoked {
+		return nil, ErrRevoked
+	}
 	start := c.obsStart()
 	seq := c.nextSeq()
 	if root < 0 || root >= c.size {
@@ -150,7 +156,7 @@ func (c *Comm) ScatterWith(algo Algo, root int, parts [][]byte) ([]byte, error) 
 }
 
 func (c *Comm) scatterLinear(seq uint32, root int, parts [][]byte) ([]byte, error) {
-	h := hdr(seq, 0, opScatter)
+	h := c.hdr(seq, 0, opScatter)
 	if c.rank == root {
 		for r := 0; r < c.size; r++ {
 			if r == root {
@@ -174,7 +180,7 @@ func (c *Comm) scatterLinear(seq uint32, root int, parts [][]byte) ([]byte, erro
 // off their own entry and repack the remainder for their children.
 func (c *Comm) scatterTree(seq uint32, root int, parts [][]byte) ([]byte, error) {
 	rel := (c.rank - root + c.size) % c.size
-	h := hdr(seq, 0, opScatter)
+	h := c.hdr(seq, 0, opScatter)
 	relOf := func(r uint32) int { return (int(r) - root + c.size) % c.size }
 
 	var entries []byte // the entry stream covering this node's subtree
@@ -252,6 +258,9 @@ func (c *Comm) AllGather(part []byte) ([][]byte, error) {
 
 // AllGatherWith is AllGather with a forced algorithm (Linear or Ring).
 func (c *Comm) AllGatherWith(algo Algo, part []byte) ([][]byte, error) {
+	if c.revoked {
+		return nil, ErrRevoked
+	}
 	start := c.obsStart()
 	seq := c.nextSeq()
 	if algo != Linear && algo != Ring {
@@ -277,7 +286,7 @@ func (c *Comm) AllGatherWith(algo Algo, part []byte) ([][]byte, error) {
 }
 
 func (c *Comm) allGatherLinear(seq uint32, out [][]byte) error {
-	h := hdr(seq, 0, opAllGather)
+	h := c.hdr(seq, 0, opAllGather)
 	for r := 0; r < c.size; r++ {
 		if r == c.rank {
 			continue
@@ -304,7 +313,7 @@ func (c *Comm) allGatherRing(seq uint32, out [][]byte) error {
 	left := (c.rank - 1 + c.size) % c.size
 	// In step s we forward the block that originated at rank-s (mod n).
 	for s := 0; s < c.size-1; s++ {
-		h := hdr(seq, s, opAllGather)
+		h := c.hdr(seq, s, opAllGather)
 		sendOrigin := (c.rank - s + c.size) % c.size
 		if err := c.sendBytes(right, opAllGather, h, out[sendOrigin]); err != nil {
 			return err
@@ -330,6 +339,9 @@ func (c *Comm) AllToAll(parts [][]byte) ([][]byte, error) {
 
 // AllToAllWith is AllToAll with a forced algorithm (Linear or Pairwise).
 func (c *Comm) AllToAllWith(algo Algo, parts [][]byte) ([][]byte, error) {
+	if c.revoked {
+		return nil, ErrRevoked
+	}
 	start := c.obsStart()
 	seq := c.nextSeq()
 	if len(parts) != c.size {
@@ -358,7 +370,7 @@ func (c *Comm) AllToAllWith(algo Algo, parts [][]byte) ([][]byte, error) {
 }
 
 func (c *Comm) allToAllLinear(seq uint32, parts, out [][]byte) error {
-	h := hdr(seq, 0, opAllToAll)
+	h := c.hdr(seq, 0, opAllToAll)
 	// Send everything, then collect. The dispatcher's unbounded queues make
 	// the eager sends deadlock-free.
 	for r := 0; r < c.size; r++ {
@@ -384,7 +396,7 @@ func (c *Comm) allToAllLinear(seq uint32, parts, out [][]byte) error {
 
 func (c *Comm) allToAllPairwise(seq uint32, parts, out [][]byte) error {
 	for s := 1; s < c.size; s++ {
-		h := hdr(seq, s, opAllToAll)
+		h := c.hdr(seq, s, opAllToAll)
 		to := (c.rank + s) % c.size
 		from := (c.rank - s + c.size) % c.size
 		if err := c.sendBytes(to, opAllToAll, h, parts[to]); err != nil {

@@ -43,6 +43,57 @@ type Instruments struct {
 	stragWait [numOps]*obsv.Histogram
 	stragXfer [numOps]*obsv.Histogram
 	stragRank [numOps]*obsv.Gauge
+
+	// Fault-tolerance counters ("collective.failures.<name>"): the suspect →
+	// agree → revoke → shrink pipeline plus the pending-list hygiene
+	// counters (evictions past the cap, stale-epoch frame drops).
+	failures [numFailureCtrs]*obsv.Counter
+}
+
+// Failure-counter indices (names in failureCtrNames).
+const (
+	ctrSuspected = iota
+	ctrAgreed
+	ctrRevokes
+	ctrShrinks
+	ctrPendingEvict
+	ctrStaleDropped
+
+	numFailureCtrs
+)
+
+var failureCtrNames = [numFailureCtrs]string{
+	"suspected", "agreed", "revokes", "shrinks", "pending_evicted", "stale_dropped",
+}
+
+// incFailure bumps one fault-tolerance counter (nil-safe: uninstrumented
+// Comms pay a nil check).
+func (ins *Instruments) incFailure(ctr int) {
+	if ins == nil {
+		return
+	}
+	ins.failures[ctr].Inc()
+}
+
+// FailureCount returns one fault-tolerance counter's value.
+func (ins *Instruments) FailureCount(ctr int) uint64 {
+	if ins == nil {
+		return 0
+	}
+	return ins.failures[ctr].Load()
+}
+
+// FailureCounts returns the fault-tolerance counters by name (the
+// "collective.failures.<name>" suffixes) for exit summaries and reports.
+func (ins *Instruments) FailureCounts() map[string]uint64 {
+	m := make(map[string]uint64, numFailureCtrs)
+	if ins == nil {
+		return m
+	}
+	for i, name := range failureCtrNames {
+		m[name] = ins.failures[i].Load()
+	}
+	return m
 }
 
 // NewInstruments registers (or looks up) the collective instrument catalog
@@ -59,6 +110,9 @@ func NewInstruments(reg *obsv.Registry, program string) *Instruments {
 		ins.stragXfer[op] = reg.Histogram(base+"xfer_ns", obsv.L("program", program))
 		ins.stragRank[op] = reg.Gauge(base+"rank", obsv.L("program", program))
 		ins.stragRank[op].Set(-1)
+	}
+	for i, name := range failureCtrNames {
+		ins.failures[i] = reg.Counter("collective.failures."+name, obsv.L("program", program))
 	}
 	return ins
 }
@@ -116,5 +170,14 @@ func (ins *Instruments) WriteStatus(w io.Writer) {
 		}
 		fmt.Fprintf(w, "    %s.straggler: n=%d rank=%d wait %s\n",
 			opTags[op], n, ins.stragRank[op].Load(), quantiles(h))
+	}
+	line := ""
+	for i, name := range failureCtrNames {
+		if v := ins.failures[i].Load(); v != 0 {
+			line += fmt.Sprintf(" %s=%d", name, v)
+		}
+	}
+	if line != "" {
+		fmt.Fprintf(w, "    failures:%s\n", line)
 	}
 }

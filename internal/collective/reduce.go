@@ -15,6 +15,9 @@ func errBadRoot(op string, root, size int) error {
 // the same length. The result is returned at root; other ranks get nil. The
 // local slice is not modified.
 func (c *Comm) Reduce(root int, local []float64, op Op) ([]float64, error) {
+	if c.revoked {
+		return nil, ErrRevoked
+	}
 	start := c.obsStart()
 	seq := c.nextSeq()
 	if root < 0 || root >= c.size {
@@ -33,7 +36,7 @@ func (c *Comm) Reduce(root int, local []float64, op Op) ([]float64, error) {
 			peerRel := rel | mask
 			if peerRel < c.size {
 				peer := (peerRel + root) % c.size
-				vals, err := c.recvScratch(peer, opReduce, hdr(seq, round, opReduce), len(acc))
+				vals, err := c.recvScratch(peer, opReduce, c.hdr(seq, round, opReduce), len(acc))
 				if err != nil {
 					return nil, err
 				}
@@ -41,7 +44,7 @@ func (c *Comm) Reduce(root int, local []float64, op Op) ([]float64, error) {
 			}
 		} else {
 			peer := (rel - mask + root) % c.size
-			if err := c.sendFloats(peer, opReduce, hdr(seq, round, opReduce), acc); err != nil {
+			if err := c.sendFloats(peer, opReduce, c.hdr(seq, round, opReduce), acc); err != nil {
 				return nil, err
 			}
 			c.obsDone(opReduce, Binomial, start)
@@ -84,6 +87,9 @@ func (c *Comm) AllReduceInPlace(vals []float64, op Op) error {
 
 // AllReduceInPlaceWith is AllReduceInPlace with a forced algorithm.
 func (c *Comm) AllReduceInPlaceWith(algo Algo, vals []float64, op Op) error {
+	if c.revoked {
+		return ErrRevoked
+	}
 	start := c.obsStart()
 	seq := c.nextSeq()
 	if c.size == 1 {
@@ -141,11 +147,11 @@ func (c *Comm) rdAllReduce(seq uint32, acc []float64, op Op) error {
 	newRank := -1
 	switch {
 	case c.rank < 2*rem && c.rank%2 == 1:
-		if err := c.sendFloats(c.rank-1, opAllReduce, hdr(seq, 0, opAllReduce), acc); err != nil {
+		if err := c.sendFloats(c.rank-1, opAllReduce, c.hdr(seq, 0, opAllReduce), acc); err != nil {
 			return err
 		}
 	case c.rank < 2*rem:
-		vals, err := c.recvScratch(c.rank+1, opAllReduce, hdr(seq, 0, opAllReduce), len(acc))
+		vals, err := c.recvScratch(c.rank+1, opAllReduce, c.hdr(seq, 0, opAllReduce), len(acc))
 		if err != nil {
 			return err
 		}
@@ -163,7 +169,7 @@ func (c *Comm) rdAllReduce(seq uint32, acc []float64, op Op) error {
 		round := 1
 		for mask := 1; mask < pow2; mask <<= 1 {
 			peer := toGroup(newRank ^ mask)
-			h := hdr(seq, round, opAllReduce)
+			h := c.hdr(seq, round, opAllReduce)
 			if err := c.sendFloats(peer, opAllReduce, h, acc); err != nil {
 				return err
 			}
@@ -179,7 +185,7 @@ func (c *Comm) rdAllReduce(seq uint32, acc []float64, op Op) error {
 	// Post-fold: even ranks of the paired prefix return the full result to
 	// the neighbor that sat the sweep out.
 	if c.rank < 2*rem {
-		h := hdr(seq, postRound, opAllReduce)
+		h := c.hdr(seq, postRound, opAllReduce)
 		if c.rank%2 == 0 {
 			if err := c.sendFloats(c.rank+1, opAllReduce, h, acc); err != nil {
 				return err

@@ -39,7 +39,7 @@ func (c *Comm) ringReduceScatterPhase(seq uint32, op opID, acc []float64, fold O
 	n, sz, r := len(acc), c.size, c.rank
 	right, left := (r+1)%sz, (r-1+sz)%sz
 	for s := 0; s < sz-1; s++ {
-		h := hdr(seq, s, op)
+		h := c.hdr(seq, s, op)
 		lo, hi := blockRange(n, sz, mod(r-s-1, sz))
 		if err := c.sendFloats(right, op, h, acc[lo:hi]); err != nil {
 			return err
@@ -60,7 +60,7 @@ func (c *Comm) ringAllGatherPhase(seq uint32, op opID, acc []float64) error {
 	n, sz, r := len(acc), c.size, c.rank
 	right, left := (r+1)%sz, (r-1+sz)%sz
 	for s := 0; s < sz-1; s++ {
-		h := hdr(seq, sz-1+s, op)
+		h := c.hdr(seq, sz-1+s, op)
 		lo, hi := blockRange(n, sz, mod(r-s, sz))
 		if err := c.sendFloats(right, op, h, acc[lo:hi]); err != nil {
 			return err

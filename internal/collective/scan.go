@@ -8,6 +8,9 @@ import "repro/internal/wire"
 // rank+2^k and folds the value received from rank-2^k. The result never
 // aliases local.
 func (c *Comm) Scan(local []float64, op Op) ([]float64, error) {
+	if c.revoked {
+		return nil, ErrRevoked
+	}
 	start := c.obsStart()
 	seq := c.nextSeq()
 	acc := make([]float64, len(local))
@@ -18,7 +21,7 @@ func (c *Comm) Scan(local []float64, op Op) ([]float64, error) {
 	}
 	round := 0
 	for dist := 1; dist < c.size; dist <<= 1 {
-		h := hdr(seq, round, opScan)
+		h := c.hdr(seq, round, opScan)
 		// Send first, then receive: the dispatcher's unbounded queues make
 		// the eager send safe.
 		if peer := c.rank + dist; peer < c.size {
@@ -61,6 +64,9 @@ func (c *Comm) ReduceScatter(local []float64, op Op) ([]float64, error) {
 // ReduceScatterWith is ReduceScatter with a forced algorithm (Composed or
 // Ring).
 func (c *Comm) ReduceScatterWith(algo Algo, local []float64, op Op) ([]float64, error) {
+	if c.revoked {
+		return nil, ErrRevoked
+	}
 	if len(local)%c.size != 0 {
 		return nil, errf("collective: ReduceScatter input length %d not divisible by group size %d",
 			len(local), c.size)

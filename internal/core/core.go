@@ -304,7 +304,7 @@ func (f *Framework) writeStatus(w io.Writer) {
 		// Per-op/per-algo collective timings (the histograms are shared by
 		// every process of the program, so one comm's view covers all).
 		if len(p.procs) > 0 {
-			if ins := p.procs[0].comm.Instruments(); ins != nil {
+			if ins := p.procs[0].Comm().Instruments(); ins != nil {
 				var buf bytes.Buffer
 				ins.WriteStatus(&buf)
 				if buf.Len() > 0 {

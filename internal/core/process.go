@@ -32,8 +32,12 @@ type Process struct {
 	prog *Program
 	rank int
 	d    *transport.Dispatcher
-	comm *collective.Comm
-	log  *trace.Log
+	// commMu guards the comm pointer, which RecoverGroup swaps for the shrunk
+	// successor while the status page may be reading instruments; collective
+	// calls themselves stay single-goroutine on the owning process.
+	commMu sync.Mutex
+	comm   *collective.Comm
+	log    *trace.Log
 
 	// tracer/ring are the span-recording hooks (nil unless the framework's
 	// observer traces); every record site nil-checks ring, so the disabled
@@ -314,6 +318,10 @@ func newProcess(p *Program, rank int, d *transport.Dispatcher) (*Process, error)
 	comm.SetTimeout(p.fw.opts.Timeout)
 	if p.board != nil {
 		comm.SetDiag(p.board, p.flight)
+	} else if p.flight != nil {
+		// Flight recording without payload attribution: fault events (revoke,
+		// agree, shrink) still reach the crash-safe ring.
+		comm.SetFlightRecorder(p.flight)
 	}
 	return proc, nil
 }
@@ -324,8 +332,13 @@ func (p *Process) addr() transport.Addr { return transport.Proc(p.prog.name, p.r
 func (p *Process) Rank() int { return p.rank }
 
 // Comm returns the process's intra-program collective communicator (used by
-// application code for halo exchange, reductions, barriers, ...).
-func (p *Process) Comm() *collective.Comm { return p.comm }
+// application code for halo exchange, reductions, barriers, ...). After a
+// RecoverGroup this is the shrunk survivor communicator.
+func (p *Process) Comm() *collective.Comm {
+	p.commMu.Lock()
+	defer p.commMu.Unlock()
+	return p.comm
+}
 
 // Trace returns the process's event log (nil unless Options.Trace).
 func (p *Process) Trace() *trace.Log { return p.log }

@@ -1,0 +1,35 @@
+package core
+
+// RecoverGroup runs the intra-program failure-recovery sequence on this
+// process's communicator after a collective reported a failed rank: revoke
+// the group (unblocking every sibling promptly), agree on the failed-rank
+// set (identical on every survivor, tolerating failures during the agreement
+// itself), and shrink to a re-ranked survivor communicator, which replaces
+// the one Comm returns. The agreed failed ranks — in the pre-shrink group
+// numbering — are returned so the application can drop the dead ranks'
+// share of the work before re-running the interrupted collective.
+//
+// Every surviving process of the program must call RecoverGroup for the same
+// failure episode, from the goroutine that drives its collectives (the Comm
+// is single-goroutine, and so is recovery). A process that finds itself in
+// the agreed set gets collective.ErrExcluded and must leave the computation;
+// the survivors' shrunk groups line up without it. Instruments, diagnosis
+// wiring and the flight recorder carry over to the shrunk communicator, so
+// the revoke/agree/shrink sequence is visible in /metrics, /statusz and
+// flight dumps.
+func (p *Process) RecoverGroup() ([]int, error) {
+	c := p.Comm()
+	c.Revoke()
+	failed, err := c.AgreeFailures()
+	if err != nil {
+		return failed, err
+	}
+	nc, err := c.Shrink(failed)
+	if err != nil {
+		return failed, err
+	}
+	p.commMu.Lock()
+	p.comm = nc
+	p.commMu.Unlock()
+	return failed, nil
+}

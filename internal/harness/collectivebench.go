@@ -22,7 +22,7 @@ import (
 // channels, so a steady-state measurement loop performs no goroutine spawns
 // and no allocations of its own.
 type collGroup struct {
-	net   *transport.MemNetwork
+	net   transport.Network
 	comms []*collective.Comm
 	trig  []chan func(*collective.Comm) error
 	done  chan error
@@ -30,29 +30,40 @@ type collGroup struct {
 }
 
 func newCollGroup(size int, reuse bool) (*collGroup, error) {
-	g := &collGroup{
-		net:   transport.NewMemNetwork(),
-		comms: make([]*collective.Comm, size),
-		trig:  make([]chan func(*collective.Comm) error, size),
-		done:  make(chan error, size),
-	}
+	net := transport.NewMemNetwork()
+	comms := make([]*collective.Comm, size)
 	for r := 0; r < size; r++ {
-		ep, err := g.net.Register(transport.Proc("bench", r))
+		ep, err := net.Register(transport.Proc("bench", r))
 		if err != nil {
-			g.net.Close()
+			net.Close()
 			return nil, err
 		}
 		c, err := collective.New(transport.NewDispatcher(ep), "bench", r, size)
 		if err != nil {
-			g.net.Close()
+			net.Close()
 			return nil, err
 		}
 		c.SetTimeout(30 * time.Second)
 		c.SetBufferReuse(reuse)
-		g.comms[r] = c
+		comms[r] = c
+	}
+	return newCollGroupFrom(net, comms), nil
+}
+
+// newCollGroupFrom wraps already-built comms (e.g. the shrunk survivors of a
+// fault-tolerance scenario) in the pre-spawned-worker harness. Closing the
+// group closes net.
+func newCollGroupFrom(net transport.Network, comms []*collective.Comm) *collGroup {
+	g := &collGroup{
+		net:   net,
+		comms: comms,
+		trig:  make([]chan func(*collective.Comm) error, len(comms)),
+		done:  make(chan error, len(comms)),
+	}
+	for r := range comms {
 		g.trig[r] = make(chan func(*collective.Comm) error)
 	}
-	for r := 0; r < size; r++ {
+	for r := range comms {
 		c, tr := g.comms[r], g.trig[r]
 		g.wg.Add(1)
 		go func() {
@@ -62,7 +73,7 @@ func newCollGroup(size int, reuse bool) (*collGroup, error) {
 			}
 		}()
 	}
-	return g, nil
+	return g
 }
 
 // run executes fn once on every rank concurrently and waits for all of them.
@@ -79,11 +90,17 @@ func (g *collGroup) run(fn func(*collective.Comm) error) error {
 	return first
 }
 
-func (g *collGroup) close() {
+// closeWorkers stops the worker goroutines without tearing down the network
+// (for groups built with newCollGroupFrom over a substrate someone else owns).
+func (g *collGroup) closeWorkers() {
 	for _, tr := range g.trig {
 		close(tr)
 	}
 	g.wg.Wait()
+}
+
+func (g *collGroup) close() {
+	g.closeWorkers()
 	g.net.Close()
 }
 

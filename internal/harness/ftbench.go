@@ -1,0 +1,382 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/transport"
+)
+
+// This file holds the fault-tolerant-collectives benchmark: it prices every
+// stage of the recovery pipeline — detection of a killed rank, revocation
+// unblocking the group, agreement on the failed set (including a second
+// failure during the agreement itself), shrink, and the first collective on
+// the survivor group — and then proves the shrunk communicator's steady state
+// is as cheap as a never-shrunk one (zero allocations per operation). Shared
+// by couplebench's -ft mode and the harness tests.
+
+// FTConfig tunes RunFT. Zero values pick the acceptance scenario: 5 ranks,
+// 1 KiB float64 vectors, rank 2 killed, 300ms detection timeout.
+type FTConfig struct {
+	Ranks    int
+	DeadRank int
+	VecLen   int
+	Timeout  time.Duration // receive deadline driving failure detection
+	Reps     int           // steady-state reps per timing pass
+	Attempts int           // best-of passes for the steady-state timing
+}
+
+func (c FTConfig) withDefaults() FTConfig {
+	if c.Ranks == 0 {
+		c.Ranks = 5
+	}
+	if c.DeadRank == 0 {
+		c.DeadRank = 2
+	}
+	if c.VecLen == 0 {
+		c.VecLen = 1024
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 300 * time.Millisecond
+	}
+	if c.Reps == 0 {
+		c.Reps = 32
+	}
+	if c.Attempts == 0 {
+		c.Attempts = 16
+	}
+	return c
+}
+
+// FTReport is RunFT's result (and the body of the -ft JSON report).
+type FTReport struct {
+	Ranks     int   `json:"ranks"`
+	DeadRank  int   `json:"dead_rank"`
+	VectorLen int   `json:"vector_len"`
+	TimeoutNS int64 `json:"timeout_ns"`
+
+	// Recovery pipeline latencies, measured from the kill on one live group:
+	// first typed error, all survivors unblocked (revoke-assisted, so far
+	// below the detection timeout on most ranks), agreement, shrink, first
+	// collective on the survivor group, and the end-to-end total.
+	DetectFirstNS int64 `json:"detect_first_ns"`
+	DetectAllNS   int64 `json:"detect_all_ns"`
+	AgreeNS       int64 `json:"agree_ns"`
+	ShrinkNS      int64 `json:"shrink_ns"`
+	FirstOpNS     int64 `json:"first_op_ns"`
+	TotalNS       int64 `json:"total_ns"`
+
+	// Agreement under a failure during the agreement itself: a second rank
+	// dies after the revoke, before answering any sweep round. Convergence
+	// then costs one receive deadline (the silent rank must be suspected by
+	// non-participation) plus one more flooding round.
+	AgreeKillConverged bool  `json:"agree_kill_converged"`
+	AgreeKillFailed    []int `json:"agree_kill_failed"`
+	AgreeKillNS        int64 `json:"agree_kill_ns"`
+
+	// Shrunk steady state: allocations and latency per AllReduce on the
+	// survivor communicator vs a never-shrunk group of the same size.
+	// Acceptance: SteadyAllocsPerOp == 0.
+	SteadyAllocsPerOp float64 `json:"shrunk_allocs_per_op"`
+	SteadyNsPerOp     int64   `json:"shrunk_ns_per_op"`
+	BaselineNsPerOp   int64   `json:"baseline_ns_per_op"`
+}
+
+func (r *FTReport) String() string {
+	return fmt.Sprintf("%d ranks (rank %d killed, timeout %v): detect %v/%v (first/all), agree %v, shrink %v, first op %v, total %v; agree+kill %v (failed %v); shrunk steady state %d ns/op %.2f allocs/op (baseline %d ns/op)",
+		r.Ranks, r.DeadRank, time.Duration(r.TimeoutNS),
+		time.Duration(r.DetectFirstNS), time.Duration(r.DetectAllNS),
+		time.Duration(r.AgreeNS), time.Duration(r.ShrinkNS),
+		time.Duration(r.FirstOpNS), time.Duration(r.TotalNS),
+		time.Duration(r.AgreeKillNS), r.AgreeKillFailed,
+		r.SteadyNsPerOp, r.SteadyAllocsPerOp, r.BaselineNsPerOp)
+}
+
+// ftGroup is an in-memory collective group that, unlike collGroup, keeps the
+// per-rank dispatchers so a benchmark can kill a rank by closing its endpoint.
+type ftGroup struct {
+	net   transport.Network
+	comms []*collective.Comm
+	disps []*transport.Dispatcher
+}
+
+func newFTGroup(size int, timeout time.Duration) (*ftGroup, error) {
+	return newFTGroupNet(transport.NewMemNetwork(), size, timeout)
+}
+
+// newFTGroupNet builds the group over an arbitrary substrate (e.g. a
+// delay-injecting fault network for the kill-a-rank chaos test). Closing the
+// group closes net.
+func newFTGroupNet(net transport.Network, size int, timeout time.Duration) (*ftGroup, error) {
+	g := &ftGroup{
+		net:   net,
+		comms: make([]*collective.Comm, size),
+		disps: make([]*transport.Dispatcher, size),
+	}
+	for r := 0; r < size; r++ {
+		ep, err := g.net.Register(transport.Proc("ft", r))
+		if err != nil {
+			g.net.Close()
+			return nil, err
+		}
+		g.disps[r] = transport.NewDispatcher(ep)
+		c, err := collective.New(g.disps[r], "ft", r, size)
+		if err != nil {
+			g.net.Close()
+			return nil, err
+		}
+		c.SetTimeout(timeout)
+		c.SetBufferReuse(true)
+		g.comms[r] = c
+	}
+	return g, nil
+}
+
+func (g *ftGroup) close() { g.net.Close() }
+
+// run executes fn once per live rank concurrently (dead < 0 skips nobody) and
+// returns the first error.
+func (g *ftGroup) run(dead int, fn func(c *collective.Comm) error) error {
+	errs := make(chan error, len(g.comms))
+	n := 0
+	for r, c := range g.comms {
+		if r == dead {
+			continue
+		}
+		n++
+		go func(c *collective.Comm) { errs <- fn(c) }(c)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// isFault reports whether err is one of the typed faults a collective may
+// return once a rank is dead (per-rank failure, revocation, or — for a rank
+// that times out before any revoke reaches it — a bare deadline).
+func isFault(err error) bool {
+	var rf *collective.RankFailedError
+	return errors.As(err, &rf) || errors.Is(err, collective.ErrRevoked) || errors.Is(err, transport.ErrTimeout)
+}
+
+// measureGroupAllocs runs warmup rounds, then measures the heap allocations of
+// reps group operations and returns allocations per operation (all ranks
+// together).
+func measureGroupAllocs(g *collGroup, warmup, reps int, fn func(*collective.Comm) error) (float64, error) {
+	for i := 0; i < warmup; i++ {
+		if err := g.run(fn); err != nil {
+			return 0, err
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		if err := g.run(fn); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(reps), nil
+}
+
+// RunFT measures the fault-tolerance pipeline end to end: kill, detect,
+// revoke, agree, shrink, resume — then the agreement's behavior under a
+// second kill, then the shrunk group's steady-state cost.
+func RunFT(cfg FTConfig) (*FTReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Ranks < 4 {
+		return nil, fmt.Errorf("harness: ft: need >= 4 ranks, have %d", cfg.Ranks)
+	}
+	if cfg.DeadRank <= 0 || cfg.DeadRank >= cfg.Ranks {
+		return nil, fmt.Errorf("harness: ft: dead rank %d out of range for %d ranks", cfg.DeadRank, cfg.Ranks)
+	}
+	report := &FTReport{
+		Ranks: cfg.Ranks, DeadRank: cfg.DeadRank, VectorLen: cfg.VecLen,
+		TimeoutNS: cfg.Timeout.Nanoseconds(),
+	}
+	vecs := make([][]float64, cfg.Ranks)
+	for r := range vecs {
+		vecs[r] = exactContrib(r, cfg.VecLen)
+	}
+	op := func(c *collective.Comm) error {
+		return c.AllReduceInPlaceWith(collective.Ring, vecs[c.Rank()], collective.Max)
+	}
+
+	// Phase 1: the recovery pipeline on one live group. Warm up, kill the
+	// dead rank's endpoint, and time every stage on every survivor.
+	g, err := newFTGroup(cfg.Ranks, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer g.close()
+	for i := 0; i < 4; i++ {
+		if err := g.run(-1, op); err != nil {
+			return nil, fmt.Errorf("harness: ft warmup: %w", err)
+		}
+	}
+	type stages struct {
+		detect, agree, shrink, firstOp, total time.Duration
+		failed                                []int
+	}
+	res := make([]stages, cfg.Ranks)
+	shrunk := make([]*collective.Comm, cfg.Ranks)
+	killT := time.Now()
+	g.disps[cfg.DeadRank].Close()
+	err = g.run(cfg.DeadRank, func(c *collective.Comm) error {
+		r := c.Rank()
+		if err := op(c); err == nil {
+			return fmt.Errorf("rank %d: collective succeeded with rank %d dead", r, cfg.DeadRank)
+		} else if !isFault(err) {
+			return fmt.Errorf("rank %d: untyped failure %w", r, err)
+		}
+		res[r].detect = time.Since(killT)
+		c.Revoke()
+		t := time.Now()
+		failed, err := c.AgreeFailures()
+		if err != nil {
+			return fmt.Errorf("rank %d agree: %w", r, err)
+		}
+		res[r].agree, res[r].failed = time.Since(t), failed
+		t = time.Now()
+		nc, err := c.Shrink(failed)
+		if err != nil {
+			return fmt.Errorf("rank %d shrink: %w", r, err)
+		}
+		res[r].shrink = time.Since(t)
+		shrunk[r] = nc
+		t = time.Now()
+		if err := nc.AllReduceInPlaceWith(collective.Ring, vecs[r], collective.Max); err != nil {
+			return fmt.Errorf("rank %d first shrunk op: %w", r, err)
+		}
+		res[r].firstOp = time.Since(t)
+		res[r].total = time.Since(killT)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		if r == cfg.DeadRank {
+			continue
+		}
+		if fmt.Sprint(res[r].failed) != fmt.Sprint([]int{cfg.DeadRank}) {
+			return nil, fmt.Errorf("harness: ft: rank %d agreed %v, want [%d]", r, res[r].failed, cfg.DeadRank)
+		}
+		s := res[r]
+		if report.DetectFirstNS == 0 || s.detect.Nanoseconds() < report.DetectFirstNS {
+			report.DetectFirstNS = s.detect.Nanoseconds()
+		}
+		report.DetectAllNS = max(report.DetectAllNS, s.detect.Nanoseconds())
+		report.AgreeNS = max(report.AgreeNS, s.agree.Nanoseconds())
+		report.ShrinkNS = max(report.ShrinkNS, s.shrink.Nanoseconds())
+		report.FirstOpNS = max(report.FirstOpNS, s.firstOp.Nanoseconds())
+		report.TotalNS = max(report.TotalNS, s.total.Nanoseconds())
+	}
+
+	// Phase 3 setup rides on phase 1's survivors: wrap the shrunk comms in the
+	// pre-spawned-worker harness (base-rank order; the group now owns g.net).
+	survivors := make([]*collective.Comm, 0, cfg.Ranks-1)
+	for r := 0; r < cfg.Ranks; r++ {
+		if r != cfg.DeadRank {
+			survivors = append(survivors, shrunk[r])
+		}
+	}
+
+	// Phase 2: a second rank dies during the agreement itself. The victim
+	// stays silent (it never enters AgreeFailures), so the survivors must
+	// suspect it by non-participation and converge without it.
+	g2, err := newFTGroup(cfg.Ranks, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer g2.close()
+	deadB := cfg.Ranks - 1
+	if deadB == cfg.DeadRank {
+		deadB--
+	}
+	g2.disps[cfg.DeadRank].Close()
+	kill2 := time.AfterFunc(cfg.Timeout/10, func() { g2.disps[deadB].Close() })
+	defer kill2.Stop()
+	var mu2 struct {
+		agreed [][]int
+	}
+	mu2.agreed = make([][]int, cfg.Ranks)
+	agreeT := time.Now()
+	err = g2.run(cfg.DeadRank, func(c *collective.Comm) error {
+		if c.Rank() == deadB {
+			return nil // dies mid-agreement via the timer above
+		}
+		c.Revoke()
+		failed, err := c.AgreeFailures()
+		if err != nil {
+			return fmt.Errorf("rank %d agree under second kill: %w", c.Rank(), err)
+		}
+		mu2.agreed[c.Rank()] = failed
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	report.AgreeKillNS = time.Since(agreeT).Nanoseconds()
+	report.AgreeKillConverged = true
+	wantFailed := []int{cfg.DeadRank, deadB}
+	if deadB < cfg.DeadRank {
+		wantFailed = []int{deadB, cfg.DeadRank}
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		if r == cfg.DeadRank || r == deadB {
+			continue
+		}
+		if fmt.Sprint(mu2.agreed[r]) != fmt.Sprint(wantFailed) {
+			report.AgreeKillConverged = false
+		}
+		if report.AgreeKillFailed == nil {
+			report.AgreeKillFailed = mu2.agreed[r]
+		}
+	}
+
+	// Phase 3: the shrunk steady state — allocations and latency per
+	// operation on the survivor communicator, vs a never-shrunk group of the
+	// same size built fresh.
+	sg := newCollGroupFrom(g.net, survivors)
+	svecs := make([][]float64, len(survivors))
+	for i := range svecs {
+		svecs[i] = exactContrib(i, cfg.VecLen)
+	}
+	sop := func(c *collective.Comm) error {
+		return c.AllReduceInPlaceWith(collective.Ring, svecs[c.Rank()], collective.Max)
+	}
+	allocs, err := measureGroupAllocs(sg, 16, 64, sop)
+	if err != nil {
+		return nil, fmt.Errorf("harness: ft shrunk allocs: %w", err)
+	}
+	report.SteadyAllocsPerOp = allocs
+	shrunkTime, err := sg.timeOp(4, cfg.Reps, cfg.Attempts, sop)
+	if err != nil {
+		return nil, fmt.Errorf("harness: ft shrunk timing: %w", err)
+	}
+	report.SteadyNsPerOp = shrunkTime.Nanoseconds() / int64(cfg.Reps)
+	// sg shares g.net; leave teardown to g.close via the deferred close, but
+	// stop the workers now.
+	defer sg.closeWorkers()
+
+	bg, err := newCollGroup(cfg.Ranks-1, true)
+	if err != nil {
+		return nil, err
+	}
+	defer bg.close()
+	baseTime, err := bg.timeOp(4, cfg.Reps, cfg.Attempts, sop)
+	if err != nil {
+		return nil, fmt.Errorf("harness: ft baseline timing: %w", err)
+	}
+	report.BaselineNsPerOp = baseTime.Nanoseconds() / int64(cfg.Reps)
+	return report, nil
+}

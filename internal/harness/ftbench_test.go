@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunFT runs the fault-tolerance benchmark at a small shape and checks
+// the acceptance properties behind the numbers: every pipeline stage
+// completes, the survivors agree on exactly the killed rank (and on both
+// ranks when one dies mid-agreement), revocation unblocks the group well
+// before a pile of detection timeouts, and the shrunk steady state allocates
+// nothing per operation.
+func TestRunFT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark scenario")
+	}
+	cfg := FTConfig{Ranks: 5, VecLen: 256, Timeout: 500 * time.Millisecond, Reps: 8, Attempts: 4}
+	rep, err := RunFT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", rep)
+
+	if rep.DetectFirstNS <= 0 || rep.TotalNS <= 0 {
+		t.Fatalf("empty pipeline timings: %+v", rep)
+	}
+	// All survivors must unblock in bounded time: the revoke flood spares
+	// them serial detection timeouts, so even generously the whole pipeline
+	// fits in a few timeouts.
+	if got, lim := time.Duration(rep.TotalNS), 4*cfg.Timeout; got > lim {
+		t.Fatalf("end-to-end recovery took %v, want < %v", got, lim)
+	}
+	if !rep.AgreeKillConverged {
+		t.Fatalf("agreement did not converge under a mid-agreement kill: %+v", rep)
+	}
+	if len(rep.AgreeKillFailed) != 2 {
+		t.Fatalf("agreement under second kill decided %v, want both dead ranks", rep.AgreeKillFailed)
+	}
+	if !raceDetectorOn() && rep.SteadyAllocsPerOp > 0.5 {
+		t.Fatalf("shrunk steady state allocates %.2f per op, want 0", rep.SteadyAllocsPerOp)
+	}
+}

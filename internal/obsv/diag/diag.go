@@ -51,13 +51,23 @@ const (
 	KindPanic
 	// KindMark: free-form annotation.
 	KindMark
+	// KindRevoke: an intra-program communicator was revoked; A1 is the
+	// group epoch, A2 is 1 when this rank initiated the revocation.
+	KindRevoke
+	// KindAgree: a failure agreement decided; A1 is the agreed failed-rank
+	// count, A2 the group epoch, Note the failed set.
+	KindAgree
+	// KindShrink: the group shrank to the survivors; A1 is the new epoch,
+	// A2 the new group size, Note the "old->new" re-ranking of this rank.
+	KindShrink
 
-	numKinds = int(KindMark) + 1
+	numKinds = int(KindShrink) + 1
 )
 
 var kindNames = [numKinds]string{
 	"collective", "export-stall", "checkpoint", "rejoin",
 	"peer-down", "violation", "panic", "mark",
+	"revoke", "agree", "shrink",
 }
 
 // String returns the event-kind name used in dumps and timelines.

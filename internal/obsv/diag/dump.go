@@ -334,6 +334,12 @@ func WriteTimeline(w io.Writer, dumps ...*Dump) error {
 			line += fmt.Sprintf(" seq=%d bytes=%d", e.Seq, e.A1)
 		case KindRejoin:
 			line += fmt.Sprintf(" epoch=%d", e.A1)
+		case KindRevoke:
+			line += fmt.Sprintf(" epoch=%d initiator=%d", e.A1, e.A2)
+		case KindAgree:
+			line += fmt.Sprintf(" failed=%d epoch=%d", e.A1, e.A2)
+		case KindShrink:
+			line += fmt.Sprintf(" epoch=%d size=%d", e.A1, e.A2)
 		default:
 			if e.Seq != 0 {
 				line += fmt.Sprintf(" seq=%d", e.Seq)
